@@ -1,0 +1,77 @@
+"""E15 — ablation: the GC round is what buys Lemma 8's optimum.
+
+DESIGN.md flags the garbage-collection round (Algorithm 2, lines 11-13)
+as a load-bearing design choice. The ablation removes it: without GC,
+``storedTS`` never advances, ``Vp`` silts up with the first k writes'
+pieces, and every later write stores a full replica — quiescent storage
+settles near ``2nD`` instead of ``nD/k``, no matter how sequential the
+workload. (The other flagged choice — the replica fallback — is ablated
+by the CodedOnlyRegister; benchmark E9.)
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.registers import AdaptiveNoGCRegister, AdaptiveRegister, RegisterSetup
+from repro.workloads import WorkloadSpec, run_register_workload
+
+SETUP = RegisterSetup(f=2, k=3, data_size_bytes=24)  # n=7, D=192
+
+
+def sweep():
+    results = {}
+    for register_cls in (AdaptiveRegister, AdaptiveNoGCRegister):
+        per_writes = []
+        for total_writes in (1, 3, 6, 10):
+            spec = WorkloadSpec(writers=1, writes_per_writer=total_writes,
+                                readers=0, seed=4)
+            per_writes.append(
+                run_register_workload(register_cls, SETUP, spec)
+            )
+        results[register_cls.name] = per_writes
+    return results
+
+
+def test_gc_ablation(benchmark, record_table):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    d = SETUP.data_size_bits
+    optimum = SETUP.n * d // SETUP.k
+    rows = []
+    for index, total_writes in enumerate((1, 3, 6, 10)):
+        with_gc = results["adaptive"][index].final_bo_state_bits
+        without_gc = results["adaptive-no-gc"][index].final_bo_state_bits
+        rows.append([total_writes, with_gc, without_gc])
+        # With GC: exactly the Lemma 8 optimum after every workload.
+        assert with_gc == optimum
+    table = format_table(
+        ["sequential writes", "final bits (with GC)", "final bits (no GC)"],
+        rows,
+    )
+    record_table("E15_gc_ablation", table)
+    # Without GC, residue grows and settles near 2nD (k pieces + replica).
+    no_gc_finals = [row[2] for row in rows]
+    assert no_gc_finals[-1] > 2 * optimum
+    assert no_gc_finals[-1] <= 2 * SETUP.n * d
+    assert no_gc_finals == sorted(no_gc_finals)
+
+
+def test_no_gc_register_still_reads_correctly(benchmark):
+    """The ablation only costs storage, not correctness."""
+    from repro.sim import FairScheduler, Simulation
+    from repro.workloads import make_value
+
+    def run():
+        sim = Simulation(AdaptiveNoGCRegister(SETUP))
+        writer = sim.add_client("w0")
+        values = [make_value(SETUP, f"gcless-{i}") for i in range(4)]
+        for value in values:
+            writer.enqueue_write(value)
+        sim.run(FairScheduler())
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        return sim, values
+
+    sim, values = benchmark.pedantic(run, rounds=1, iterations=1)
+    [read] = sim.trace.reads()
+    assert read.result == values[-1]

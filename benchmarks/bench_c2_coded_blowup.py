@@ -1,0 +1,77 @@
+"""E2 — Corollary 2: coded storage without replica fallback grows with c.
+
+Paper claim: an algorithm that never stores a full replica's worth of bits
+in f + 1 base objects pays storage that grows linearly with concurrency.
+Measured two ways:
+
+* fair-scheduler peak storage of the coded-only register under a burst of
+  c writers — slope should be about one piece (D/k bits) per object per
+  extra writer;
+* the adversary route with ell = D, where the concurrency arm of Lemma 3
+  must be the one that fires (the register never assembles D bits in one
+  object).
+"""
+
+import pytest
+
+from repro.analysis import format_table, linear_slope
+from repro.lowerbound import run_lower_bound_experiment
+from repro.registers import CodedOnlyRegister, RegisterSetup
+from repro.workloads import WorkloadSpec, run_register_workload
+
+SETUP = RegisterSetup(f=2, k=4, data_size_bytes=32)  # n=8, D=256, piece=64
+CS = [1, 2, 3, 4, 6, 8, 12]
+
+
+def sweep_concurrency():
+    peaks = []
+    for c in CS:
+        spec = WorkloadSpec(writers=c, writes_per_writer=1, readers=0, seed=1)
+        result = run_register_workload(CodedOnlyRegister, SETUP, spec)
+        peaks.append(result.peak_bo_state_bits)
+    return peaks
+
+
+def test_linear_blowup_under_fair_schedule(benchmark, record_table):
+    peaks = benchmark.pedantic(sweep_concurrency, rounds=1, iterations=1)
+    piece_bits = SETUP.data_size_bits // SETUP.k
+    predicted = [(c + 1) * SETUP.n * piece_bits for c in CS]
+    slope = linear_slope(CS, peaks)
+    rows = [
+        [c, peak, pred, f"{peak / pred:.2f}x"]
+        for c, peak, pred in zip(CS, peaks, predicted)
+    ]
+    table = format_table(
+        ["c", "peak bo storage(bits)", "(c+1) n D/k", "ratio"], rows
+    )
+    record_table("E2_corollary2_fair_blowup", table)
+    # Shape: linear growth with slope about n * D/k per writer.
+    assert slope == pytest.approx(SETUP.n * piece_bits, rel=0.35)
+    assert peaks == sorted(peaks)
+
+
+def test_concurrency_arm_fires_at_ell_d(benchmark, record_table):
+    def run():
+        return [
+            run_lower_bound_experiment(
+                CodedOnlyRegister, SETUP, concurrency=c,
+                ell_bits=SETUP.data_size_bits,
+            )
+            for c in (2, 4, 8)
+        ]
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for c, outcome in zip((2, 4, 8), outcomes):
+        assert outcome.fired == "concurrency", (
+            "coded-only never stores D bits in one object, so only the "
+            "concurrency arm can fire at ell = D"
+        )
+        rows.append([c, outcome.fired, outcome.c_plus_count,
+                     outcome.storage_bits])
+    record_table(
+        "E2_corollary2_adversary",
+        format_table(["c", "fired", "|C+|", "storage(bits)"], rows),
+    )
+    storages = [row[3] for row in rows]
+    assert storages == sorted(storages)

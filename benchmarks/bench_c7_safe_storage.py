@@ -1,0 +1,61 @@
+"""E5 — Corollary 7: the safe register's storage is exactly nD/k, always.
+
+Paper claim: Appendix E's wait-free strongly safe register costs
+``nD/k = (2f/k + 1) D`` bits — under any workload, at peak, regardless of
+concurrency. This breaks the Theorem 1 bound (safe < regular), which is the
+paper's evidence that the bound genuinely hinges on regularity.
+"""
+
+from repro.analysis import format_table
+from repro.registers import RegisterSetup, SafeCodedRegister
+from repro.sim import RandomScheduler
+from repro.workloads import WorkloadSpec, run_register_workload
+
+CONFIGS = [
+    (1, 2, 16),
+    (2, 2, 16),
+    (2, 4, 32),
+    (3, 6, 48),
+    (4, 8, 64),
+]
+
+
+def sweep():
+    results = []
+    for f, k, data in CONFIGS:
+        setup = RegisterSetup(f=f, k=k, data_size_bytes=data)
+        spec = WorkloadSpec(writers=4, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=5)
+        result = run_register_workload(
+            SafeCodedRegister, setup, spec, scheduler=RandomScheduler(5)
+        )
+        results.append((setup, result))
+    return results
+
+
+def test_corollary7_exact_storage(benchmark, record_table):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for setup, result in results:
+        d = setup.data_size_bits
+        expected = setup.n * d // setup.k
+        theorem1_at_c4 = min(setup.f, 4) * d // 2
+        assert result.peak_bo_state_bits == expected
+        assert result.final_bo_state_bits == expected
+        rows.append([
+            setup.f, setup.k, setup.n, d,
+            result.peak_bo_state_bits, expected,
+            f"(2f/k+1)D = {(2 * setup.f / setup.k + 1):.1f}D",
+            theorem1_at_c4,
+        ])
+    table = format_table(
+        ["f", "k", "n", "D", "peak(bits)", "nD/k", "formula",
+         "thm1 bound (c=4)"],
+        rows,
+    )
+    record_table("E5_corollary7_safe_storage", table)
+    # With k = 2f the safe register stores 2D — below min(f,c)D/2 for f>4:
+    f, k, data = 4, 8, 64
+    setup = RegisterSetup(f=f, k=k, data_size_bytes=data)
+    safe_cost = setup.n * setup.data_size_bits // setup.k
+    assert safe_cost == 2 * setup.data_size_bits

@@ -1,0 +1,78 @@
+"""E11 — substrate sanity: encode/decode throughput of the coding layer.
+
+Not a paper table — the paper's oracles are abstract — but a harness-level
+check that the from-scratch codes are usable at realistic value sizes, and
+the one benchmark here that exercises pytest-benchmark's statistical
+timing across rounds.
+"""
+
+import os
+
+import pytest
+
+from repro.coding import (
+    RatelessXorCode,
+    ReedSolomonCode,
+    ReplicationCode,
+    XorParityCode,
+)
+
+SIZE = 64 * 1024  # 64 KiB values
+
+
+@pytest.fixture(scope="module")
+def value():
+    return os.urandom(SIZE)
+
+
+class TestEncode:
+    def test_rs_encode_parity_block(self, benchmark, value):
+        rs = ReedSolomonCode(k=4, n=10, data_size_bytes=SIZE)
+        result = benchmark(rs.encode_block, value, 9)
+        assert len(result) == SIZE // 4
+
+    def test_rs_encode_systematic_block(self, benchmark, value):
+        rs = ReedSolomonCode(k=4, n=10, data_size_bytes=SIZE)
+        result = benchmark(rs.encode_block, value, 0)
+        assert len(result) == SIZE // 4
+
+    def test_xor_parity_encode(self, benchmark, value):
+        code = XorParityCode(k=4, data_size_bytes=SIZE)
+        result = benchmark(code.encode_block, value, 4)
+        assert len(result) == SIZE // 4
+
+    def test_replication_encode(self, benchmark, value):
+        code = ReplicationCode(data_size_bytes=SIZE)
+        result = benchmark(code.encode_block, value, 0)
+        assert result == value
+
+    def test_rateless_encode(self, benchmark, value):
+        code = RatelessXorCode(k=4, data_size_bytes=SIZE, seed=1)
+        result = benchmark(code.encode_block, value, 123)
+        assert len(result) == SIZE // 4
+
+
+class TestDecode:
+    def test_rs_decode_from_parity(self, benchmark, value):
+        rs = ReedSolomonCode(k=4, n=10, data_size_bytes=SIZE)
+        blocks = {i: rs.encode_block(value, i) for i in (5, 7, 8, 9)}
+        result = benchmark(rs.decode, blocks)
+        assert result == value
+
+    def test_rs_decode_systematic_fast_path(self, benchmark, value):
+        rs = ReedSolomonCode(k=4, n=10, data_size_bytes=SIZE)
+        blocks = {i: rs.encode_block(value, i) for i in range(4)}
+        result = benchmark(rs.decode, blocks)
+        assert result == value
+
+    def test_xor_parity_decode_with_rebuild(self, benchmark, value):
+        code = XorParityCode(k=4, data_size_bytes=SIZE)
+        blocks = {i: code.encode_block(value, i) for i in (0, 1, 3, 4)}
+        result = benchmark(code.decode, blocks)
+        assert result == value
+
+    def test_rateless_decode(self, benchmark, value):
+        code = RatelessXorCode(k=4, data_size_bytes=SIZE, seed=1)
+        blocks = {i: code.encode_block(value, i) for i in range(8)}
+        result = benchmark(code.decode, blocks)
+        assert result == value

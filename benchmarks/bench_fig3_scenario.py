@@ -1,0 +1,81 @@
+"""E7 — Figure 3: the adversary's set dynamics, traced step by step.
+
+The paper's Figure 3 illustrates Ad's bookkeeping on four concurrent writes
+with 2D/5 < ell < D: operations move between C- and C+ as their blocks
+land, and base objects freeze into F once they hold ell bits. This bench
+replays that setting (4 writers, ell = D/2 + D/10), records the evolution
+of |F|, |C-|, |C+| at every scheduling decision, and checks the paper's
+structural facts:
+
+* Observation 2 — F only grows;
+* Definition 7 rule 1 — RMWs of C+ operations never take effect;
+* Lemma 3 — the run ends in |F| > f or |C+| = c.
+"""
+
+from repro.analysis import format_table, monotone_nondecreasing
+from repro.lowerbound import AdAdversary, compute_snapshot
+from repro.registers import AdaptiveRegister, CodedOnlyRegister, RegisterSetup
+from repro.sim import ActionKind, Simulation
+from repro.workloads import make_value
+
+import pytest
+
+SETUP = RegisterSetup(f=3, k=5, data_size_bytes=40)  # n=11, D=320, piece=64
+WRITERS = 4
+
+
+def replay(register_cls):
+    sim = Simulation(register_cls(SETUP))
+    for index in range(WRITERS):
+        client = sim.add_client(f"w{index + 1}")  # w1..w4 as in the figure
+        client.enqueue_write(make_value(SETUP, f"fig3-{index}"))
+    d = SETUP.data_size_bits
+    ell = d // 2 + d // 10  # inside (2D/5, D)
+    adversary = AdAdversary(ell_bits=ell)
+    timeline = []
+    cplus_applies = 0
+    for _ in range(2000):
+        snapshot = compute_snapshot(sim, ell, adversary._frozen)
+        timeline.append(
+            (sim.time, len(snapshot.frozen), len(snapshot.c_minus),
+             len(snapshot.c_plus))
+        )
+        if len(snapshot.frozen) > SETUP.f or (
+            len(snapshot.c_plus) == WRITERS
+        ):
+            break
+        action = adversary.next_action(sim)
+        if action is None:
+            break
+        if action.kind is ActionKind.APPLY_DELIVER:
+            rmw = sim.pending[action.target]
+            if rmw.op_uid in adversary.last_snapshot.c_plus:
+                cplus_applies += 1
+        sim.execute(action)
+    return timeline, cplus_applies, ell
+
+
+@pytest.mark.parametrize(
+    "register_cls", [CodedOnlyRegister, AdaptiveRegister], ids=lambda c: c.name
+)
+def test_figure3_set_dynamics(benchmark, record_table, register_cls):
+    timeline, cplus_applies, ell = benchmark.pedantic(
+        replay, args=(register_cls,), rounds=1, iterations=1
+    )
+    frozen_series = [frozen for _, frozen, _, _ in timeline]
+    assert monotone_nondecreasing(frozen_series), "Observation 2 violated"
+    assert cplus_applies == 0, "rule 1 applied a C+ op's RMW"
+    final_time, final_frozen, final_cminus, final_cplus = timeline[-1]
+    assert final_frozen > SETUP.f or final_cplus == WRITERS, "Lemma 3 not reached"
+
+    # Record a decimated trace plus the terminal state.
+    step = max(1, len(timeline) // 20)
+    rows = [list(entry) for entry in timeline[::step]]
+    if rows[-1] != list(timeline[-1]):
+        rows.append(list(timeline[-1]))
+    table = format_table(["time", "|F|", "|C-|", "|C+|"], rows)
+    header = (
+        f"register={register_cls.name} f={SETUP.f} c={WRITERS} "
+        f"D={SETUP.data_size_bits} ell={ell} (2D/5 < ell < D)\n"
+    )
+    record_table(f"E7_figure3_{register_cls.name}", header + table)

@@ -1,0 +1,80 @@
+"""E3 — Theorem 2 / Corollary 3: the adaptive register's storage cost.
+
+Paper claim: storage <= min((c+1)(2f+k) D/k, (2f+k)^2 D); we additionally
+verify the tighter cap our analysis gives (2 n D — each object holds at
+most k pieces plus one replica). For c <= k-1 (Lemma 6 counting the initial
+value's piece) the per-write arm is exact.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.registers import AdaptiveRegister, RegisterSetup
+from repro.workloads import WorkloadSpec, run_register_workload
+
+SETUP = RegisterSetup(f=3, k=4, data_size_bytes=32)  # n=10, D=256, piece=64
+CS = [1, 2, 3, 4, 6, 9, 12]
+
+
+def sweep():
+    peaks = []
+    for c in CS:
+        spec = WorkloadSpec(writers=c, writes_per_writer=1, readers=0, seed=2)
+        result = run_register_workload(AdaptiveRegister, SETUP, spec)
+        peaks.append(result.peak_bo_state_bits)
+    return peaks
+
+
+def test_theorem2_storage_caps(benchmark, record_table):
+    peaks = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    d = SETUP.data_size_bits
+    n, k = SETUP.n, SETUP.k
+    rows = []
+    for c, peak in zip(CS, peaks):
+        per_write_cap = (c + 1) * n * d // k
+        replica_cap = 2 * n * d
+        # Theorem 2's min() as literally stated over-claims: its first arm
+        # comes from Lemma 6, whose premise is c < k - 1 (the initial value
+        # occupies one piece slot). Measured storage exceeds that arm at
+        # c = k (e.g. 5120 > 3200 bits at c = k = 4) while respecting the
+        # lemma-wise caps, which is what we assert. See EXPERIMENTS.md.
+        our_cap = per_write_cap if c <= k - 1 else replica_cap
+        paper_cap_lemmawise = (
+            min(per_write_cap, n * n * d) if c <= k - 1 else n * n * d
+        )
+        assert peak <= our_cap, f"c={c}: {peak} > {our_cap}"
+        assert peak <= paper_cap_lemmawise
+        rows.append([c, peak, per_write_cap if c <= k - 1 else "-",
+                     replica_cap, paper_cap_lemmawise])
+    table = format_table(
+        ["c", "peak bo storage(bits)", "(c+1)nD/k (c<=k-1)", "2nD cap",
+         "paper cap"],
+        rows,
+    )
+    record_table("E3_theorem2_adaptive_storage", table)
+    # Shape: grows while c <= k-1, then saturates at the replica cap.
+    saturated = [p for c, p in zip(CS, peaks) if c >= k]
+    assert max(saturated) == min(saturated), "expected saturation beyond c=k"
+    growing = [p for c, p in zip(CS, peaks) if c <= k - 1]
+    assert growing == sorted(growing)
+
+
+@pytest.mark.parametrize("c", [1, 2, 3])
+def test_exact_per_write_arm_below_k(benchmark, record_table, c):
+    """For c <= k - 1 every object ends the update round with exactly
+    c + 1 pieces (c writers + the initial value): the bound is tight."""
+    def run():
+        spec = WorkloadSpec(writers=c, writes_per_writer=1, readers=0, seed=3)
+        return run_register_workload(AdaptiveRegister, SETUP, spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    d = SETUP.data_size_bits
+    expected = (c + 1) * SETUP.n * d // SETUP.k
+    record_table(
+        f"E3_tightness_c{c}",
+        format_table(
+            ["c", "peak(bits)", "(c+1)nD/k"],
+            [[c, result.peak_bo_state_bits, expected]],
+        ),
+    )
+    assert result.peak_bo_state_bits == expected

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures: result recording.
+
+Every benchmark writes its measured-vs-paper table to
+``benchmarks/results/<experiment>.txt`` (the files EXPERIMENTS.md quotes)
+and echoes it to stdout (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Persist one experiment's output table."""
+
+    def _record(experiment: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _record

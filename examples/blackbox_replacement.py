@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Lemma 1 live: swap a write's value and nobody can tell.
+
+The information-theoretic heart of the lower bound, on a real register:
+
+1. run 3 concurrent writes and cut the run while writer w0's blocks in
+   storage pin fewer than D bits;
+2. compute a *colliding* value from the Reed-Solomon null space — one that
+   encodes identically on exactly the block numbers w0 has in storage;
+3. replay the identical schedule with w0 writing the colliding value;
+4. diff every block instance in the two worlds (Definition 5), then run a
+   solo reader in both.
+
+The reader returns the same bytes in both runs — and therefore can never
+return w0's value, because that value differs between the runs. A register
+that let a reader return a sub-D-bits write would be caught right here.
+
+Run:  python examples/blackbox_replacement.py
+"""
+
+from repro import RegisterSetup, run_replacement_experiment
+from repro.lowerbound import stored_indices_of
+from repro.registers import AdaptiveRegister, CodedOnlyRegister
+from repro.sim import FairScheduler
+from repro.sim.trace import OpKind
+
+
+def cut_while_collidable(sim) -> bool:
+    """Stop once w0 has stored 1..k-1 distinct pieces (< D bits)."""
+    for op in sim.trace.ops.values():
+        if op.kind is OpKind.WRITE and op.client == "w0":
+            return 1 <= len(stored_indices_of(sim, op.op_uid)) <= 2
+    return False
+
+
+def main() -> None:
+    setup = RegisterSetup(f=2, k=3, data_size_bytes=24)  # D = 192 bits
+    for register_cls in (AdaptiveRegister, CodedOnlyRegister):
+        report = run_replacement_experiment(
+            register_cls, setup, concurrency=3,
+            scheduler=FairScheduler(), until=cut_while_collidable, seed=1,
+        )
+        print(f"[{register_cls.name}]")
+        print(f"  w0 wrote            {report.original_value[:8].hex()}…")
+        print(f"  colliding value     {report.replacement_value[:8].hex()}…")
+        print(f"  stored block numbers I = {list(report.stored_indices)} "
+              f"({len(report.stored_indices)} x "
+              f"{setup.data_size_bits // setup.k} bits < D = "
+              f"{setup.data_size_bits})")
+        print(f"  Definition 5 state correspondence: "
+              f"{report.states_correspond}")
+        print(f"  solo readers indistinguishable:    "
+              f"{report.reader_results_equal}")
+        print(f"  reader returned w0's value:        "
+              f"{report.reader_saw_replaced_write}  (must be False)")
+        assert report.lemma1_consistent
+    print("black-box replacement OK — Lemma 1's argument holds on both "
+          "registers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Consistency audit: record histories and check them against the hierarchy.
+
+Shows the three semantic levels the paper distinguishes, on live runs:
+
+1. the adaptive register satisfies *strong regularity* (MWRegWO) under an
+   adversarially random schedule;
+2. ABD without write-back is regular but NOT atomic — we exhibit a
+   new-old inversion history the linearizability checker rejects;
+3. the safe register violates regularity under concurrency (a read may
+   return v0 mid-write) yet passes the *strong safety* checker.
+
+Run:  python examples/consistency_audit.py
+"""
+
+from repro import (
+    AdaptiveRegister,
+    RandomScheduler,
+    RegisterSetup,
+    SafeCodedRegister,
+    WorkloadSpec,
+    check_linearizability,
+    check_strong_regularity,
+    check_strong_safety,
+    check_weak_regularity,
+    run_register_workload,
+)
+from repro.spec import manual_history
+
+
+def audit_adaptive() -> None:
+    setup = RegisterSetup(f=1, k=2, data_size_bytes=16)
+    spec = WorkloadSpec(writers=3, writes_per_writer=2, readers=2,
+                        reads_per_reader=3, seed=33)
+    result = run_register_workload(
+        AdaptiveRegister, setup, spec, scheduler=RandomScheduler(33)
+    )
+    history = result.history
+    print("[adaptive register, random schedule]")
+    print(f"  ops: {len(history.writes())} writes, {len(history.reads())} reads")
+    print(f"  weak regularity:   {check_weak_regularity(history).ok}")
+    print(f"  strong regularity: {check_strong_regularity(history).ok}")
+    assert check_strong_regularity(history).ok
+
+
+def audit_regular_but_not_atomic() -> None:
+    # The classic new-old inversion: regular registers allow it, atomic
+    # ones do not. (ABD without read write-back admits exactly this.)
+    history = manual_history([
+        ("w1", "w", b"old!", 0, 5),
+        ("w2", "w", b"new!", 6, 30),   # slow write, still in flight
+        ("r1", "r", b"new!", 8, 12),   # sees the new value early
+        ("r2", "r", b"old!", 14, 18),  # then an older value re-appears
+    ], v0=b"\x00\x00\x00\x00")
+    print("[new-old inversion history]")
+    print(f"  weak regularity:   {check_weak_regularity(history).ok}")
+    print(f"  linearizability:   {check_linearizability(history).ok}")
+    assert check_weak_regularity(history).ok
+    assert not check_linearizability(history).ok
+
+
+def audit_safe() -> None:
+    setup = RegisterSetup(f=1, k=3, data_size_bytes=12)
+    spec = WorkloadSpec(writers=3, writes_per_writer=2, readers=3,
+                        reads_per_reader=2, seed=44)
+    result = run_register_workload(
+        SafeCodedRegister, setup, spec, scheduler=RandomScheduler(44)
+    )
+    history = result.history
+    v0_reads = sum(1 for op in history.reads() if op.result == history.v0)
+    print("[safe register, random schedule]")
+    print(f"  strong safety:     {check_strong_safety(history).ok}")
+    print(f"  reads returning v0 under concurrency: {v0_reads}"
+          f"/{len(history.reads())} (legal for safe, not for regular)")
+    assert check_strong_safety(history).ok
+
+
+def main() -> None:
+    audit_adaptive()
+    audit_regular_but_not_atomic()
+    audit_safe()
+    print("consistency audit OK")
+
+
+if __name__ == "__main__":
+    main()

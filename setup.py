@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` on old setuptools needs a
+``setup.py``-based develop install; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

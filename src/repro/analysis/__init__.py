@@ -1,0 +1,19 @@
+"""Benchmark-output helpers: tables, units, series shape checks."""
+
+from repro.analysis.tables import (
+    SeriesPoint,
+    format_bits,
+    format_ratio,
+    format_table,
+    linear_slope,
+    monotone_nondecreasing,
+)
+
+__all__ = [
+    "SeriesPoint",
+    "format_bits",
+    "format_ratio",
+    "format_table",
+    "linear_slope",
+    "monotone_nondecreasing",
+]

@@ -1,0 +1,76 @@
+"""Plain-text tables and unit helpers for the benchmark harness.
+
+The paper reports closed-form storage costs; the benchmarks print measured
+values next to those formulas. These helpers keep that output aligned and
+consistent across benches and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def format_bits(bits: int) -> str:
+    """Human-readable bit count (keeps exact value for small numbers)."""
+    if bits < 8 * 1024:
+        return f"{bits}b"
+    kib = bits / 8 / 1024
+    if kib < 1024:
+        return f"{kib:.1f}KiB"
+    return f"{kib / 1024:.2f}MiB"
+
+
+def format_ratio(measured: float, predicted: float) -> str:
+    """Measured/predicted ratio, guarded against a zero prediction."""
+    if predicted == 0:
+        return "n/a"
+    return f"{measured / predicted:.2f}x"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in materialised)
+    return "\n".join(body)
+
+
+@dataclass
+class SeriesPoint:
+    """One (x, measured, predicted) sample of an experiment sweep."""
+
+    x: float
+    measured: float
+    predicted: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.predicted if self.predicted else float("inf")
+
+
+def monotone_nondecreasing(values: Sequence[float], slack: float = 0.0) -> bool:
+    """True when the sequence never drops by more than ``slack`` (relative)."""
+    for earlier, later in zip(values, values[1:]):
+        if later < earlier * (1.0 - slack):
+            return False
+    return True
+
+
+def linear_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope — used to confirm O(c) growth shapes."""
+    count = len(xs)
+    if count < 2:
+        raise ValueError("need at least two points for a slope")
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    return numerator / denominator

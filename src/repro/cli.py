@@ -1,0 +1,262 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Four subcommands mirror the repository's headline experiments::
+
+    python -m repro compare    --f 3 --k 3 --data-size 48 --max-c 10
+    python -m repro lowerbound --f 3 --k 3 --data-size 48 --c 4
+    python -m repro audit      --register adaptive --writers 3 --readers 2
+    python -m repro claim1     --k 3 --n 7 --indices 0,4
+
+Each prints an aligned table and exits non-zero if the corresponding
+paper property failed to hold (useful in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import format_table
+from repro.lowerbound import run_lower_bound_experiment, verify_claim1
+from repro.registers import (
+    ABDRegister,
+    AdaptiveRegister,
+    AtomicABDRegister,
+    CASRegister,
+    ChannelCodedRegister,
+    CodedOnlyRegister,
+    RegisterSetup,
+    SafeCodedRegister,
+    replication_setup,
+)
+from repro.coding import ReedSolomonCode
+from repro.sim import RandomScheduler
+from repro.spec import (
+    analyze_liveness,
+    check_linearizability,
+    check_strong_regularity,
+    check_strong_safety,
+)
+from repro.workloads import WorkloadSpec, run_register_workload
+
+REGISTERS = {
+    "adaptive": AdaptiveRegister,
+    "cas": CASRegister,
+    "channel-coded": ChannelCodedRegister,
+    "coded-only": CodedOnlyRegister,
+    "safe": SafeCodedRegister,
+    "abd": ABDRegister,
+    "abd-atomic": AtomicABDRegister,
+}
+
+
+def _coded_setup(args: argparse.Namespace) -> RegisterSetup:
+    return RegisterSetup(f=args.f, k=args.k, data_size_bytes=args.data_size)
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Storage of ABD vs coded-only vs adaptive across concurrency."""
+    coded = _coded_setup(args)
+    abd = replication_setup(f=args.f, data_size_bytes=args.data_size)
+    rows = []
+    for c in range(1, args.max_c + 1):
+        spec = WorkloadSpec(writers=c, writes_per_writer=1, readers=0,
+                            seed=args.seed)
+        row = [c]
+        for register_cls, setup in (
+            (ABDRegister, abd),
+            (CodedOnlyRegister, coded),
+            (AdaptiveRegister, coded),
+        ):
+            result = run_register_workload(register_cls, setup, spec)
+            row.append(result.peak_bo_state_bits)
+        rows.append(row)
+    print(f"f={args.f} k={args.k} D={coded.data_size_bits} bits "
+          f"(peak base-object storage)")
+    print(format_table(["c", "abd", "coded-only", "adaptive"], rows))
+    return 0
+
+
+def cmd_lowerbound(args: argparse.Namespace) -> int:
+    """Run the Theorem 1 adversary experiment."""
+    setup = _coded_setup(args)
+    register_cls = REGISTERS[args.register]
+    outcome = run_lower_bound_experiment(
+        register_cls, setup, concurrency=args.c,
+        ell_bits=args.ell, seed=args.seed,
+    )
+    print(format_table(
+        ["fired", "|F|", "|C+|", "storage(bits)", "lemma3 bound",
+         "thm1 bound", "writes completed"],
+        [[outcome.fired, outcome.frozen_count, outcome.c_plus_count,
+          outcome.storage_bits, outcome.lemma3_bound_bits,
+          outcome.theorem1_bound_bits, outcome.writes_completed]],
+    ))
+    ok = (
+        outcome.fired != "none"
+        and outcome.bound_satisfied
+        and outcome.writes_completed == 0
+    )
+    print("theorem 1:", "HOLDS" if ok else "VIOLATED")
+    return 0 if ok else 1
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Run a workload and check the register's claimed semantics."""
+    register_cls = REGISTERS[args.register]
+    if args.register in ("abd", "abd-atomic"):
+        setup = replication_setup(f=args.f, data_size_bytes=args.data_size)
+    else:
+        setup = _coded_setup(args)
+    spec = WorkloadSpec(writers=args.writers, writes_per_writer=2,
+                        readers=args.readers, reads_per_reader=2,
+                        seed=args.seed)
+    result = run_register_workload(
+        register_cls, setup, spec, scheduler=RandomScheduler(args.seed)
+    )
+    history = result.history
+    if args.register == "safe":
+        check_name, report = "strong safety", check_strong_safety(history)
+    elif args.register in ("abd-atomic", "cas"):
+        check_name, report = "linearizability", check_linearizability(history)
+    else:
+        check_name, report = (
+            "strong regularity", check_strong_regularity(history)
+        )
+    liveness = analyze_liveness(result.sim, result.run.quiescent)
+    print(format_table(
+        ["register", "writes", "reads", "peak storage(bits)", check_name,
+         "liveness"],
+        [[args.register, result.completed_writes, result.completed_reads,
+          result.peak_bo_state_bits, "pass" if report.ok else "FAIL",
+          liveness.verdict]],
+    ))
+    if not report.ok:
+        for violation in getattr(report, "violations", []):
+            print(f"  violation: {violation}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def cmd_claim1(args: argparse.Namespace) -> int:
+    """Demonstrate Claim 1 on a concrete index set."""
+    scheme = ReedSolomonCode(k=args.k, n=args.n,
+                             data_size_bytes=args.data_size)
+    indices = [int(x) for x in args.indices.split(",")] if args.indices else []
+    report = verify_claim1(scheme, indices)
+    print(format_table(
+        ["indices", "stored bits", "D", "premise (<D)", "collision found",
+         "collision valid"],
+        [[",".join(map(str, report.indices)) or "-", report.stored_bits,
+          report.data_bits, report.premise_holds, report.collision_found,
+          report.collision_valid]],
+    ))
+    print("claim 1:", "HOLDS" if report.consistent_with_claim else "VIOLATED")
+    return 0 if report.consistent_with_claim else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Fuzz a register against its consistency checker."""
+    from repro.workloads import fuzz_register
+
+    register_cls = REGISTERS[args.register]
+    if args.register in ("abd", "abd-atomic"):
+        setup = replication_setup(f=args.f, data_size_bytes=args.data_size)
+    else:
+        setup = _coded_setup(args)
+    if args.register == "safe":
+        checker = check_strong_safety
+    elif args.register in ("abd-atomic", "cas"):
+        checker = check_linearizability
+    else:
+        checker = check_strong_regularity
+    result = fuzz_register(
+        register_cls, setup, checker,
+        runs=args.runs, crash_objects=args.crash_objects,
+        base_seed=args.seed,
+    )
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run the headline experiments and emit a markdown report."""
+    from repro.analysis.report import generate_report, report_ok
+
+    report = generate_report()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0 if report_ok(report) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Experiments from 'Space Bounds for Reliable Storage' "
+                    "(PODC 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--f", type=int, default=2, help="crash tolerance")
+        p.add_argument("--k", type=int, default=2, help="code dimension")
+        p.add_argument("--data-size", type=int, default=16,
+                       help="value size in bytes (D/8)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_compare = sub.add_parser("compare", help=cmd_compare.__doc__)
+    common(p_compare)
+    p_compare.add_argument("--max-c", type=int, default=6)
+    p_compare.set_defaults(handler=cmd_compare)
+
+    p_lb = sub.add_parser("lowerbound", help=cmd_lowerbound.__doc__)
+    common(p_lb)
+    p_lb.add_argument("--c", type=int, default=4, help="concurrent writes")
+    p_lb.add_argument("--ell", type=int, default=None,
+                      help="ell in bits (default D/2)")
+    p_lb.add_argument("--register", choices=sorted(REGISTERS),
+                      default="coded-only")
+    p_lb.set_defaults(handler=cmd_lowerbound)
+
+    p_audit = sub.add_parser("audit", help=cmd_audit.__doc__)
+    common(p_audit)
+    p_audit.add_argument("--register", choices=sorted(REGISTERS),
+                         default="adaptive")
+    p_audit.add_argument("--writers", type=int, default=3)
+    p_audit.add_argument("--readers", type=int, default=2)
+    p_audit.set_defaults(handler=cmd_audit)
+
+    p_claim = sub.add_parser("claim1", help=cmd_claim1.__doc__)
+    p_claim.add_argument("--k", type=int, default=3)
+    p_claim.add_argument("--n", type=int, default=7)
+    p_claim.add_argument("--data-size", type=int, default=24)
+    p_claim.add_argument("--indices", type=str, default="0,4",
+                         help="comma-separated block numbers ('' for none)")
+    p_claim.set_defaults(handler=cmd_claim1)
+
+    p_report = sub.add_parser("report", help=cmd_report.__doc__)
+    p_report.add_argument("--output", type=str, default=None,
+                          help="write the markdown report to this path")
+    p_report.set_defaults(handler=cmd_report)
+
+    p_fuzz = sub.add_parser("fuzz", help=cmd_fuzz.__doc__)
+    common(p_fuzz)
+    p_fuzz.add_argument("--register", choices=sorted(REGISTERS),
+                        default="adaptive")
+    p_fuzz.add_argument("--runs", type=int, default=25)
+    p_fuzz.add_argument("--crash-objects", type=int, default=0)
+    p_fuzz.set_defaults(handler=cmd_fuzz)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Erasure-coding substrate: GF(2^8) arithmetic, codes, and oracles.
+
+Public surface:
+
+* :class:`~repro.coding.scheme.CodingScheme` — the symmetric coding
+  interface of Section 3.1 (``E``, ``D``, ``size(i)``).
+* :class:`~repro.coding.reed_solomon.ReedSolomonCode` — systematic k-of-n
+  MDS code (the workhorse of the register emulations).
+* :class:`~repro.coding.replication.ReplicationCode` — full replication as
+  the ``k = 1`` degenerate code.
+* :class:`~repro.coding.xor_parity.XorParityCode` — single-parity MDS code.
+* :class:`~repro.coding.rateless.RatelessXorCode` — unbounded-index fountain
+  code (the reason the paper's block domain is ``N``).
+* :class:`~repro.coding.oracles.EncodeOracle` /
+  :class:`~repro.coding.oracles.DecodeOracle` — Definition 1's oracles, with
+  source tagging (Definition 4) for black-box storage accounting.
+"""
+
+from repro.coding.oracles import BlockSource, CodeBlock, DecodeOracle, EncodeOracle
+from repro.coding.padding import PaddedScheme, padded_size
+from repro.coding.rateless import RatelessXorCode
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.coding.replication import ReplicationCode
+from repro.coding.scheme import CodingScheme, MDSCodingScheme
+from repro.coding.xor_parity import XorParityCode
+
+__all__ = [
+    "BlockSource",
+    "CodeBlock",
+    "CodingScheme",
+    "DecodeOracle",
+    "EncodeOracle",
+    "MDSCodingScheme",
+    "PaddedScheme",
+    "RatelessXorCode",
+    "padded_size",
+    "ReedSolomonCode",
+    "ReplicationCode",
+    "XorParityCode",
+]

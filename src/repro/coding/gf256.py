@@ -1,0 +1,153 @@
+"""Arithmetic over the finite field GF(2^8).
+
+The field is realised as polynomials over GF(2) modulo the AES polynomial
+``x^8 + x^4 + x^3 + x + 1`` (0x11B). Multiplication and division go through
+discrete log/antilog tables built once at import time from the generator
+``0x03``, which is primitive for this modulus.
+
+Two interfaces are provided:
+
+* scalar helpers (:func:`gf_mul`, :func:`gf_div`, :func:`gf_inv`,
+  :func:`gf_pow`) operating on Python ints in ``range(256)``;
+* vectorised helpers (:func:`gf_mul_bytes`, :func:`gf_addmul_bytes`)
+  operating on ``numpy`` ``uint8`` arrays, used by the Reed-Solomon hot path.
+
+Addition in GF(2^8) is XOR; no helper is needed beyond ``^`` /
+``np.bitwise_xor``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: The field modulus: x^8 + x^4 + x^3 + x + 1.
+MODULUS = 0x11B
+
+#: Generator used to build the log/antilog tables (primitive for 0x11B).
+GENERATOR = 0x03
+
+#: Field order.
+ORDER = 256
+
+
+def _mul_no_table(a: int, b: int) -> int:
+    """Russian-peasant multiplication in GF(2^8), used only to seed tables."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= MODULUS
+        b >>= 1
+    return result
+
+
+def _build_tables() -> tuple[list[int], list[int]]:
+    """Build antilog (exp) and log tables for the field.
+
+    ``exp[i] = GENERATOR ** i`` for ``i`` in ``range(255)``, extended to 510
+    entries so sums/differences of logs never need an explicit ``% 255``.
+    ``log[exp[i]] = i``; ``log[0]`` is a sentinel (callers guard zero).
+    """
+    exp = [0] * 510
+    log = [0] * 256
+    value = 1
+    for exponent in range(255):
+        exp[exponent] = value
+        log[value] = exponent
+        value = _mul_no_table(value, GENERATOR)
+    if value != 1:
+        raise AssertionError("generator 0x03 must have order 255")
+    for exponent in range(255, 510):
+        exp[exponent] = exp[exponent - 255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+#: Numpy copies of the tables for the vectorised helpers.
+_EXP_NP = np.array(_EXP, dtype=np.uint8)
+_LOG_NP = np.array(_LOG, dtype=np.int32)
+
+
+def gf_add(a: int, b: int) -> int:
+    """Return ``a + b`` in GF(2^8) (which is XOR)."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Return ``a * b`` in GF(2^8)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Return ``a ** exponent`` in GF(2^8) for ``exponent >= 0``."""
+    if exponent < 0:
+        raise ParameterError("negative exponent; use gf_inv then gf_pow")
+    if exponent == 0:
+        return 1
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] * exponent) % 255]
+
+
+def gf_inv(a: int) -> int:
+    """Return the multiplicative inverse of ``a`` in GF(2^8).
+
+    Raises :class:`ZeroDivisionError` for ``a == 0``.
+    """
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(2^8)")
+    return _EXP[255 - _LOG[a]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Return ``a / b`` in GF(2^8). Raises ``ZeroDivisionError`` if b == 0."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return _EXP[_LOG[a] - _LOG[b] + 255]
+
+
+def gf_mul_bytes(scalar: int, data: np.ndarray) -> np.ndarray:
+    """Return ``scalar * data`` element-wise over GF(2^8).
+
+    ``data`` must be a ``uint8`` array; a new array is returned.
+    """
+    if scalar == 0:
+        return np.zeros_like(data)
+    if scalar == 1:
+        return data.copy()
+    log_scalar = int(_LOG_NP[scalar])
+    nonzero = data != 0
+    result = np.zeros_like(data)
+    logs = _LOG_NP[data[nonzero]] + log_scalar
+    result[nonzero] = _EXP_NP[logs]
+    return result
+
+
+def gf_addmul_bytes(accumulator: np.ndarray, scalar: int, data: np.ndarray) -> None:
+    """In-place ``accumulator ^= scalar * data`` over GF(2^8)."""
+    if scalar == 0:
+        return
+    if scalar == 1:
+        np.bitwise_xor(accumulator, data, out=accumulator)
+        return
+    np.bitwise_xor(accumulator, gf_mul_bytes(scalar, data), out=accumulator)
+
+
+def gf_poly_eval(coefficients: list[int], x: int) -> int:
+    """Evaluate a polynomial (lowest-degree coefficient first) at ``x``.
+
+    Horner's rule over GF(2^8).
+    """
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = gf_mul(result, x) ^ coefficient
+    return result

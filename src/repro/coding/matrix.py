@@ -1,0 +1,184 @@
+"""Dense linear algebra over GF(2^8).
+
+Matrices are plain lists of row lists of ints in ``range(256)``. Sizes in this
+package are small (k x n with k, n < 256), so clarity beats vectorisation
+here; the per-byte hot path lives in :mod:`repro.coding.gf256` instead.
+"""
+
+from __future__ import annotations
+
+from repro.coding.gf256 import gf_div, gf_inv, gf_mul, gf_pow
+from repro.errors import ParameterError
+
+Matrix = list[list[int]]
+
+
+def identity(size: int) -> Matrix:
+    """Return the ``size`` x ``size`` identity matrix."""
+    return [[1 if row == col else 0 for col in range(size)] for row in range(size)]
+
+
+def zeros(rows: int, cols: int) -> Matrix:
+    """Return a ``rows`` x ``cols`` all-zero matrix."""
+    return [[0] * cols for _ in range(rows)]
+
+
+def vandermonde(rows: int, cols: int) -> Matrix:
+    """Return the ``rows`` x ``cols`` Vandermonde matrix ``V[r][c] = r^c``.
+
+    Row evaluation points are ``0, 1, ..., rows - 1``; any ``cols`` rows are
+    linearly independent provided ``rows <= 256``.
+    """
+    if rows > 256:
+        raise ParameterError("at most 256 distinct evaluation points in GF(2^8)")
+    return [[gf_pow(point, power) for power in range(cols)] for point in range(rows)]
+
+
+def mat_mul(a: Matrix, b: Matrix) -> Matrix:
+    """Return the matrix product ``a @ b`` over GF(2^8)."""
+    if not a or not b:
+        raise ParameterError("empty matrix operand")
+    inner = len(a[0])
+    if inner != len(b):
+        raise ParameterError(
+            f"shape mismatch: {len(a)}x{inner} @ {len(b)}x{len(b[0])}"
+        )
+    cols = len(b[0])
+    result = zeros(len(a), cols)
+    for i, row in enumerate(a):
+        out_row = result[i]
+        for k_index, coefficient in enumerate(row):
+            if coefficient == 0:
+                continue
+            b_row = b[k_index]
+            for j in range(cols):
+                out_row[j] ^= gf_mul(coefficient, b_row[j])
+    return result
+
+
+def mat_vec(a: Matrix, vector: list[int]) -> list[int]:
+    """Return ``a @ vector`` over GF(2^8)."""
+    if a and len(a[0]) != len(vector):
+        raise ParameterError("shape mismatch in mat_vec")
+    result = []
+    for row in a:
+        acc = 0
+        for coefficient, element in zip(row, vector):
+            acc ^= gf_mul(coefficient, element)
+        result.append(acc)
+    return result
+
+
+def mat_inv(matrix: Matrix) -> Matrix:
+    """Return the inverse of a square matrix over GF(2^8).
+
+    Gauss-Jordan elimination with partial "pivoting" (any nonzero pivot works
+    in a field; we pick the first). Raises :class:`ParameterError` if the
+    matrix is singular.
+    """
+    size = len(matrix)
+    if any(len(row) != size for row in matrix):
+        raise ParameterError("mat_inv requires a square matrix")
+    # Augment [M | I] and reduce.
+    augmented = [list(row) + [1 if i == j else 0 for j in range(size)]
+                 for i, row in enumerate(matrix)]
+    for col in range(size):
+        pivot_row = next(
+            (r for r in range(col, size) if augmented[r][col] != 0), None
+        )
+        if pivot_row is None:
+            raise ParameterError("matrix is singular over GF(2^8)")
+        augmented[col], augmented[pivot_row] = augmented[pivot_row], augmented[col]
+        pivot = augmented[col][col]
+        pivot_inv = gf_inv(pivot)
+        augmented[col] = [gf_mul(pivot_inv, value) for value in augmented[col]]
+        for row in range(size):
+            if row == col or augmented[row][col] == 0:
+                continue
+            factor = augmented[row][col]
+            augmented[row] = [
+                value ^ gf_mul(factor, pivot_value)
+                for value, pivot_value in zip(augmented[row], augmented[col])
+            ]
+    return [row[size:] for row in augmented]
+
+
+def rank(matrix: Matrix) -> int:
+    """Return the rank of ``matrix`` over GF(2^8)."""
+    if not matrix:
+        return 0
+    work = [list(row) for row in matrix]
+    rows, cols = len(work), len(work[0])
+    rank_count = 0
+    pivot_col = 0
+    for pivot_col in range(cols):
+        pivot_row = next(
+            (r for r in range(rank_count, rows) if work[r][pivot_col] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        work[rank_count], work[pivot_row] = work[pivot_row], work[rank_count]
+        pivot = work[rank_count][pivot_col]
+        work[rank_count] = [gf_div(v, pivot) for v in work[rank_count]]
+        for row in range(rows):
+            if row == rank_count or work[row][pivot_col] == 0:
+                continue
+            factor = work[row][pivot_col]
+            work[row] = [
+                v ^ gf_mul(factor, p) for v, p in zip(work[row], work[rank_count])
+            ]
+        rank_count += 1
+        if rank_count == rows:
+            break
+    return rank_count
+
+
+def null_space_vector(matrix: Matrix, cols: int) -> list[int] | None:
+    """Return a nonzero vector ``x`` with ``matrix @ x == 0``, or ``None``.
+
+    ``matrix`` may be empty (zero rows), in which case any unit vector is in
+    the null space. ``cols`` gives the vector length (needed when ``matrix``
+    has no rows).
+    """
+    if cols == 0:
+        return None
+    if not matrix:
+        return [1] + [0] * (cols - 1)
+    if any(len(row) != cols for row in matrix):
+        raise ParameterError("inconsistent column count")
+    # Reduce to RREF, tracking pivot columns.
+    work = [list(row) for row in matrix]
+    rows = len(work)
+    pivot_cols: list[int] = []
+    current_row = 0
+    for col in range(cols):
+        pivot_row = next(
+            (r for r in range(current_row, rows) if work[r][col] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        work[current_row], work[pivot_row] = work[pivot_row], work[current_row]
+        pivot = work[current_row][col]
+        work[current_row] = [gf_div(v, pivot) for v in work[current_row]]
+        for row in range(rows):
+            if row == current_row or work[row][col] == 0:
+                continue
+            factor = work[row][col]
+            work[row] = [
+                v ^ gf_mul(factor, p) for v, p in zip(work[row], work[current_row])
+            ]
+        pivot_cols.append(col)
+        current_row += 1
+        if current_row == rows:
+            break
+    free_cols = [c for c in range(cols) if c not in pivot_cols]
+    if not free_cols:
+        return None
+    # Back-substitute with the first free variable set to 1.
+    free = free_cols[0]
+    solution = [0] * cols
+    solution[free] = 1
+    for row_index, pivot_col in enumerate(pivot_cols):
+        # pivot value is 1 in RREF; x[pivot] = sum over free columns.
+        solution[pivot_col] = work[row_index][free]  # -a == a in char. 2
+    return solution

@@ -1,0 +1,134 @@
+"""Encoding/decoding oracles with source tagging (Definitions 1 and 4).
+
+Writers obtain code blocks exclusively through an :class:`EncodeOracle`;
+readers accumulate blocks in a :class:`DecodeOracle` and call
+:meth:`DecodeOracle.done`. Every block handed out is wrapped in a
+:class:`CodeBlock` carrying its *source* — the ``(operation uid, block
+number)`` pair of the paper's source function (Definition 4) — and its bit
+size. The storage-cost meter (Definition 2) and the lower-bound adversary's
+``||S(t, w)||`` accounting (Definition 6) read only the tag and the size,
+never the payload, which is what makes the algorithms *black-box*
+(Definition 5): swapping the written value changes payloads but no tags,
+sizes, or control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coding.scheme import CodingScheme
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class BlockSource:
+    """The source-function image of a stored block: which op, which number."""
+
+    op_uid: int
+    index: int
+
+
+@dataclass(frozen=True)
+class CodeBlock:
+    """An immutable code block as handed out by an encode oracle.
+
+    ``payload`` is the coded bytes. Protocol code must treat it as opaque;
+    only decode oracles may interpret it.
+    """
+
+    payload: bytes
+    index: int
+    source: BlockSource
+    size_bits: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CodeBlock(op={self.source.op_uid}, i={self.index}, "
+            f"{self.size_bits}b)"
+        )
+
+
+class EncodeOracle:
+    """``oracleE(c_i, w)`` — produces blocks of one written value.
+
+    Initialised when a write is invoked; ``get(i)`` returns ``E(v, i)``
+    tagged with this write's uid. The oracle caches blocks so repeated
+    ``get`` calls return the identical object (idempotent sources).
+    """
+
+    def __init__(self, scheme: CodingScheme, value: bytes, op_uid: int) -> None:
+        scheme.check_value(value)
+        self.scheme = scheme
+        self.op_uid = op_uid
+        self._value = value
+        self._blocks: dict[int, CodeBlock] = {}
+        self.expired = False
+
+    def get(self, index: int) -> CodeBlock:
+        """Return block number ``index`` of the written value."""
+        if self.expired:
+            raise ProtocolError("encode oracle used after its write completed")
+        block = self._blocks.get(index)
+        if block is None:
+            payload = self.scheme.encode_block(self._value, index)
+            block = CodeBlock(
+                payload=payload,
+                index=index,
+                source=BlockSource(self.op_uid, index),
+                size_bits=self.scheme.block_size_bits(index),
+            )
+            self._blocks[index] = block
+        return block
+
+    def get_many(self, indices: list[int]) -> list[CodeBlock]:
+        """Return blocks for every index in ``indices`` (in order)."""
+        return [self.get(index) for index in indices]
+
+    def expire(self) -> None:
+        """Invalidate the oracle (the write completed)."""
+        self.expired = True
+
+
+@dataclass
+class DecodeOracle:
+    """``oracleD(c_i, r)`` — accumulates blocks and decodes on ``done``.
+
+    The paper indexes pushes by an attempt number ``i`` so a reader can run
+    several decode attempts; we keep that: ``push(block, attempt)`` files the
+    block under ``attempt`` and ``done(attempt)`` decodes that attempt's
+    blocks.
+    """
+
+    scheme: CodingScheme
+    _attempts: dict[int, dict[int, bytes]] = field(default_factory=dict)
+    expired: bool = False
+
+    def push(self, block: CodeBlock, attempt: int = 0) -> None:
+        """File ``block`` under decode attempt ``attempt``."""
+        if self.expired:
+            raise ProtocolError("decode oracle used after its read completed")
+        self._attempts.setdefault(attempt, {})[block.index] = block.payload
+
+    def push_payload(self, index: int, payload: bytes, attempt: int = 0) -> None:
+        """File a raw payload (used when blocks were re-wrapped by storage)."""
+        if self.expired:
+            raise ProtocolError("decode oracle used after its read completed")
+        self._attempts.setdefault(attempt, {})[index] = payload
+
+    def blocks_in(self, attempt: int = 0) -> int:
+        """Return how many distinct blocks attempt ``attempt`` holds."""
+        return len(self._attempts.get(attempt, {}))
+
+    def done(self, attempt: int = 0) -> bytes | None:
+        """Decode attempt ``attempt`` and expire the oracle.
+
+        Returns the reconstructed value, or ``None`` if undecodable.
+        """
+        blocks = self._attempts.get(attempt, {})
+        value = self.scheme.decode(blocks)
+        self.expired = True
+        return value
+
+    def peek(self, attempt: int = 0) -> bytes | None:
+        """Decode without expiring (used by retrying readers)."""
+        return self.scheme.decode(self._attempts.get(attempt, {}))

@@ -1,0 +1,102 @@
+"""Length-prefixed padding adapter: code values of awkward sizes.
+
+The MDS schemes require the value length to be divisible by ``k``. Real
+payloads rarely cooperate, so :class:`PaddedScheme` wraps any inner-scheme
+factory with a standard length-prefix-and-pad transform:
+
+* encode: prefix the value with its 4-byte big-endian length, zero-pad up
+  to the next multiple of ``k``, feed the inner scheme;
+* decode: decode with the inner scheme, read the prefix, strip the pad.
+
+The adapter preserves symmetry (Definition 3): padded size depends only on
+the configured logical size, never on the bytes. Storage accounting sees
+the padded block sizes — honest, since that is what would be stored.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Mapping
+from typing import Callable
+
+from repro.coding.scheme import CodingScheme
+from repro.errors import DecodingError, EncodingError, ParameterError
+
+_LENGTH_PREFIX = struct.Struct(">I")
+
+
+def padded_size(logical_size: int, k: int) -> int:
+    """Inner-scheme value size for a logical payload of ``logical_size``."""
+    raw = logical_size + _LENGTH_PREFIX.size
+    remainder = raw % k
+    return raw if remainder == 0 else raw + (k - remainder)
+
+
+class PaddedScheme(CodingScheme):
+    """Wrap an inner k-of-n scheme to accept any value length."""
+
+    name = "padded"
+
+    def __init__(
+        self,
+        logical_size_bytes: int,
+        k: int,
+        inner_factory: Callable[[int], CodingScheme],
+    ) -> None:
+        """``inner_factory(padded_bytes)`` builds the inner scheme."""
+        super().__init__(logical_size_bytes)
+        if k < 1:
+            raise ParameterError("k must be >= 1")
+        self.k = k
+        self._padded_bytes = padded_size(logical_size_bytes, k)
+        self.inner = inner_factory(self._padded_bytes)
+        self.name = f"padded-{self.inner.name}"
+
+    # ------------------------------------------------------------ plumbing
+
+    def _pad(self, value: bytes) -> bytes:
+        self.check_value(value)
+        prefixed = _LENGTH_PREFIX.pack(len(value)) + value
+        return prefixed.ljust(self._padded_bytes, b"\x00")
+
+    def _unpad(self, padded: bytes) -> bytes:
+        (length,) = _LENGTH_PREFIX.unpack_from(padded)
+        if length != self.data_size_bytes:
+            raise DecodingError(
+                f"decoded length prefix {length} != configured "
+                f"{self.data_size_bytes}"
+            )
+        start = _LENGTH_PREFIX.size
+        return padded[start:start + length]
+
+    # --------------------------------------------------------------- codec
+
+    def encode_block(self, value: bytes, index: int) -> bytes:
+        return self.inner.encode_block(self._pad(value), index)
+
+    def block_size_bits(self, index: int) -> int:
+        return self.inner.block_size_bits(index)
+
+    def min_blocks_to_decode(self) -> int:
+        return self.inner.min_blocks_to_decode()
+
+    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
+        padded = self.inner.decode(blocks)
+        if padded is None:
+            return None
+        return self._unpad(padded)
+
+    def collision_delta(self, indices: Iterable[int]) -> bytes | None:
+        """Collisions transfer only when the delta stays inside the
+        logical region (prefix and pad bytes must not change)."""
+        inner_delta = self.inner.collision_delta(indices)
+        if inner_delta is None:
+            return None
+        prefix = _LENGTH_PREFIX.size
+        logical_end = prefix + self.data_size_bytes
+        if any(inner_delta[:prefix]) or any(inner_delta[logical_end:]):
+            # The inner kernel vector touches prefix/pad bytes; flipping
+            # them would leave the logical value domain. Report no usable
+            # collision rather than a wrong one.
+            return None
+        return inner_delta[prefix:logical_end]

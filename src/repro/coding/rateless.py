@@ -1,0 +1,161 @@
+"""Rateless (LT-style) fountain code over GF(2).
+
+The paper's model uses ``N`` as the block-number domain precisely to capture
+rateless codes ("a limit-less sequence of blocks", Section 3.1). This scheme
+realises that: block ``i`` is the XOR of a pseudo-random subset of the ``k``
+value shards, with the subset derived deterministically from ``(seed, i)``
+via SHA-256, so the code is symmetric (all blocks have the shard size) and
+the index space is unbounded.
+
+Any set of blocks whose subset-masks span GF(2)^k decodes; ``k`` random
+blocks suffice with probability ``prod_{j>=1} (1 - 2^-j) ~ 0.289`` and each
+extra block roughly halves the failure probability, which is the standard
+rateless trade-off. :meth:`RatelessXorCode.decode` returns ``None`` (the
+paper's bottom) when the received masks do not span.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.coding.scheme import CodingScheme
+from repro.errors import DecodingError, ParameterError
+
+
+class RatelessXorCode(CodingScheme):
+    """Unbounded-index XOR fountain code with ``k`` source shards."""
+
+    name = "rateless-xor"
+
+    def __init__(self, k: int, data_size_bytes: int, seed: int = 0) -> None:
+        super().__init__(data_size_bytes)
+        if k < 1:
+            raise ParameterError("k must be >= 1")
+        if data_size_bytes % k != 0:
+            raise ParameterError("data_size_bytes must be divisible by k")
+        self.k = k
+        self.seed = seed
+        self.shard_bytes = data_size_bytes // k
+
+    # ------------------------------------------------------------- masking
+
+    def mask(self, index: int) -> int:
+        """Return the nonzero k-bit shard-subset mask for block ``index``."""
+        if index < 0:
+            raise ParameterError("block index must be non-negative")
+        digest = hashlib.sha256(f"{self.seed}:{index}".encode()).digest()
+        value = int.from_bytes(digest[:16], "big")
+        mask = value & ((1 << self.k) - 1)
+        if mask == 0:
+            mask = 1 << (index % self.k)
+        return mask
+
+    # --------------------------------------------------------------- codec
+
+    def block_size_bits(self, index: int) -> int:
+        if index < 0:
+            raise ParameterError("block index must be non-negative")
+        return self.shard_bytes * 8
+
+    def min_blocks_to_decode(self) -> int:
+        return self.k
+
+    def _shards(self, value: bytes) -> list[np.ndarray]:
+        self.check_value(value)
+        flat = np.frombuffer(value, dtype=np.uint8)
+        return [
+            flat[i * self.shard_bytes: (i + 1) * self.shard_bytes]
+            for i in range(self.k)
+        ]
+
+    def encode_block(self, value: bytes, index: int) -> bytes:
+        shards = self._shards(value)
+        mask = self.mask(index)
+        accumulator = np.zeros(self.shard_bytes, dtype=np.uint8)
+        for shard_index in range(self.k):
+            if mask & (1 << shard_index):
+                np.bitwise_xor(accumulator, shards[shard_index], out=accumulator)
+        return accumulator.tobytes()
+
+    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
+        for index, payload in blocks.items():
+            if len(payload) != self.shard_bytes:
+                raise DecodingError(
+                    f"block {index} is {len(payload)} bytes, "
+                    f"expected {self.shard_bytes}"
+                )
+        # Forward GF(2) elimination keyed by each row's highest set bit.
+        basis: dict[int, tuple[int, np.ndarray]] = {}
+        for index in sorted(blocks):
+            mask = self.mask(index)
+            payload = np.frombuffer(blocks[index], dtype=np.uint8).copy()
+            while mask:
+                pivot = mask.bit_length() - 1
+                existing = basis.get(pivot)
+                if existing is None:
+                    basis[pivot] = (mask, payload)
+                    break
+                mask ^= existing[0]
+                payload = np.bitwise_xor(payload, existing[1])
+        if len(basis) < self.k:
+            return None
+        # Back-substitution, ascending: once rows for pivots < p are unit
+        # vectors, clearing row p's lower bits makes it a unit vector too
+        # (forward elimination guarantees row p has no bits above p).
+        for pivot in sorted(basis):
+            mask, payload = basis[pivot]
+            residual = mask ^ (1 << pivot)
+            while residual:
+                bit = residual.bit_length() - 1
+                payload = np.bitwise_xor(payload, basis[bit][1])
+                residual ^= 1 << bit
+            basis[pivot] = (1 << pivot, payload)
+        shards = [basis[i][1].tobytes() for i in range(self.k)]
+        return b"".join(shards)
+
+    # ------------------------------------------------------------ collisions
+
+    def collision_delta(self, indices: Iterable[int]) -> bytes | None:
+        """Return a delta hidden from ``indices``, or ``None`` if they span.
+
+        Works over GF(2): find a nonzero shard subset orthogonal to every
+        block mask, then flip byte 0 of exactly those shards. Such a subset
+        exists iff the masks do not span GF(2)^k — in particular whenever
+        fewer than ``k`` distinct blocks are stored (Claim 1's premise).
+        """
+        basis: dict[int, int] = {}
+        for index in set(indices):
+            reduced = self.mask(index)
+            while reduced:
+                pivot = reduced.bit_length() - 1
+                if pivot not in basis:
+                    basis[pivot] = reduced
+                    break
+                reduced ^= basis[pivot]
+        if len(basis) >= self.k:
+            return None
+        # Reduce to RREF ascending (see decode); rows keep only their pivot
+        # bit plus free (non-pivot) bits afterwards.
+        for pivot in sorted(basis):
+            row = basis[pivot]
+            residual = row ^ (1 << pivot)
+            while residual:
+                bit = residual.bit_length() - 1
+                if bit in basis:
+                    row ^= basis[bit]
+                residual ^= 1 << bit
+            basis[pivot] = row
+        free_bit = next(bit for bit in range(self.k) if bit not in basis)
+        # Kernel vector: set the free variable, solve each pivot variable.
+        kernel = 1 << free_bit
+        for pivot, row in basis.items():
+            if row & (1 << free_bit):
+                kernel |= 1 << pivot
+        delta = bytearray(self.data_size_bytes)
+        for shard_index in range(self.k):
+            if kernel & (1 << shard_index):
+                delta[shard_index * self.shard_bytes] = 1
+        return bytes(delta)

@@ -1,0 +1,104 @@
+"""Systematic Reed-Solomon k-of-n erasure code over GF(2^8).
+
+The generator is built from an ``n x k`` Vandermonde matrix ``V`` as
+``G = V @ inv(V[:k])``, which makes the first ``k`` rows the identity
+(systematic) while preserving the MDS property: any ``k`` rows of ``G`` are
+the product of an invertible Vandermonde submatrix with ``inv(V[:k])`` and
+are therefore invertible.
+
+Block ``i`` is the byte-wise GF(2^8) inner product of row ``G[i]`` with the
+``k`` data shards; decoding inverts the ``k x k`` submatrix picked out by the
+available block indices. Encoding of systematic blocks (``index < k``) is a
+plain shard copy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.coding import matrix as gfmat
+from repro.coding.gf256 import gf_addmul_bytes
+from repro.coding.scheme import MDSCodingScheme
+from repro.errors import ParameterError
+
+
+class ReedSolomonCode(MDSCodingScheme):
+    """Systematic RS(k, n) over GF(2^8); requires ``n <= 256``."""
+
+    name = "reed-solomon"
+
+    def __init__(self, k: int, n: int, data_size_bytes: int) -> None:
+        super().__init__(k, n, data_size_bytes)
+        if n > 256:
+            raise ParameterError("Reed-Solomon over GF(2^8) supports n <= 256")
+        vander = gfmat.vandermonde(n, k)
+        top_inverse = gfmat.mat_inv([row[:] for row in vander[:k]])
+        self._generator = gfmat.mat_mul(vander, top_inverse)
+        # Cache of inverted decode submatrices keyed by the index tuple.
+        self._decode_cache: dict[tuple[int, ...], gfmat.Matrix] = {}
+
+    # ---------------------------------------------------------------- codec
+
+    def generator_row(self, index: int) -> list[int]:
+        """Return row ``index`` of the generator matrix (k coefficients)."""
+        self.check_index(index)
+        return list(self._generator[index])
+
+    def encode_block(self, value: bytes, index: int) -> bytes:
+        self.check_index(index)
+        shards = self.shards(value)
+        if index < self.k:
+            return shards[index]
+        row = self._generator[index]
+        accumulator = np.zeros(self.shard_bytes, dtype=np.uint8)
+        for coefficient, shard in zip(row, shards):
+            gf_addmul_bytes(
+                accumulator, coefficient, np.frombuffer(shard, dtype=np.uint8)
+            )
+        return accumulator.tobytes()
+
+    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
+        self.check_blocks(blocks)
+        if len(blocks) < self.k:
+            return None
+        chosen = sorted(blocks)[: self.k]
+        key = tuple(chosen)
+        inverse = self._decode_cache.get(key)
+        if inverse is None:
+            submatrix = [self._generator[index] for index in chosen]
+            inverse = gfmat.mat_inv(submatrix)
+            self._decode_cache[key] = inverse
+        payload_arrays = [
+            np.frombuffer(blocks[index], dtype=np.uint8) for index in chosen
+        ]
+        shards = []
+        for row in inverse:
+            accumulator = np.zeros(self.shard_bytes, dtype=np.uint8)
+            for coefficient, payload in zip(row, payload_arrays):
+                gf_addmul_bytes(accumulator, coefficient, payload)
+            shards.append(accumulator.tobytes())
+        return b"".join(shards)
+
+    # ------------------------------------------------------------ collisions
+
+    def collision_delta(self, indices: Iterable[int]) -> bytes | None:
+        """Return a value delta invisible to the blocks at ``indices``.
+
+        Exists iff the generator rows at ``indices`` do not span GF(2^8)^k,
+        i.e. iff fewer than ``k`` distinct indices are given (MDS property);
+        this matches Claim 1's ``sum size(i) < D`` condition exactly.
+        """
+        index_set = sorted(set(indices))
+        for index in index_set:
+            self.check_index(index)
+        rows = [self._generator[index] for index in index_set]
+        kernel = gfmat.null_space_vector(rows, self.k)
+        if kernel is None:
+            return None
+        # Spread the shard-symbol delta across byte 0 of each shard.
+        delta = bytearray(self.data_size_bytes)
+        for shard_index, symbol in enumerate(kernel):
+            delta[shard_index * self.shard_bytes] = symbol
+        return bytes(delta)

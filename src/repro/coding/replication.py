@@ -1,0 +1,71 @@
+"""Replication expressed as a (degenerate) coding scheme.
+
+Every block number carries the full value: ``E(v, i) = v`` for all ``i``, and
+a single block decodes. This is the ``k = 1`` point in the paper's parameter
+space (Section 5 notes "when k = 1, we get full replication") and the storage
+baseline the lower bound is measured against. Block numbers are unbounded
+(replication is trivially rateless), but an ``n`` may be supplied to bound
+them for quorum-system use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.coding.scheme import CodingScheme
+from repro.errors import DecodingError, ParameterError
+
+
+class ReplicationCode(CodingScheme):
+    """Full replication: every block is the value itself."""
+
+    name = "replication"
+
+    def __init__(self, data_size_bytes: int, n: int | None = None) -> None:
+        super().__init__(data_size_bytes)
+        if n is not None and n < 1:
+            raise ParameterError("n must be >= 1 when bounded")
+        self.n = n
+        self.k = 1
+
+    def _check_index(self, index: int) -> None:
+        if index < 0:
+            raise ParameterError("block index must be non-negative")
+        if self.n is not None and index >= self.n:
+            raise ParameterError(f"block index {index} outside [0, {self.n})")
+
+    def encode_block(self, value: bytes, index: int) -> bytes:
+        self.check_value(value)
+        self._check_index(index)
+        return value
+
+    def block_size_bits(self, index: int) -> int:
+        self._check_index(index)
+        return self.data_size_bits
+
+    def min_blocks_to_decode(self) -> int:
+        return 1
+
+    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
+        if not blocks:
+            return None
+        payloads = set(blocks.values())
+        if len(payloads) != 1:
+            raise DecodingError("replicated blocks disagree; mixed-source decode")
+        value = next(iter(payloads))
+        if len(value) != self.data_size_bytes:
+            raise DecodingError(
+                f"replica is {len(value)} bytes, expected {self.data_size_bytes}"
+            )
+        return value
+
+    def collision_delta(self, indices: Iterable[int]) -> bytes | None:
+        """Replication never admits collisions on a non-empty index set.
+
+        Any stored block pins the whole value (``size(i) = D`` for all
+        ``i``), so Claim 1's premise ``sum size(i) < D`` holds only for the
+        empty set — in which case any nonzero delta collides.
+        """
+        if set(indices):
+            return None
+        return b"\x01" + b"\x00" * (self.data_size_bytes - 1)

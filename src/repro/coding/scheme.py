@@ -1,0 +1,146 @@
+"""Abstract coding-scheme interface (Section 3.1 of the paper).
+
+A coding scheme is a pair of functions ``E : V x N -> E`` (encode value ``v``
+into block number ``i``) and ``D : 2^E -> V  u {None}`` (decode a set of
+blocks, or fail). Values are byte strings of a fixed length ``D/8`` where
+``D`` is the paper's data size in bits.
+
+All schemes here are *symmetric* (Definition 3): the block size depends only
+on the block number, never on the value — :meth:`CodingScheme.block_size_bits`
+is a function of ``index`` alone.
+
+Linear schemes additionally expose :meth:`CodingScheme.collision_delta`,
+which constructively realises Claim 1 (the pigeonhole argument): given a set
+of indices whose total block size is below ``D`` bits, it returns a nonzero
+value-difference ``delta`` such that ``E(v, i) == E(v ^ delta, i)`` for every
+``i`` in the set. Two values differing by ``delta`` are *I-colliding* in the
+paper's terminology.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Mapping
+
+from repro.errors import DecodingError, EncodingError, ParameterError
+
+
+class CodingScheme(ABC):
+    """A symmetric coding scheme over fixed-size byte-string values."""
+
+    #: Human-readable scheme name (used in benchmark tables).
+    name: str = "abstract"
+
+    def __init__(self, data_size_bytes: int) -> None:
+        if data_size_bytes <= 0:
+            raise ParameterError("data_size_bytes must be positive")
+        self.data_size_bytes = data_size_bytes
+
+    @property
+    def data_size_bits(self) -> int:
+        """The paper's ``D``: the number of bits in a value."""
+        return self.data_size_bytes * 8
+
+    # ------------------------------------------------------------------ API
+
+    @abstractmethod
+    def encode_block(self, value: bytes, index: int) -> bytes:
+        """Return ``E(value, index)`` as raw bytes."""
+
+    @abstractmethod
+    def block_size_bits(self, index: int) -> int:
+        """Return ``size(index)`` — the bit length of any block ``index``."""
+
+    @abstractmethod
+    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
+        """Return the value reconstructed from ``{index: payload}``.
+
+        Returns ``None`` when the blocks are insufficient (the paper's
+        ``bottom``). Raises :class:`DecodingError` on malformed payloads.
+        """
+
+    @abstractmethod
+    def min_blocks_to_decode(self) -> int:
+        """Return the minimum number of distinct blocks that can decode."""
+
+    def collision_delta(self, indices: Iterable[int]) -> bytes | None:
+        """Return a nonzero delta with ``E(v, i) == E(v ^ delta, i)`` on ``indices``.
+
+        Returns ``None`` when no collision exists (for example when the
+        indices carry ``>= D`` bits, or the scheme does not support the
+        computation). Subclasses for linear codes override this.
+        """
+        return None
+
+    # ------------------------------------------------------------- helpers
+
+    def check_value(self, value: bytes) -> None:
+        """Validate a value's length; raise :class:`EncodingError` if bad."""
+        if len(value) != self.data_size_bytes:
+            raise EncodingError(
+                f"{self.name}: value is {len(value)} bytes, "
+                f"expected {self.data_size_bytes}"
+            )
+
+    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
+        """Encode ``value`` into every index in ``indices``."""
+        return {index: self.encode_block(value, index) for index in indices}
+
+    def total_bits(self, indices: Iterable[int]) -> int:
+        """Return the summed block size of a set of *distinct* indices."""
+        return sum(self.block_size_bits(index) for index in set(indices))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} D={self.data_size_bits} bits>"
+
+
+class MDSCodingScheme(CodingScheme):
+    """Base class for k-of-n maximum-distance-separable schemes.
+
+    The value is split into ``k`` equal shards of ``data_size_bytes / k``
+    bytes; every block has the shard size; any ``k`` distinct blocks decode.
+    """
+
+    def __init__(self, k: int, n: int, data_size_bytes: int) -> None:
+        super().__init__(data_size_bytes)
+        if k < 1:
+            raise ParameterError("k must be >= 1")
+        if n < k:
+            raise ParameterError("n must be >= k")
+        if data_size_bytes % k != 0:
+            raise ParameterError(
+                f"data_size_bytes ({data_size_bytes}) must be divisible by k ({k})"
+            )
+        self.k = k
+        self.n = n
+        self.shard_bytes = data_size_bytes // k
+
+    def min_blocks_to_decode(self) -> int:
+        return self.k
+
+    def block_size_bits(self, index: int) -> int:
+        self.check_index(index)
+        return self.shard_bytes * 8
+
+    def check_index(self, index: int) -> None:
+        """Validate a block number against ``n``."""
+        if not 0 <= index < self.n:
+            raise ParameterError(
+                f"{self.name}: block index {index} outside [0, {self.n})"
+            )
+
+    def shards(self, value: bytes) -> list[bytes]:
+        """Split ``value`` into ``k`` equal shards."""
+        self.check_value(value)
+        size = self.shard_bytes
+        return [value[i * size: (i + 1) * size] for i in range(self.k)]
+
+    def check_blocks(self, blocks: Mapping[int, bytes]) -> None:
+        """Validate decode input payload sizes and index ranges."""
+        for index, payload in blocks.items():
+            self.check_index(index)
+            if len(payload) != self.shard_bytes:
+                raise DecodingError(
+                    f"{self.name}: block {index} is {len(payload)} bytes, "
+                    f"expected {self.shard_bytes}"
+                )

@@ -1,0 +1,81 @@
+"""Single-parity XOR code: k data shards plus one XOR parity block.
+
+This is the cheapest MDS code (``n = k + 1``; any ``k`` of the ``k + 1``
+blocks decode). It tolerates one erasure and is the code behind the paper's
+introductory cost figure ``(k + 2) D / k`` for ``f = 1`` storage: ``k + 2f``
+blocks of ``D / k`` bits each with ``f = 1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from functools import reduce
+
+import numpy as np
+
+from repro.coding.scheme import MDSCodingScheme
+
+
+def _xor_payloads(payloads: list[bytes]) -> bytes:
+    arrays = [np.frombuffer(payload, dtype=np.uint8) for payload in payloads]
+    return reduce(np.bitwise_xor, arrays).tobytes()
+
+
+class XorParityCode(MDSCodingScheme):
+    """k-of-(k+1) erasure code with a single XOR parity block."""
+
+    name = "xor-parity"
+
+    def __init__(self, k: int, data_size_bytes: int) -> None:
+        super().__init__(k, k + 1, data_size_bytes)
+
+    def encode_block(self, value: bytes, index: int) -> bytes:
+        self.check_index(index)
+        shards = self.shards(value)
+        if index < self.k:
+            return shards[index]
+        return _xor_payloads(shards)
+
+    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
+        self.check_blocks(blocks)
+        if len(blocks) < self.k:
+            return None
+        if all(index < self.k for index in blocks):
+            return b"".join(blocks[index] for index in range(self.k))
+        # Exactly one data shard is missing; rebuild it from the parity.
+        present = [index for index in range(self.k) if index in blocks]
+        missing = [index for index in range(self.k) if index not in blocks]
+        if len(missing) != 1 or self.k not in blocks:
+            return None
+        rebuilt = _xor_payloads([blocks[self.k]] + [blocks[i] for i in present])
+        shards = [
+            blocks[index] if index in blocks else rebuilt for index in range(self.k)
+        ]
+        return b"".join(shards)
+
+    def collision_delta(self, indices: Iterable[int]) -> bytes | None:
+        """Return a delta hidden from the given blocks, if one exists.
+
+        With fewer than ``k`` distinct blocks stored, at least one data shard
+        is unconstrained: if some data index is absent we can flip it and the
+        parity... only if the parity is also absent; when the parity is
+        present we must flip *two* absent data shards to keep it unchanged.
+        """
+        index_set = {index for index in indices}
+        for index in index_set:
+            self.check_index(index)
+        if len(index_set) >= self.k:
+            return None
+        absent_data = [i for i in range(self.k) if i not in index_set]
+        delta = bytearray(self.data_size_bytes)
+        if self.k not in index_set:
+            # Parity not stored: flip a single absent data shard
+            # (one always exists because len(index_set) < k).
+            delta[absent_data[0] * self.shard_bytes] = 1
+        else:
+            # Parity stored: |index_set| <= k - 1 including parity, so at
+            # least two data shards are absent; flip both so parity is kept.
+            first, second = absent_data[0], absent_data[1]
+            delta[first * self.shard_bytes] = 1
+            delta[second * self.shard_bytes] = 1
+        return bytes(delta)

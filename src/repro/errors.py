@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+distinguishing the failure domains (coding, simulation, protocol, checking).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CodingError(ReproError):
+    """Base class for erasure-coding failures."""
+
+
+class EncodingError(CodingError):
+    """A value could not be encoded (bad length, bad parameters)."""
+
+
+class DecodingError(CodingError):
+    """A value could not be reconstructed from the supplied blocks."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A constructor or function was given inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """Base class for simulator kernel failures."""
+
+
+class ProtocolError(SimulationError):
+    """A protocol coroutine violated the kernel contract."""
+
+
+class SchedulerExhausted(SimulationError):
+    """The scheduler ran out of actions (or budget) before quiescence."""
+
+
+class ObjectCrashed(SimulationError):
+    """An RMW was applied to a crashed base object (kernel bug guard)."""
+
+
+class SpecError(ReproError):
+    """Base class for consistency-checker failures."""
+
+
+class MalformedHistory(SpecError):
+    """A history violates well-formedness (overlapping ops on one client)."""

@@ -1,0 +1,46 @@
+"""Section 4 machinery: Claim 1 collisions, the adversary Ad, Theorem 1."""
+
+from repro.lowerbound.adversary import (
+    AdAdversary,
+    AdSnapshot,
+    compute_snapshot,
+    outstanding_writes,
+)
+from repro.lowerbound.blackbox import (
+    RecordedRun,
+    ReplacementReport,
+    record_run,
+    replay_run,
+    run_replacement_experiment,
+    stored_indices_of,
+)
+from repro.lowerbound.bound import LowerBoundOutcome, run_lower_bound_experiment
+from repro.lowerbound.colliding import (
+    Claim1Report,
+    build_colliding_family,
+    find_colliding_pair,
+    verify_claim1,
+    verify_collision,
+    xor_bytes,
+)
+
+__all__ = [
+    "AdAdversary",
+    "AdSnapshot",
+    "Claim1Report",
+    "LowerBoundOutcome",
+    "RecordedRun",
+    "ReplacementReport",
+    "build_colliding_family",
+    "compute_snapshot",
+    "find_colliding_pair",
+    "outstanding_writes",
+    "record_run",
+    "replay_run",
+    "run_lower_bound_experiment",
+    "run_replacement_experiment",
+    "stored_indices_of",
+    "verify_claim1",
+    "verify_collision",
+    "xor_bytes",
+]

@@ -1,0 +1,140 @@
+"""The freezing adversary Ad (Definition 7) and its bookkeeping sets.
+
+Given a space threshold ``0 < ell <= D``, the adversary tracks:
+
+* ``F(t)`` — base objects storing at least ``ell`` bits ("full" objects,
+  frozen: Ad never lets another RMW take effect on them). Monotone by
+  Observation 2.
+* ``C-(t)`` — outstanding writes whose distinct-index blocks in storage
+  (outside their own client, Definition 6) total at most ``D - ell`` bits.
+* ``C+(t)`` — the other outstanding writes: each contributes more than
+  ``D - ell`` bits. Ad starves their RMWs.
+
+Scheduling rules (Definition 7):
+
+1. if some ``C-`` operation has a pending RMW on an unfrozen object, apply
+   the longest-pending such RMW and deliver its response;
+2. otherwise step clients in fair rotation (their local actions — triggering
+   RMWs, oracle calls, returns — never touch base objects directly).
+
+The punchline (Lemma 3 + Observation 1): against *any* lock-free black-box
+algorithm, this drives the run to a point where ``|F| > f`` (storage at
+least ``(f+1) * ell``) or ``|C+| = c`` (storage at least
+``c * (D - ell + 1)``). With ``ell = D/2`` both arms are
+``Omega(min(f, c) * D)`` — Theorem 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ParameterError
+from repro.sim.actions import Action, ActionKind
+from repro.sim.schedulers import Scheduler
+from repro.sim.trace import OpKind
+from repro.storage.cost import StorageMeter
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.kernel import Simulation
+
+
+@dataclass
+class AdSnapshot:
+    """The adversary's view at one decision point."""
+
+    time: int
+    frozen: frozenset[int]          # F(t)
+    c_minus: frozenset[int]         # op uids in C-(t)
+    c_plus: frozenset[int]          # op uids in C+(t)
+    contributions: dict[int, int]   # op uid -> ||S(t, w)|| in bits
+
+
+def outstanding_writes(sim: "Simulation") -> list[int]:
+    """Op uids of currently outstanding (invoked, unreturned) writes."""
+    uids = []
+    for client in sim.clients.values():
+        ctx = client.current
+        if ctx is not None and ctx.kind is OpKind.WRITE:
+            uids.append(ctx.op_uid)
+    return sorted(uids)
+
+
+def compute_snapshot(
+    sim: "Simulation", ell_bits: int, frozen_so_far: set[int]
+) -> AdSnapshot:
+    """Evaluate F, C-, C+ at the current instant.
+
+    ``frozen_so_far`` enforces Observation 2 (freezing is permanent even if
+    garbage collection later shrinks an object below ``ell``).
+    """
+    meter = StorageMeter(sim)
+    for bo in sim.base_objects:
+        if bo.bo_id not in frozen_so_far and meter.bo_bits(bo.bo_id) >= ell_bits:
+            frozen_so_far.add(bo.bo_id)
+    data_bits = sim.scheme.data_size_bits
+    contributions: dict[int, int] = {}
+    c_minus, c_plus = set(), set()
+    for op_uid in outstanding_writes(sim):
+        contribution = meter.op_contribution_bits(
+            op_uid, bo_subset=None, include_channels=True
+        )
+        contributions[op_uid] = contribution
+        if contribution <= data_bits - ell_bits:
+            c_minus.add(op_uid)
+        else:
+            c_plus.add(op_uid)
+    return AdSnapshot(
+        time=sim.time,
+        frozen=frozenset(frozen_so_far),
+        c_minus=frozenset(c_minus),
+        c_plus=frozenset(c_plus),
+        contributions=contributions,
+    )
+
+
+@dataclass
+class AdAdversary(Scheduler):
+    """Definition 7's scheduler. Unfair on purpose."""
+
+    ell_bits: int
+    _frozen: set[int] = field(default_factory=set)
+    _rotation: dict[str, int] = field(default_factory=dict)
+    _step_counter: int = 0
+    #: Refreshed before every decision; drivers read it for predicates.
+    last_snapshot: AdSnapshot | None = None
+
+    def __post_init__(self) -> None:
+        if self.ell_bits <= 0:
+            raise ParameterError("ell must be positive")
+
+    def next_action(self, sim: "Simulation") -> Action | None:
+        if self.ell_bits > sim.scheme.data_size_bits:
+            raise ParameterError("ell must be at most D")
+        snapshot = compute_snapshot(sim, self.ell_bits, self._frozen)
+        self.last_snapshot = snapshot
+
+        # Rule 1: longest-pending RMW on an unfrozen object by a C- op.
+        # (Reads carry no write's oracle blocks; they are honorary C-
+        # members — the lower-bound run contains only writes anyway.)
+        eligible = [
+            rmw
+            for rmw in sim.appliable_rmws()  # already oldest-first
+            if rmw.bo_id not in snapshot.frozen
+            and (
+                rmw.op_uid in snapshot.c_minus
+                or rmw.op_uid not in snapshot.c_plus  # non-write ops
+            )
+        ]
+        if eligible:
+            return Action(ActionKind.APPLY_DELIVER, eligible[0].rmw_id)
+
+        # Rule 2: fair rotation over runnable clients' local actions.
+        runnable = sim.runnable_clients()
+        if not runnable:
+            return None  # everything starved: the driver inspects why
+        runnable.sort(key=lambda client: self._rotation.get(client.name, -1))
+        chosen = runnable[0]
+        self._step_counter += 1
+        self._rotation[chosen.name] = self._step_counter
+        return Action(ActionKind.STEP_CLIENT, chosen.name)

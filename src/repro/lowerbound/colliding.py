@@ -1,0 +1,125 @@
+"""Constructive I-colliding values (Claim 1 of the paper).
+
+Claim 1 argues by pigeonhole that whenever a write's blocks in storage pin
+fewer than ``D`` bits, two distinct values collide on those blocks (encode
+identically at every stored index). For the linear codes in this package we
+can do better than existence: :func:`find_colliding_pair` *computes* such a
+pair from the null space of the generator submatrix, and
+:func:`verify_claim1` checks the claim's premise/conclusion wiring on any
+scheme that supports it.
+
+This is the information-theoretic engine of the whole lower bound: as long
+as ``sum size(i) < D`` over a write's stored indices, a reader that must
+reconstruct the value from those blocks cannot distinguish the two
+colliding values — so regularity forces the system to keep more bits
+somewhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.coding.scheme import CodingScheme
+from repro.errors import ParameterError
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Byte-wise XOR of equal-length strings."""
+    if len(a) != len(b):
+        raise ParameterError("xor_bytes requires equal lengths")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def find_colliding_pair(
+    scheme: CodingScheme,
+    indices: Iterable[int],
+    base_value: bytes | None = None,
+) -> tuple[bytes, bytes] | None:
+    """Return two values that encode identically on ``indices``.
+
+    ``None`` when the scheme proves no collision exists (the indices pin
+    ``>= D`` bits) or cannot compute one. The first element is
+    ``base_value`` (zeros by default); the second differs from it.
+    """
+    delta = scheme.collision_delta(indices)
+    if delta is None:
+        return None
+    value = base_value if base_value is not None else bytes(scheme.data_size_bytes)
+    other = xor_bytes(value, delta)
+    return value, other
+
+
+def verify_collision(
+    scheme: CodingScheme, indices: Iterable[int], pair: tuple[bytes, bytes]
+) -> bool:
+    """Check that the pair really is I-colliding and distinct."""
+    value, other = pair
+    if value == other:
+        return False
+    return all(
+        scheme.encode_block(value, index) == scheme.encode_block(other, index)
+        for index in set(indices)
+    )
+
+
+@dataclass
+class Claim1Report:
+    """Outcome of a Claim 1 verification on one index set."""
+
+    indices: tuple[int, ...]
+    stored_bits: int
+    data_bits: int
+    premise_holds: bool  # stored_bits < D
+    collision_found: bool
+    collision_valid: bool
+
+    @property
+    def consistent_with_claim(self) -> bool:
+        """Premise implies conclusion (no statement when premise fails)."""
+        if not self.premise_holds:
+            return True
+        return self.collision_found and self.collision_valid
+
+
+def verify_claim1(scheme: CodingScheme, indices: Iterable[int]) -> Claim1Report:
+    """Exercise Claim 1 on ``indices``: premise, construction, validation."""
+    index_tuple = tuple(sorted(set(indices)))
+    stored_bits = scheme.total_bits(index_tuple)
+    premise = stored_bits < scheme.data_size_bits
+    pair = find_colliding_pair(scheme, index_tuple)
+    return Claim1Report(
+        indices=index_tuple,
+        stored_bits=stored_bits,
+        data_bits=scheme.data_size_bits,
+        premise_holds=premise,
+        collision_found=pair is not None,
+        collision_valid=pair is not None and verify_collision(
+            scheme, index_tuple, pair
+        ),
+    )
+
+
+def build_colliding_family(
+    scheme: CodingScheme,
+    index_sets: list[Iterable[int]],
+    value_factory,
+) -> list[tuple[bytes, bytes]]:
+    """Lemma 1's ``U_c`` construction: one colliding pair per write.
+
+    For each write's stored index set, produce a (value, colliding partner)
+    pair, with all primary values distinct (``value_factory(i)`` must return
+    distinct values). Raises :class:`ParameterError` if any index set pins a
+    full value — the construction then cannot proceed, exactly as in the
+    paper where the premise ``||S(t, w)|| < D`` is required.
+    """
+    family = []
+    for position, indices in enumerate(index_sets):
+        base = value_factory(position)
+        pair = find_colliding_pair(scheme, indices, base_value=base)
+        if pair is None:
+            raise ParameterError(
+                f"index set #{position} pins a full value; Lemma 1 premise broken"
+            )
+        family.append(pair)
+    return family

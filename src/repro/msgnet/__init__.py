@@ -1,0 +1,33 @@
+"""Asynchronous message-passing substrate and ABD in its native form.
+
+The shared-memory model of Section 2 abstracts storage nodes reached over
+a network; this package provides that concrete layer (processes, in-flight
+messages, adversary-controlled delivery) plus the Attiya-Bar-Noy-Dolev
+register implemented directly on messages, so the emulation equivalence
+the paper's model rests on can be exercised end to end.
+"""
+
+from repro.msgnet.abd import MsgABDSystem, ServerState
+from repro.msgnet.network import (
+    FairMsgScheduler,
+    Message,
+    MsgScheduler,
+    Network,
+    Process,
+    RandomMsgScheduler,
+    Receive,
+    run_network,
+)
+
+__all__ = [
+    "FairMsgScheduler",
+    "Message",
+    "MsgABDSystem",
+    "MsgScheduler",
+    "Network",
+    "Process",
+    "RandomMsgScheduler",
+    "Receive",
+    "ServerState",
+    "run_network",
+]

@@ -1,0 +1,215 @@
+"""ABD over real messages — the register in its native habitat.
+
+Attiya-Bar-Noy-Dolev [4] is a *message-passing* algorithm; the paper's
+shared-memory model abstracts it. This module closes the loop: ``n = 2f+1``
+server processes each hold one timestamped replica, clients broadcast
+request messages and await majority acknowledgements, and the network
+scheduler (fair or adversarial-random) controls every delivery.
+
+Protocol (single-writer-per-client, MWMR via timestamp tie-break):
+
+* write(v): broadcast ``read-ts``; on a majority of replies pick
+  ``ts = (max + 1, name)``; broadcast ``write`` carrying the replica
+  block; return on a majority of acks.
+* read(): broadcast ``read``; on a majority of replies return the
+  highest-timestamped replica (no write-back — strongly regular, exactly
+  like :class:`repro.registers.abd.ABDRegister`).
+
+The point of the module is the *equivalence* the paper relies on: the
+message-passing system and the shared-memory emulation have the same
+storage profile (``(2f+1) D`` server bits, replicas transiently riding the
+network) and the same consistency level — demonstrated in
+``tests/msgnet/`` by running both and checking both histories with the
+same checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.coding.oracles import BlockSource, CodeBlock
+from repro.coding.replication import ReplicationCode
+from repro.errors import ParameterError
+from repro.msgnet.network import (
+    FairMsgScheduler,
+    MsgScheduler,
+    Network,
+    Receive,
+    run_network,
+)
+from repro.registers.base import INITIAL_OP_UID
+from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.sim.trace import OpKind
+from repro.spec.histories import History, HOp
+
+
+@dataclass
+class ServerState:
+    """One server's replica (exposed for storage metering)."""
+
+    block: CodeBlock
+    ts: Timestamp
+
+
+@dataclass
+class OpRecord:
+    client: str
+    kind: OpKind
+    written: bytes | None
+    invoke_time: int
+    return_time: int | None = None
+    result: Any = None
+
+
+class MsgABDSystem:
+    """A complete message-passing ABD deployment."""
+
+    def __init__(self, f: int, data_size_bytes: int,
+                 initial_value: bytes | None = None) -> None:
+        if f < 1:
+            raise ParameterError("f must be >= 1")
+        self.f = f
+        self.n = 2 * f + 1
+        self.majority = f + 1
+        self.scheme = ReplicationCode(data_size_bytes, n=self.n)
+        self.v0 = initial_value or bytes(data_size_bytes)
+        self.network = Network()
+        self.clock = 0
+        self.server_states: dict[str, ServerState] = {}
+        self.ops: list[OpRecord] = []
+        self._next_op_uid = 0
+        self.server_names = [f"s{i}" for i in range(self.n)]
+        for index, name in enumerate(self.server_names):
+            process = self.network.add_process(name)
+            block = CodeBlock(
+                payload=self.scheme.encode_block(self.v0, index),
+                index=index,
+                source=BlockSource(INITIAL_OP_UID, index),
+                size_bits=self.scheme.block_size_bits(index),
+            )
+            self.server_states[name] = ServerState(block, TS_ZERO)
+            process.start(self._server_body(process, name))
+
+    # ------------------------------------------------------------- servers
+
+    def _server_body(self, process, name):
+        state = self.server_states[name]
+        while True:
+            message = yield Receive()
+            tag, request_id, *rest = message.payload
+            if tag == "read-ts":
+                process.send(message.sender, ("ts", request_id, state.ts))
+            elif tag == "write":
+                ts, block = rest
+                if ts > state.ts:
+                    state.ts = ts
+                    state.block = block
+                process.send(message.sender, ("ack", request_id))
+            elif tag == "read":
+                process.send(
+                    message.sender, ("value", request_id, state.ts, state.block)
+                )
+
+    # ------------------------------------------------------------- clients
+
+    def add_writer(self, name: str, value: bytes) -> None:
+        self.scheme.check_value(value)
+        record = OpRecord(name, OpKind.WRITE, value, self.clock)
+        self.ops.append(record)
+        op_uid = self._next_op_uid
+        self._next_op_uid += 1
+        process = self.network.add_process(name)
+        process.start(self._writer_body(process, name, value, op_uid, record))
+
+    def add_reader(self, name: str) -> None:
+        record = OpRecord(name, OpKind.READ, None, self.clock)
+        self.ops.append(record)
+        process = self.network.add_process(name)
+        process.start(self._reader_body(process, name, record))
+
+    def _collect(self, request_id: int, want_tag: str, count: int):
+        """Sub-generator: gather ``count`` matching replies."""
+        replies = []
+        while len(replies) < count:
+            message = yield Receive()
+            tag, rid, *rest = message.payload
+            if tag == want_tag and rid == request_id:
+                replies.append(rest)
+        return replies
+
+    def _writer_body(self, process, name, value, op_uid, record):
+        # Phase 1: read timestamps from a majority.
+        for server in self.server_names:
+            process.send(server, ("read-ts", 2 * op_uid))
+        replies = yield from self._collect(2 * op_uid, "ts", self.majority)
+        max_ts = max(reply[0] for reply in replies)
+        ts = Timestamp(max_ts.num + 1, name)
+        # Phase 2: store the replica at a majority. Each message carries a
+        # full replica block — this is the in-flight cost the model charges.
+        for index, server in enumerate(self.server_names):
+            block = CodeBlock(
+                payload=self.scheme.encode_block(value, index),
+                index=index,
+                source=BlockSource(op_uid, index),
+                size_bits=self.scheme.block_size_bits(index),
+            )
+            process.send(server, ("write", 2 * op_uid + 1, ts, block))
+        yield from self._collect(2 * op_uid + 1, "ack", self.majority)
+        record.return_time = self.clock
+        record.result = "ok"
+
+    def _reader_body(self, process, name, record):
+        request_id = 10_000 + len(self.ops)
+        for server in self.server_names:
+            process.send(server, ("read", request_id))
+        replies = yield from self._collect(request_id, "value", self.majority)
+        best_ts, best_block = max(replies, key=lambda reply: reply[0])
+        record.return_time = self.clock
+        record.result = self.scheme.decode({best_block.index: best_block.payload})
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, scheduler: MsgScheduler | None = None,
+            max_steps: int = 200_000) -> int:
+        scheduler = scheduler or FairMsgScheduler()
+
+        def tick(network, action):
+            self.clock += 1
+
+        return run_network(self.network, scheduler, max_steps=max_steps,
+                           on_action=tick)
+
+    def crash_server(self, name: str) -> None:
+        self.network.crash_process(name)
+
+    # ------------------------------------------------------------ metering
+
+    def server_storage_bits(self) -> int:
+        """Replica bits at live servers — the bo-state analogue."""
+        return sum(
+            state.block.size_bits
+            for name, state in self.server_states.items()
+            if not self.network.processes[name].crashed
+        )
+
+    def total_storage_bits(self) -> int:
+        """Servers + in-flight messages (Definition 2's channel charge)."""
+        return self.server_storage_bits() + self.network.storage_bits_in_flight()
+
+    # ------------------------------------------------------------- history
+
+    def history(self) -> History:
+        ops = [
+            HOp(
+                op_uid=index,
+                client=record.client,
+                kind=record.kind,
+                written=record.written,
+                result=record.result,
+                invoke_time=record.invoke_time,
+                return_time=record.return_time,
+            )
+            for index, record in enumerate(self.ops)
+        ]
+        return History(ops, self.v0)

@@ -1,0 +1,264 @@
+"""An asynchronous message-passing simulator.
+
+The paper's Section 2 model — fault-prone shared memory — is the standard
+abstraction of a *message-passing* system where each base object lives on
+a storage node reachable over an asynchronous network (the reduction of
+Attiya-Bar-Noy-Dolev [4]). This package provides that concrete layer:
+
+* :class:`Process` — a generator coroutine with a mailbox; it sends
+  messages and yields :class:`Receive` to await delivery;
+* :class:`Network` — the in-flight message multiset plus crash state;
+  delivery order is fully scheduler-controlled (per-link FIFO is *not*
+  assumed — the weakest, paper-compatible network);
+* :class:`MsgScheduler` implementations — fair and seeded-random.
+
+Storage accounting carries over unchanged: a message payload may contain
+:class:`~repro.coding.oracles.CodeBlock` instances, and
+:func:`network_storage_bits` charges them exactly like the kernel charges
+pending RMW parameters — "information in channels is counted"
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.errors import ProtocolError, SimulationError
+from repro.storage.blockstore import collect_blocks
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight message."""
+
+    msg_id: int
+    sender: str
+    recipient: str
+    payload: Any
+
+    def payload_bits(self) -> int:
+        return sum(block.size_bits for block in collect_blocks(self.payload))
+
+
+@dataclass
+class Receive:
+    """Yielded by a process: resume when at least one message is queued."""
+
+
+ProcessBody = Generator[Receive, Message, None]
+
+
+class Process:
+    """A named process driven by a generator coroutine.
+
+    The body communicates by calling :meth:`Network.send` (via its handle)
+    and yielding :class:`Receive`; the network resumes it with one queued
+    message per resumption.
+    """
+
+    def __init__(self, name: str, network: "Network") -> None:
+        self.name = name
+        self.network = network
+        self.mailbox: list[Message] = []
+        self.body: ProcessBody | None = None
+        self.crashed = False
+        self.terminated = False
+        self._waiting = False
+
+    # ------------------------------------------------------------- actions
+
+    def send(self, recipient: str, payload: Any) -> None:
+        self.network.send(self.name, recipient, payload)
+
+    def start(self, body: ProcessBody) -> None:
+        if self.body is not None:
+            raise ProtocolError(f"process {self.name} already started")
+        self.body = body
+        self._advance(None)
+
+    def deliver(self, message: Message) -> None:
+        """Queue a message; the scheduler later steps the process."""
+        self.mailbox.append(message)
+
+    def runnable(self) -> bool:
+        if self.crashed or self.terminated or self.body is None:
+            return False
+        return not self._waiting or bool(self.mailbox)
+
+    def step(self) -> None:
+        """Resume the body with the oldest queued message (if waiting)."""
+        if self.crashed or self.terminated:
+            raise ProtocolError(f"stepping dead process {self.name}")
+        if self._waiting:
+            if not self.mailbox:
+                return
+            message = self.mailbox.pop(0)
+            self._advance(message)
+        else:
+            self._advance(None)
+
+    def _advance(self, message: Message | None) -> None:
+        try:
+            yielded = self.body.send(message)
+        except StopIteration:
+            self.terminated = True
+            self._waiting = False
+            return
+        if not isinstance(yielded, Receive):
+            raise ProtocolError(
+                f"process {self.name} yielded {type(yielded).__name__}; "
+                "expected Receive"
+            )
+        self._waiting = True
+
+    def crash(self) -> None:
+        self.crashed = True
+
+
+class Network:
+    """The asynchronous network: processes + in-flight messages."""
+
+    def __init__(self) -> None:
+        self.processes: dict[str, Process] = {}
+        self.in_flight: dict[int, Message] = {}
+        self._next_msg_id = 0
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------ topology
+
+    def add_process(self, name: str) -> Process:
+        if name in self.processes:
+            raise SimulationError(f"duplicate process {name!r}")
+        process = Process(name, self)
+        self.processes[name] = process
+        return process
+
+    def crash_process(self, name: str) -> None:
+        process = self.processes[name]
+        process.crash()
+        # Messages addressed to a crashed process are dropped eagerly.
+        for msg_id in [m for m, msg in self.in_flight.items()
+                       if msg.recipient == name]:
+            del self.in_flight[msg_id]
+
+    # ------------------------------------------------------------ transport
+
+    def send(self, sender: str, recipient: str, payload: Any) -> None:
+        if recipient not in self.processes:
+            raise ProtocolError(f"send to unknown process {recipient!r}")
+        if self.processes[recipient].crashed:
+            return  # silently dropped
+        message = Message(self._next_msg_id, sender, recipient, payload)
+        self._next_msg_id += 1
+        self.in_flight[message.msg_id] = message
+
+    def deliverable(self) -> list[Message]:
+        """In-flight messages whose recipient is alive, oldest first."""
+        return sorted(
+            (
+                message
+                for message in self.in_flight.values()
+                if not self.processes[message.recipient].crashed
+            ),
+            key=lambda message: message.msg_id,
+        )
+
+    def deliver(self, msg_id: int) -> None:
+        message = self.in_flight.pop(msg_id)
+        self.processes[message.recipient].deliver(message)
+        self.delivered_count += 1
+
+    # ------------------------------------------------------------ queries
+
+    def runnable_processes(self) -> list[Process]:
+        return [p for p in self.processes.values() if p.runnable()]
+
+    def quiescent(self) -> bool:
+        return not self.deliverable() and not self.runnable_processes()
+
+    def storage_bits_in_flight(self) -> int:
+        """Bits in code blocks riding the network right now."""
+        return sum(message.payload_bits() for message in self.in_flight.values())
+
+
+class MsgScheduler(ABC):
+    """Chooses the next network action: deliver a message or step a process."""
+
+    @abstractmethod
+    def next_action(self, network: Network) -> tuple[str, Any] | None:
+        """Return ("deliver", msg_id) or ("step", process_name) or None."""
+
+
+class FairMsgScheduler(MsgScheduler):
+    """Alternate deliveries (FIFO) and process steps (LRU)."""
+
+    def __init__(self) -> None:
+        self._phase = 0
+        self._last_step: dict[str, int] = {}
+        self._counter = 0
+
+    def next_action(self, network: Network) -> tuple[str, Any] | None:
+        for offset in range(2):
+            phase = (self._phase + offset) % 2
+            if phase == 0:
+                deliverable = network.deliverable()
+                if deliverable:
+                    self._phase = (phase + 1) % 2
+                    return ("deliver", deliverable[0].msg_id)
+            else:
+                runnable = network.runnable_processes()
+                if runnable:
+                    runnable.sort(
+                        key=lambda p: self._last_step.get(p.name, -1)
+                    )
+                    chosen = runnable[0]
+                    self._counter += 1
+                    self._last_step[chosen.name] = self._counter
+                    self._phase = (phase + 1) % 2
+                    return ("step", chosen.name)
+        return None
+
+
+class RandomMsgScheduler(MsgScheduler):
+    """Uniformly random enabled action (seeded)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def next_action(self, network: Network) -> tuple[str, Any] | None:
+        actions: list[tuple[str, Any]] = [
+            ("deliver", message.msg_id) for message in network.deliverable()
+        ]
+        actions.extend(
+            ("step", process.name)
+            for process in network.runnable_processes()
+        )
+        if not actions:
+            return None
+        return self.rng.choice(actions)
+
+
+def run_network(
+    network: Network,
+    scheduler: MsgScheduler,
+    max_steps: int = 200_000,
+    on_action=None,
+) -> int:
+    """Drive the network until quiescence or budget; return steps taken."""
+    steps = 0
+    while steps < max_steps:
+        action = scheduler.next_action(network)
+        if action is None:
+            return steps
+        kind, target = action
+        if kind == "deliver":
+            network.deliver(target)
+        else:
+            network.processes[target].step()
+        if on_action is not None:
+            on_action(network, action)
+        steps += 1
+    return steps

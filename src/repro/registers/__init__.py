@@ -1,0 +1,70 @@
+"""Register emulations over fault-prone shared memory.
+
+Six algorithms spanning the paper's design space:
+
+========================  ==============  ==========  ========================
+register                  consistency     liveness    storage (bo state)
+========================  ==============  ==========  ========================
+``AdaptiveRegister``      MWRegWO         FW-term.    ``O(min(f, c) * D)``
+``SafeCodedRegister``     strongly safe   wait-free   ``n * D / k``
+``ABDRegister``           MWRegWO         wait-free   ``(2f + 1) * D``
+``AtomicABDRegister``     atomic          wait-free   ``(2f + 1) * D``
+``CodedOnlyRegister``     MWRegWO         FW-term.    ``Theta(c * D)``
+``ChannelCodedRegister``  MWRegWO         FW-term.    ``n * D / k`` — but the
+                                                      Definition 2 cost is
+                                                      still ``Theta(c * D)``
+                                                      (channels are charged)
+========================  ==============  ==========  ========================
+"""
+
+from repro.registers.abd import ABDRegister, replication_setup
+from repro.registers.abd_atomic import AtomicABDRegister
+from repro.registers.ablations import AdaptiveNoGCRegister
+from repro.registers.adaptive import AdaptiveRegister, AdaptiveState
+from repro.registers.base import (
+    Chunk,
+    INITIAL_OP_UID,
+    RegisterProtocol,
+    RegisterSetup,
+    group_by_timestamp,
+    initial_chunk,
+)
+from repro.registers.cas import CASRegister, CASState
+from repro.registers.channel_coded import ChannelCodedRegister, ChannelCodedState
+from repro.registers.coded_only import CodedOnlyRegister, CodedOnlyState
+from repro.registers.invariants import (
+    Invariant1Report,
+    check_invariant1,
+    chunks_in_state,
+)
+from repro.registers.safe_coded import SafeCodedRegister, SafeState
+from repro.registers.timestamps import TS_ZERO, Timestamp, max_timestamp
+
+__all__ = [
+    "ABDRegister",
+    "AdaptiveNoGCRegister",
+    "AdaptiveRegister",
+    "AdaptiveState",
+    "AtomicABDRegister",
+    "CASRegister",
+    "CASState",
+    "ChannelCodedRegister",
+    "ChannelCodedState",
+    "Chunk",
+    "CodedOnlyRegister",
+    "CodedOnlyState",
+    "INITIAL_OP_UID",
+    "Invariant1Report",
+    "RegisterProtocol",
+    "RegisterSetup",
+    "SafeCodedRegister",
+    "SafeState",
+    "TS_ZERO",
+    "Timestamp",
+    "check_invariant1",
+    "chunks_in_state",
+    "group_by_timestamp",
+    "initial_chunk",
+    "max_timestamp",
+    "replication_setup",
+]

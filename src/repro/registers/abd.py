@@ -1,0 +1,123 @@
+"""ABD-style replicated register (Attiya, Bar-Noy, Dolev [4]).
+
+The classic replication baseline the paper measures everything against:
+``n = 2f + 1`` base objects each hold one full timestamped replica, so the
+storage cost is ``(2f + 1) * D`` bits — the ``O(fD)`` arm of the paper's
+``Theta(min(f, c) * D)``, insensitive to concurrency.
+
+This is the no-write-back variant: readers do not propagate what they read.
+As the paper notes (Appendix A), ABD without read write-back satisfies
+*strong regularity* (MWRegWO) rather than atomicity, which is exactly the
+consistency level the adaptive algorithm targets — making this an
+apples-to-apples storage comparison.
+
+Writes take two rounds (read timestamps, then store); reads take one round
+and return the highest-timestamped replica. Both are wait-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coding.replication import ReplicationCode
+from repro.coding.scheme import CodingScheme
+from repro.errors import ParameterError
+from repro.registers.base import (
+    Chunk,
+    OpGenerator,
+    RegisterProtocol,
+    RegisterSetup,
+    initial_chunk,
+)
+from repro.registers.timestamps import Timestamp
+from repro.sim.actions import WaitResponses
+from repro.sim.client import OperationContext
+
+
+def replication_setup(f: int, data_size_bytes: int,
+                      initial_value: bytes | None = None) -> RegisterSetup:
+    """Build the ``k = 1`` setup ABD expects (``n = 2f + 1`` replicas)."""
+
+    def factory(setup: RegisterSetup) -> CodingScheme:
+        return ReplicationCode(setup.data_size_bytes, n=setup.n)
+
+    return RegisterSetup(
+        f=f,
+        k=1,
+        data_size_bytes=data_size_bytes,
+        initial_value=initial_value,
+        scheme_factory=factory,
+    )
+
+
+@dataclass(frozen=True)
+class ABDState:
+    """One full timestamped replica."""
+
+    chunk: Chunk
+
+
+@dataclass(frozen=True)
+class ABDUpdateArgs:
+    chunk: Chunk
+
+
+def read_rmw(state: ABDState, args: None) -> tuple[ABDState, Chunk]:
+    return state, state.chunk
+
+
+def update_rmw(state: ABDState, args: ABDUpdateArgs) -> tuple[ABDState, None]:
+    if args.chunk.ts > state.chunk.ts:
+        return ABDState(args.chunk), None
+    return state, None
+
+
+class ABDRegister(RegisterProtocol):
+    """Replicated strongly regular MWMR register, ``(2f + 1) * D`` bits."""
+
+    name = "abd"
+
+    def __init__(self, setup: RegisterSetup) -> None:
+        if setup.k != 1:
+            raise ParameterError(
+                "ABD is full replication; build its setup with "
+                "replication_setup(f, data_size_bytes)"
+            )
+        super().__init__(setup)
+
+    def initial_bo_state(self, bo_id: int) -> ABDState:
+        return ABDState(initial_chunk(self.scheme, self.setup.v0(), bo_id))
+
+    def _read_round(self, ctx: OperationContext) -> OpGenerator:
+        handles = [
+            ctx.trigger(bo_id, read_rmw, None, label="read")
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        return [handle.response for handle in handles if handle.responded]
+
+    def write_gen(self, ctx: OperationContext, value: bytes) -> OpGenerator:
+        oracle = ctx.new_encode_oracle()
+        chunks = yield from self._read_round(ctx)
+        max_num = max(chunk.ts.num for chunk in chunks)
+        ts = Timestamp(max_num + 1, ctx.client.name)
+        handles = [
+            ctx.trigger(
+                bo_id,
+                update_rmw,
+                ABDUpdateArgs(Chunk(ts, oracle.get(bo_id))),
+                label="update",
+            )
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        return "ok"
+
+    def read_gen(self, ctx: OperationContext) -> OpGenerator:
+        chunks = yield from self._read_round(ctx)
+        best = max(chunks, key=lambda chunk: chunk.ts)
+        oracle = ctx.new_decode_oracle()
+        oracle.push(best.block)
+        return oracle.done()

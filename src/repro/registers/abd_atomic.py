@@ -1,0 +1,56 @@
+"""Atomic (linearizable) ABD: replication with read write-back.
+
+The paper's Appendix A notes that the strong-regularity definition it
+targets "is satisfied by ABD in case readers do not change the storage (no
+write-back)". This module supplies the *other* ABD — the classic atomic
+variant whose readers write the value they are about to return back to a
+quorum before returning — so the repository exhibits the full semantic
+ladder executable side by side:
+
+====================  ==========================  ==============
+register              read behaviour              semantics
+====================  ==========================  ==============
+``SafeCodedRegister``  1 round, may return v0     strongly safe
+``ABDRegister``        1 round, no write-back     MWRegWO
+``AtomicABDRegister``  2 rounds, write-back       atomic
+====================  ==========================  ==============
+
+The write-back closes the new-old-inversion window: once a read returns
+timestamp ``ts``, a quorum stores ``>= ts``, so no later read can return
+an older value. Storage stays ``(2f + 1) * D`` — atomicity costs a read
+round, not space, which is why the paper's lower bound (about space) is
+indifferent to this upgrade.
+"""
+
+from __future__ import annotations
+
+from repro.registers.abd import ABDRegister, ABDUpdateArgs, update_rmw
+from repro.registers.base import Chunk, OpGenerator
+from repro.sim.actions import WaitResponses
+from repro.sim.client import OperationContext
+
+
+class AtomicABDRegister(ABDRegister):
+    """Linearizable MWMR register: ABD with read write-back."""
+
+    name = "abd-atomic"
+
+    def read_gen(self, ctx: OperationContext) -> OpGenerator:
+        chunks = yield from self._read_round(ctx)
+        best = max(chunks, key=lambda chunk: chunk.ts)
+        # Write-back round: install the chosen replica at a quorum before
+        # returning, so every later read sees a timestamp >= best.ts.
+        handles = [
+            ctx.trigger(
+                bo_id,
+                update_rmw,
+                ABDUpdateArgs(Chunk(best.ts, best.block)),
+                label="write-back",
+            )
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        oracle = ctx.new_decode_oracle()
+        oracle.push(best.block)
+        return oracle.done()

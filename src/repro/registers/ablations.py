@@ -1,0 +1,62 @@
+"""Ablation variants of the adaptive register.
+
+DESIGN.md calls out two load-bearing design choices in Section 5's
+algorithm; each has an executable ablation:
+
+* **the replica fallback** (`|Vp| < k` else `Vf`): removing it *is* the
+  :class:`~repro.registers.coded_only.CodedOnlyRegister` — benchmark E9
+  measures the resulting `Theta(cD)` blow-up;
+* **the garbage-collection round** (lines 11-13 / 40-45): removed here.
+
+Without GC nothing ever deletes stale chunks and ``storedTS`` never
+advances (updates propagate only *observed* storedTS, which stays zero):
+``Vp`` silts up with the first ``k`` writes' pieces forever, every later
+write falls through to the replica path, and quiescent storage settles
+near ``2nD`` instead of Lemma 8's ``nD/k`` — the GC round is what buys
+the eventual optimum, not just tidiness. Reads remain regular (the
+newest replica still wins), which makes the ablation a clean
+storage-only comparison.
+"""
+
+from __future__ import annotations
+
+from repro.registers.adaptive import AdaptiveRegister, UpdateArgs, update_rmw
+from repro.registers.base import Chunk, OpGenerator
+from repro.registers.timestamps import Timestamp
+from repro.sim.actions import WaitResponses
+from repro.sim.client import OperationContext
+
+
+class AdaptiveNoGCRegister(AdaptiveRegister):
+    """The Section 5 algorithm with the GC round deleted (ablation)."""
+
+    name = "adaptive-no-gc"
+
+    def write_gen(self, ctx: OperationContext, value: bytes) -> OpGenerator:
+        """Rounds 1-2 of ``Write(v)`` only; no garbage collection."""
+        oracle = ctx.new_encode_oracle()
+        stored_ts, chunks = yield from self.read_value_round(ctx)
+        max_num = max(
+            stored_ts.num,
+            max((chunk.ts.num for chunk in chunks), default=0),
+        )
+        ts = Timestamp(max_num + 1, ctx.client.name)
+        replica = tuple(Chunk(ts, oracle.get(j)) for j in range(self.setup.k))
+        handles = [
+            ctx.trigger(
+                bo_id,
+                update_rmw,
+                UpdateArgs(
+                    ts=ts,
+                    stored_ts=stored_ts,
+                    piece=Chunk(ts, oracle.get(bo_id)),
+                    replica=replica,
+                    k=self.setup.k,
+                ),
+                label="update",
+            )
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        return "ok"

@@ -1,0 +1,158 @@
+"""Register-protocol plumbing shared by all four emulations.
+
+A register protocol supplies the kernel with per-base-object initial state
+and generator coroutines for the high-level ``write``/``read`` operations.
+The :class:`RegisterSetup` fixes the paper's parameters: ``f`` (crashes
+tolerated), ``k`` (code dimension), ``D`` (data size), and derives
+``n = 2f + k`` base objects — so any two ``(n - f)``-quorums intersect in at
+least ``k`` objects, the quorum fact every correctness proof in Section 5
+leans on. ``k = 1`` degenerates to replication with ``n = 2f + 1``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+from repro.coding.oracles import BlockSource, CodeBlock
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.coding.scheme import CodingScheme
+from repro.errors import ParameterError
+from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.sim.client import OperationContext
+
+#: Pseudo-operation uid that "wrote" the initial value v0.
+INITIAL_OP_UID = -1
+
+OpGenerator = Generator[Any, None, Any]
+
+
+@dataclass(frozen=True)
+class RegisterSetup:
+    """Problem parameters: failures, code dimension, and data size."""
+
+    f: int
+    k: int
+    data_size_bytes: int
+    initial_value: bytes | None = None
+    scheme_factory: Callable[["RegisterSetup"], CodingScheme] | None = None
+
+    def __post_init__(self) -> None:
+        if self.f < 1:
+            raise ParameterError("f must be >= 1 (otherwise nothing to tolerate)")
+        if self.k < 1:
+            raise ParameterError("k must be >= 1")
+        if self.scheme_factory is None and self.data_size_bytes % self.k != 0:
+            # The default RS scheme shards evenly; a custom factory (e.g.
+            # a PaddedScheme) may support any size.
+            raise ParameterError(
+                "data_size_bytes must be divisible by k (or supply a "
+                "scheme_factory that handles padding)"
+            )
+        if (
+            self.initial_value is not None
+            and len(self.initial_value) != self.data_size_bytes
+        ):
+            raise ParameterError("initial_value must have data_size_bytes bytes")
+
+    @property
+    def n(self) -> int:
+        """Number of base objects: ``n = 2f + k``."""
+        return 2 * self.f + self.k
+
+    @property
+    def quorum(self) -> int:
+        """Round quorum size ``n - f``."""
+        return self.n - self.f
+
+    @property
+    def data_size_bits(self) -> int:
+        return self.data_size_bytes * 8
+
+    def v0(self) -> bytes:
+        """The register's initial value (all-zero unless overridden)."""
+        if self.initial_value is not None:
+            return self.initial_value
+        return bytes(self.data_size_bytes)
+
+    def build_scheme(self) -> CodingScheme:
+        """Build the k-of-n coding scheme (systematic RS by default)."""
+        if self.scheme_factory is not None:
+            return self.scheme_factory(self)
+        return ReedSolomonCode(self.k, self.n, self.data_size_bytes)
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A timestamped code block (Algorithm 1's ``Chunks``)."""
+
+    ts: Timestamp
+    block: CodeBlock
+
+    @property
+    def index(self) -> int:
+        return self.block.index
+
+
+def initial_chunk(scheme: CodingScheme, v0: bytes, index: int) -> Chunk:
+    """Build the initial chunk ``<<v0_i, i>, <0, 0>>`` for base object i."""
+    payload = scheme.encode_block(v0, index)
+    block = CodeBlock(
+        payload=payload,
+        index=index,
+        source=BlockSource(INITIAL_OP_UID, index),
+        size_bits=scheme.block_size_bits(index),
+    )
+    return Chunk(TS_ZERO, block)
+
+
+def group_by_timestamp(chunks: Iterable[Chunk]) -> dict[Timestamp, dict[int, Chunk]]:
+    """Group chunks by timestamp, deduplicating block indices within each.
+
+    Because a timestamp identifies one write and block numbers identify
+    positions, ``(ts, index)`` pins a unique payload; duplicates are safe to
+    collapse.
+    """
+    grouped: dict[Timestamp, dict[int, Chunk]] = {}
+    for chunk in chunks:
+        grouped.setdefault(chunk.ts, {})[chunk.index] = chunk
+    return grouped
+
+
+class RegisterProtocol(ABC):
+    """Interface the kernel drives: state factory + operation coroutines."""
+
+    #: Short name used in benchmark tables.
+    name: str = "abstract"
+
+    def __init__(self, setup: RegisterSetup) -> None:
+        self.setup = setup
+        self.scheme = setup.build_scheme()
+
+    @property
+    def n(self) -> int:
+        return self.setup.n
+
+    @property
+    def quorum(self) -> int:
+        return self.setup.quorum
+
+    @abstractmethod
+    def initial_bo_state(self, bo_id: int) -> Any:
+        """Return base object ``bo_id``'s initial state."""
+
+    @abstractmethod
+    def write_gen(self, ctx: OperationContext, value: bytes) -> OpGenerator:
+        """Return the coroutine implementing ``write(value)``."""
+
+    @abstractmethod
+    def read_gen(self, ctx: OperationContext) -> OpGenerator:
+        """Return the coroutine implementing ``read()``."""
+
+
+@dataclass
+class RoundResult:
+    """What one quorum round of RMWs produced."""
+
+    responses: list[Any] = field(default_factory=list)

@@ -1,0 +1,218 @@
+"""Simplified Coded Atomic Storage (CAS) — the paper's reference [6].
+
+Cadambe, Lynch, Medard, Musial, *A coded shared atomic memory algorithm
+for message passing architectures* (NCA 2014), is one of the named
+algorithms whose storage the paper characterises as ``O(cD)``. This module
+implements its core mechanism adapted to the RMW base-object model:
+
+* every stored piece carries a *label*: ``PRE`` (pre-written) or ``FIN``
+  (finalized);
+* a write runs four rounds — query the highest finalized tag, *pre-write*
+  its pieces, *finalize* its tag, and garbage-collect older tags;
+* a read queries the highest finalized tag it can see and returns that
+  tag's value once ``k`` pieces are gathered (re-querying while writes
+  race ahead), then *propagates* the finalization (write-back) before
+  returning — the step that buys atomicity.
+
+Storage behaviour matches the paper's critique: pre-written pieces of
+concurrent writes pile up (a piece cannot be discarded before its write
+finalizes — a reader might need it), so under ``c`` concurrent writes each
+object holds up to ``c + 1`` pieces: ``Theta(c n D / k)`` peak, with GC
+restoring ``n D / k`` in quiescence.
+
+This is a simplification of CAS (single-object RMWs instead of message
+channels, reader-side decode via this package's oracles), preserving the
+tag/label state machine, the quorum arithmetic (``n = 2f + k``), the
+atomicity mechanism, and the storage profile.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.registers.base import (
+    Chunk,
+    OpGenerator,
+    RegisterProtocol,
+    group_by_timestamp,
+    initial_chunk,
+)
+from repro.registers.timestamps import TS_ZERO, Timestamp, max_timestamp
+from repro.sim.actions import WaitResponses
+from repro.sim.client import OperationContext
+
+
+class Label(enum.Enum):
+    PRE = "pre"
+    FIN = "fin"
+
+
+@dataclass(frozen=True)
+class TaggedChunk:
+    """A piece with its CAS label."""
+
+    chunk: Chunk
+    label: Label
+
+    @property
+    def ts(self) -> Timestamp:
+        return self.chunk.ts
+
+    @property
+    def index(self) -> int:
+        return self.chunk.index
+
+
+@dataclass(frozen=True)
+class CASState:
+    """Base-object state: labelled pieces + highest finalized tag seen."""
+
+    pieces: tuple[TaggedChunk, ...]
+    fin_ts: Timestamp
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    fin_ts: Timestamp
+    chunks: tuple[TaggedChunk, ...]
+
+
+@dataclass(frozen=True)
+class PreWriteArgs:
+    piece: Chunk
+
+
+@dataclass(frozen=True)
+class FinalizeArgs:
+    ts: Timestamp
+
+
+@dataclass(frozen=True)
+class GCArgs:
+    ts: Timestamp
+
+
+def query_rmw(state: CASState, args: None) -> tuple[CASState, QueryResponse]:
+    return state, QueryResponse(state.fin_ts, state.pieces)
+
+
+def pre_write_rmw(state: CASState, args: PreWriteArgs) -> tuple[CASState, None]:
+    """Store the piece labelled PRE (idempotent per (ts, index))."""
+    if any(p.ts == args.piece.ts and p.index == args.piece.index
+           for p in state.pieces):
+        return state, None
+    pieces = state.pieces + (TaggedChunk(args.piece, Label.PRE),)
+    return CASState(pieces, state.fin_ts), None
+
+
+def finalize_rmw(state: CASState, args: FinalizeArgs) -> tuple[CASState, None]:
+    """Relabel the tag's pieces FIN and raise the finalized watermark."""
+    pieces = tuple(
+        TaggedChunk(p.chunk, Label.FIN) if p.ts == args.ts else p
+        for p in state.pieces
+    )
+    return CASState(pieces, max_timestamp(state.fin_ts, args.ts)), None
+
+
+def gc_rmw(state: CASState, args: GCArgs) -> tuple[CASState, None]:
+    """Drop pieces strictly below the completed tag."""
+    pieces = tuple(p for p in state.pieces if p.ts >= args.ts)
+    return CASState(pieces, max_timestamp(state.fin_ts, args.ts)), None
+
+
+class CASRegister(RegisterProtocol):
+    """Atomic coded register with CAS's tag/label protocol."""
+
+    name = "cas"
+
+    def initial_bo_state(self, bo_id: int) -> CASState:
+        chunk = initial_chunk(self.scheme, self.setup.v0(), bo_id)
+        return CASState((TaggedChunk(chunk, Label.FIN),), TS_ZERO)
+
+    # -------------------------------------------------------------- rounds
+
+    def _query_round(self, ctx: OperationContext) -> OpGenerator:
+        handles = [
+            ctx.trigger(bo_id, query_rmw, None, label="query")
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        return [handle.response for handle in handles if handle.responded]
+
+    def _broadcast(self, ctx: OperationContext, fn, args_for, label: str
+                   ) -> OpGenerator:
+        handles = [
+            ctx.trigger(bo_id, fn, args_for(bo_id), label=label)
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        return None
+
+    # ----------------------------------------------------------------- ops
+
+    def write_gen(self, ctx: OperationContext, value: bytes) -> OpGenerator:
+        oracle = ctx.new_encode_oracle()
+        responses = yield from self._query_round(ctx)
+        max_num = max(
+            max((p.ts.num for p in r.chunks), default=0)
+            for r in responses
+        )
+        max_num = max(max_num, max(r.fin_ts.num for r in responses))
+        ts = Timestamp(max_num + 1, ctx.client.name)
+        yield from self._broadcast(
+            ctx, pre_write_rmw,
+            lambda bo_id: PreWriteArgs(Chunk(ts, oracle.get(bo_id))),
+            "pre-write",
+        )
+        yield from self._broadcast(
+            ctx, finalize_rmw, lambda _bo_id: FinalizeArgs(ts), "finalize"
+        )
+        yield from self._broadcast(
+            ctx, gc_rmw, lambda _bo_id: GCArgs(ts), "gc"
+        )
+        return "ok"
+
+    def read_gen(self, ctx: OperationContext) -> OpGenerator:
+        """Return the highest finalized tag's value, then propagate it.
+
+        The candidate tag must be finalized *somewhere* (``fin_ts`` or a
+        FIN-labelled piece) and decodable from the round's pieces of that
+        tag (PRE pieces of the tag are usable — the tag being finalized
+        anywhere proves its write passed the pre-write quorum).
+        """
+        k = self.setup.k
+        while True:
+            responses = yield from self._query_round(ctx)
+            fin_watermark = max_timestamp(*(r.fin_ts for r in responses))
+            finalized_tags = {fin_watermark}
+            for response in responses:
+                for piece in response.chunks:
+                    if piece.label is Label.FIN:
+                        finalized_tags.add(piece.ts)
+            chunks = [
+                piece.chunk for response in responses
+                for piece in response.chunks
+            ]
+            grouped = group_by_timestamp(chunks)
+            candidates = [
+                ts
+                for ts, indexed in grouped.items()
+                if ts in finalized_tags
+                and ts >= fin_watermark
+                and len(indexed) >= k
+            ]
+            if not candidates:
+                continue
+            best = max(candidates)
+            # Write-back: propagate the finalization before returning.
+            yield from self._broadcast(
+                ctx, finalize_rmw, lambda _bo_id: FinalizeArgs(best),
+                "read-finalize",
+            )
+            oracle = ctx.new_decode_oracle()
+            for chunk in grouped[best].values():
+                oracle.push(chunk.block)
+            return oracle.done()

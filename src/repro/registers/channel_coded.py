@@ -1,0 +1,181 @@
+"""A channel-parking coded register (the Section 3.2 evasion attempt).
+
+Some erasure-coded algorithms ([5, 8] in the paper) keep *base-object*
+storage small — one piece per object — by letting information ride in the
+network: writers' in-flight messages carry the pieces, and readers
+accumulate pieces across repeated rounds. The paper's response (Section
+3.2) is that its cost model charges channels too ("since we define
+parameters and responses of pending RMWs to be part of clients' and base
+objects' states, information in channels is counted"), so these algorithms
+do not evade Theorem 1.
+
+This register makes that argument executable:
+
+* each base object stores exactly **one** timestamped piece (plus a
+  ``stored_ts`` watermark), so bo-state storage is a flat ``n * D / k``;
+* writes take three rounds — read timestamps, update (replace-if-newer),
+  confirm (raise the watermark);
+* reads loop, accumulating pieces **across rounds** in their decode oracle
+  until some timestamp at/above the highest watermark seen has ``k``
+  distinct pieces (same-timestamp pieces always belong to one write, so
+  cross-round mixing is safe).
+
+Under ``c`` concurrent writers the Definition 2 cost still grows with
+``c``: every outstanding write keeps ``n`` piece-carrying update RMWs in
+flight. The benchmark ``bench_channel_parking.py`` measures exactly that
+split (flat bo-state vs growing total).
+
+**Liveness caveat (and why Theorem 1 does not cover this register).**
+With one piece per object, concurrent writes overwrite each other's
+pieces; a run can fragment the system into ``n`` objects holding ``n``
+*different* timestamps, where no value has ``k`` pieces and a solo reader
+loops forever. In this package's kernel a client triggers a whole round
+atomically, so fair runs always converge and FW-termination holds here —
+but at the paper's finer granularity (a writer may crash after a single
+trigger) the fragmented state is reachable permanently, so the algorithm
+is **not lock-free** in the paper's model. This matters: under the
+adversary Ad, overwrites keep shrinking each write's storage contribution,
+ops cycle back into ``C-``, and writes *complete* — escaping Lemma 3's
+disjunction (see ``bench_t1_lower_bound.py``). The escape is bought
+exactly by giving up lock-freedom, which Theorem 1 assumes; the real
+ORCAS [8] avoids the fragmentation by falling back to full replicas in
+the channels — landing on the O(cD) cost the paper describes either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.registers.base import (
+    Chunk,
+    OpGenerator,
+    RegisterProtocol,
+    initial_chunk,
+)
+from repro.registers.timestamps import TS_ZERO, Timestamp, max_timestamp
+from repro.sim.actions import WaitResponses
+from repro.sim.client import OperationContext
+
+
+@dataclass(frozen=True)
+class ChannelCodedState:
+    """One piece plus the completeness watermark."""
+
+    chunk: Chunk
+    stored_ts: Timestamp
+
+
+@dataclass(frozen=True)
+class ReadResponse:
+    chunk: Chunk
+    stored_ts: Timestamp
+
+
+@dataclass(frozen=True)
+class UpdateArgs:
+    piece: Chunk
+
+
+@dataclass(frozen=True)
+class ConfirmArgs:
+    ts: Timestamp
+
+
+def read_rmw(
+    state: ChannelCodedState, args: None
+) -> tuple[ChannelCodedState, ReadResponse]:
+    return state, ReadResponse(state.chunk, state.stored_ts)
+
+
+def update_rmw(
+    state: ChannelCodedState, args: UpdateArgs
+) -> tuple[ChannelCodedState, None]:
+    """Replace the stored piece iff the incoming one is newer."""
+    if args.piece.ts > state.chunk.ts:
+        return ChannelCodedState(args.piece, state.stored_ts), None
+    return state, None
+
+
+def confirm_rmw(
+    state: ChannelCodedState, args: ConfirmArgs
+) -> tuple[ChannelCodedState, None]:
+    """Raise the completeness watermark after a quorum holds the write."""
+    stored_ts = max_timestamp(state.stored_ts, args.ts)
+    return ChannelCodedState(state.chunk, stored_ts), None
+
+
+class ChannelCodedRegister(RegisterProtocol):
+    """Regular register with one-piece objects and channel-borne cost."""
+
+    name = "channel-coded"
+
+    def initial_bo_state(self, bo_id: int) -> ChannelCodedState:
+        chunk = initial_chunk(self.scheme, self.setup.v0(), bo_id)
+        return ChannelCodedState(chunk, TS_ZERO)
+
+    def _read_round(self, ctx: OperationContext) -> OpGenerator:
+        handles = [
+            ctx.trigger(bo_id, read_rmw, None, label="readValue")
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        return [handle.response for handle in handles if handle.responded]
+
+    def write_gen(self, ctx: OperationContext, value: bytes) -> OpGenerator:
+        oracle = ctx.new_encode_oracle()
+        responses = yield from self._read_round(ctx)
+        max_num = max(
+            max(r.chunk.ts.num for r in responses),
+            max(r.stored_ts.num for r in responses),
+        )
+        ts = Timestamp(max_num + 1, ctx.client.name)
+        handles = [
+            ctx.trigger(
+                bo_id,
+                update_rmw,
+                UpdateArgs(Chunk(ts, oracle.get(bo_id))),
+                label="update",
+            )
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        handles = [
+            ctx.trigger(bo_id, confirm_rmw, ConfirmArgs(ts), label="confirm")
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        return "ok"
+
+    def read_gen(self, ctx: OperationContext) -> OpGenerator:
+        """Accumulate pieces across rounds until a watermarked ts decodes.
+
+        Pieces go straight into the decode oracle (one attempt per
+        timestamp) — per Definition 1/2 the oracle is where a reader's
+        gathered blocks live, and its state is not charged as storage. The
+        coroutine keeps only meta-data: which indices each timestamp has.
+        """
+        k = self.setup.k
+        oracle = ctx.new_decode_oracle()
+        attempt_of: dict[Timestamp, int] = {}
+        indices_of: dict[Timestamp, set[int]] = {}
+        threshold = TS_ZERO
+        while True:
+            responses = yield from self._read_round(ctx)
+            for response in responses:
+                chunk = response.chunk
+                attempt = attempt_of.setdefault(chunk.ts, len(attempt_of))
+                oracle.push(chunk.block, attempt)
+                indices_of.setdefault(chunk.ts, set()).add(chunk.index)
+                threshold = max_timestamp(threshold, response.stored_ts)
+            candidates = [
+                ts
+                for ts, indices in indices_of.items()
+                if ts >= threshold and len(indices) >= k
+            ]
+            if not candidates:
+                continue
+            best = max(candidates)
+            return oracle.done(attempt_of[best])

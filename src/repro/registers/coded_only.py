@@ -1,0 +1,148 @@
+"""A pure erasure-coded register with unbounded piece sets.
+
+This models the coded storage algorithms the paper's introduction critiques
+([5, 6, 8, 9]): coded data cannot be reconstructed from one node, so a
+writer may not delete other writers' in-flight pieces — and under ``c``
+concurrent writes every base object accumulates up to ``c + 1`` pieces,
+for ``Theta(c * n * D / k) = O(cD)`` total storage. The paper's Corollary 2
+says this is inherent for *any* black-box algorithm that never stores a
+full replica in ``f + 1`` objects; this register is the executable witness.
+
+Structurally it is the adaptive algorithm with the ``|Vp| < k`` cap and the
+``Vf`` replica fallback removed: pieces always go to the (unbounded) piece
+set, garbage collection still runs in the write's third round, reads retry
+until a decodable timestamp appears (FW-termination). Regularity is
+preserved — only the storage bound degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.registers.base import (
+    Chunk,
+    OpGenerator,
+    RegisterProtocol,
+    group_by_timestamp,
+    initial_chunk,
+)
+from repro.registers.timestamps import TS_ZERO, Timestamp, max_timestamp
+from repro.sim.actions import WaitResponses
+from repro.sim.client import OperationContext
+
+
+@dataclass(frozen=True)
+class CodedOnlyState:
+    """Base-object state: storedTS plus an *unbounded* piece set."""
+
+    stored_ts: Timestamp
+    vp: tuple[Chunk, ...]
+
+
+@dataclass(frozen=True)
+class ReadValueResponse:
+    stored_ts: Timestamp
+    chunks: tuple[Chunk, ...]
+
+
+@dataclass(frozen=True)
+class UpdateArgs:
+    ts: Timestamp
+    stored_ts: Timestamp
+    piece: Chunk
+
+
+@dataclass(frozen=True)
+class GCArgs:
+    ts: Timestamp
+
+
+def read_rmw(
+    state: CodedOnlyState, args: None
+) -> tuple[CodedOnlyState, ReadValueResponse]:
+    return state, ReadValueResponse(state.stored_ts, state.vp)
+
+
+def update_rmw(state: CodedOnlyState, args: UpdateArgs) -> tuple[CodedOnlyState, None]:
+    """Store the piece unconditionally (no cap, no replica fallback)."""
+    if args.ts <= state.stored_ts:  # stale write
+        return state, None
+    vp = tuple(c for c in state.vp if c.ts >= args.stored_ts) + (args.piece,)
+    stored_ts = max_timestamp(state.stored_ts, args.stored_ts)
+    return CodedOnlyState(stored_ts, vp), None
+
+
+def gc_rmw(state: CodedOnlyState, args: GCArgs) -> tuple[CodedOnlyState, None]:
+    """Delete pieces older than the completed write's timestamp."""
+    vp = tuple(c for c in state.vp if c.ts >= args.ts)
+    stored_ts = max_timestamp(state.stored_ts, args.ts)
+    return CodedOnlyState(stored_ts, vp), None
+
+
+class CodedOnlyRegister(RegisterProtocol):
+    """Regular, FW-terminating, but ``O(cD)`` storage under concurrency."""
+
+    name = "coded-only"
+
+    def initial_bo_state(self, bo_id: int) -> CodedOnlyState:
+        chunk = initial_chunk(self.scheme, self.setup.v0(), bo_id)
+        return CodedOnlyState(stored_ts=TS_ZERO, vp=(chunk,))
+
+    def read_value_round(self, ctx: OperationContext) -> OpGenerator:
+        handles = [
+            ctx.trigger(bo_id, read_rmw, None, label="readValue")
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        responses: list[ReadValueResponse] = [
+            handle.response for handle in handles if handle.responded
+        ]
+        stored_ts = max_timestamp(*(r.stored_ts for r in responses))
+        chunks = [chunk for r in responses for chunk in r.chunks]
+        return stored_ts, chunks
+
+    def write_gen(self, ctx: OperationContext, value: bytes) -> OpGenerator:
+        oracle = ctx.new_encode_oracle()
+        stored_ts, chunks = yield from self.read_value_round(ctx)
+        max_num = max(
+            stored_ts.num, max((chunk.ts.num for chunk in chunks), default=0)
+        )
+        ts = Timestamp(max_num + 1, ctx.client.name)
+        handles = [
+            ctx.trigger(
+                bo_id,
+                update_rmw,
+                UpdateArgs(ts=ts, stored_ts=stored_ts,
+                           piece=Chunk(ts, oracle.get(bo_id))),
+                label="update",
+            )
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        handles = [
+            ctx.trigger(bo_id, gc_rmw, GCArgs(ts=ts), label="gc")
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        return "ok"
+
+    def read_gen(self, ctx: OperationContext) -> OpGenerator:
+        k = self.setup.k
+        while True:
+            stored_ts, chunks = yield from self.read_value_round(ctx)
+            groups = group_by_timestamp(chunks)
+            candidates = [
+                ts
+                for ts, indexed in groups.items()
+                if ts >= stored_ts and len(indexed) >= k
+            ]
+            if not candidates:
+                continue
+            best = max(candidates)
+            oracle = ctx.new_decode_oracle()
+            for chunk in groups[best].values():
+                oracle.push(chunk.block)
+            return oracle.done()

@@ -1,0 +1,107 @@
+"""The safe, wait-free register of Appendix E (Algorithms 4-5).
+
+Each base object stores exactly one timestamped piece, so the storage is
+always ``n * D / k = (2f/k + 1) * D`` bits (Corollary 7) — *below* the
+Theorem 1 bound, which is possible only because safe semantics lets a read
+that is concurrent with writes return anything. The paper includes this
+algorithm to show the lower bound genuinely hinges on regularity.
+
+* Writes: one read round (pick a timestamp) + one update round.
+* Reads: a single read round; if no timestamp has ``k`` distinct pieces,
+  some write is concurrent and the read may return ``v0`` (Appendix E's
+  argument: such a read is concurrent with a write, so safeness allows any
+  return value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.registers.base import (
+    Chunk,
+    OpGenerator,
+    RegisterProtocol,
+    group_by_timestamp,
+    initial_chunk,
+)
+from repro.registers.timestamps import Timestamp
+from repro.sim.actions import WaitResponses
+from repro.sim.client import OperationContext
+
+
+@dataclass(frozen=True)
+class SafeState:
+    """Base-object state: exactly one timestamped piece."""
+
+    chunk: Chunk
+
+
+@dataclass(frozen=True)
+class SafeUpdateArgs:
+    """Parameters of the safe register's update RMW."""
+
+    chunk: Chunk
+
+
+def read_rmw(state: SafeState, args: None) -> tuple[SafeState, Chunk]:
+    """Return the stored chunk (Algorithm 5, line 23)."""
+    return state, state.chunk
+
+
+def update_rmw(state: SafeState, args: SafeUpdateArgs) -> tuple[SafeState, None]:
+    """``update(bo, w, ts)`` (lines 10-12): overwrite iff newer."""
+    if args.chunk.ts > state.chunk.ts:
+        return SafeState(args.chunk), None
+    return state, None
+
+
+class SafeCodedRegister(RegisterProtocol):
+    """Wait-free strongly safe MWMR register with ``nD/k`` storage."""
+
+    name = "safe-coded"
+
+    def initial_bo_state(self, bo_id: int) -> SafeState:
+        return SafeState(initial_chunk(self.scheme, self.setup.v0(), bo_id))
+
+    def _read_round(self, ctx: OperationContext) -> OpGenerator:
+        """``readValue()`` (lines 20-26): collect chunks from a quorum."""
+        handles = [
+            ctx.trigger(bo_id, read_rmw, None, label="readValue")
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        ctx.rounds += 1
+        return [handle.response for handle in handles if handle.responded]
+
+    def write_gen(self, ctx: OperationContext, value: bytes) -> OpGenerator:
+        """``write(v)`` (lines 1-9)."""
+        oracle = ctx.new_encode_oracle()  # line 2
+        chunks = yield from self._read_round(ctx)  # line 3
+        max_num = max(chunk.ts.num for chunk in chunks)
+        ts = Timestamp(max_num + 1, ctx.client.name)  # line 4
+        handles = [
+            ctx.trigger(
+                bo_id,
+                update_rmw,
+                SafeUpdateArgs(Chunk(ts, oracle.get(bo_id))),
+                label="update",
+            )
+            for bo_id in range(self.n)  # lines 5-6
+        ]
+        yield WaitResponses(handles, self.quorum)  # line 7
+        ctx.rounds += 1
+        return "ok"  # line 8
+
+    def read_gen(self, ctx: OperationContext) -> OpGenerator:
+        """``read()`` (lines 13-19): one round, decode or fall back to v0."""
+        chunks = yield from self._read_round(ctx)  # line 14
+        groups = group_by_timestamp(chunks)
+        k = self.setup.k
+        candidates = [ts for ts, indexed in groups.items() if len(indexed) >= k]
+        if not candidates:  # line 18: concurrent writes; v0 is a safe answer
+            return self.setup.v0()
+        best = max(candidates)  # deterministic choice among eligible (line 16)
+        oracle = ctx.new_decode_oracle()
+        for chunk in groups[best].values():
+            oracle.push(chunk.block)
+        return oracle.done()  # line 17

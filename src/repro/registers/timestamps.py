@@ -1,0 +1,43 @@
+"""Lexicographically ordered timestamps (Algorithm 1, line 1).
+
+``TimeStamps = N x Pi`` with selectors ``num`` and ``client``, ordered
+lexicographically — two writes by different clients that pick the same
+number are tie-broken by client name, so timestamps are unique per write
+(each client has at most one outstanding write and picks ``num`` strictly
+above everything it has read).
+
+Timestamps are meta-data: they carry no blocks, so the storage-cost meter
+treats them as free (Definition 2 ignores meta-data size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Timestamp:
+    """A (num, client) pair; dataclass ordering is exactly lexicographic."""
+
+    num: int
+    client: str
+
+    def next_for(self, client: str) -> "Timestamp":
+        """Return the smallest timestamp by ``client`` above this one."""
+        return Timestamp(self.num + 1, client)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ts({self.num},{self.client or '-'})"
+
+
+#: The timestamp of the initial value ``v0``.
+TS_ZERO = Timestamp(0, "")
+
+
+def max_timestamp(*timestamps: Timestamp) -> Timestamp:
+    """Return the largest of the given timestamps (``TS_ZERO`` if none)."""
+    best = TS_ZERO
+    for ts in timestamps:
+        if ts > best:
+            best = ts
+    return best

@@ -1,0 +1,61 @@
+"""The asynchronous fault-prone shared-memory simulator (Section 2).
+
+* :class:`~repro.sim.kernel.Simulation` — the kernel: base objects,
+  clients, pending/applied RMW queues, action execution.
+* :class:`~repro.sim.schedulers.FairScheduler` /
+  :class:`~repro.sim.schedulers.RandomScheduler` /
+  :class:`~repro.sim.schedulers.SequentialScheduler` — environments.
+* :class:`~repro.sim.failures.FailurePlan` — crash injection.
+* :class:`~repro.sim.trace.Trace` — run recording for the checkers.
+"""
+
+from repro.sim.actions import (
+    Action,
+    ActionKind,
+    Pause,
+    RMWHandle,
+    RMWStatus,
+    WaitResponses,
+)
+from repro.sim.base_object import BaseObject
+from repro.sim.client import Client, OperationContext
+from repro.sim.failures import (
+    FailurePlan,
+    after_op_returns,
+    after_ops_complete,
+    at_time,
+)
+from repro.sim.kernel import RunResult, Simulation
+from repro.sim.schedulers import (
+    FairScheduler,
+    RandomScheduler,
+    Scheduler,
+    SequentialScheduler,
+)
+from repro.sim.trace import EventKind, OpKind, OpRecord, Trace
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "BaseObject",
+    "Client",
+    "EventKind",
+    "FailurePlan",
+    "FairScheduler",
+    "OpKind",
+    "OpRecord",
+    "OperationContext",
+    "Pause",
+    "RMWHandle",
+    "RMWStatus",
+    "RandomScheduler",
+    "RunResult",
+    "Scheduler",
+    "SequentialScheduler",
+    "Simulation",
+    "Trace",
+    "WaitResponses",
+    "after_op_returns",
+    "after_ops_complete",
+    "at_time",
+]

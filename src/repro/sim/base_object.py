@@ -1,0 +1,50 @@
+"""Fault-prone atomic base objects (Section 2 of the paper).
+
+A base object holds arbitrary protocol state and changes it atomically via
+read-modify-write functions. Objects crash-fail: once crashed, pending RMWs
+on the object are dropped and it never responds again. The kernel — not the
+object — decides *when* a triggered RMW takes effect, which is what gives
+schedulers (including the paper's adversary Ad) full control over
+asynchrony.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ObjectCrashed
+
+#: Type of an RMW function: pure ``(state, args) -> (new_state, response)``.
+RMWFunction = Callable[[Any, Any], tuple[Any, Any]]
+
+
+class BaseObject:
+    """One atomic storage node."""
+
+    def __init__(self, bo_id: int, state: Any) -> None:
+        self.bo_id = bo_id
+        self.state = state
+        self.crashed = False
+        #: Number of RMWs that have taken effect (for traces/debugging).
+        self.applied_count = 0
+
+    def apply(self, fn: RMWFunction, args: Any) -> Any:
+        """Atomically apply ``fn`` and return its response.
+
+        The kernel guards against applying to crashed objects; reaching this
+        with ``crashed`` set indicates a kernel bug, hence the hard error.
+        """
+        if self.crashed:
+            raise ObjectCrashed(f"RMW applied to crashed base object {self.bo_id}")
+        new_state, response = fn(self.state, args)
+        self.state = new_state
+        self.applied_count += 1
+        return response
+
+    def crash(self) -> None:
+        """Crash the object. Idempotent."""
+        self.crashed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "crashed" if self.crashed else "live"
+        return f"<BaseObject {self.bo_id} {status} applied={self.applied_count}>"

@@ -1,0 +1,91 @@
+"""Crash-failure injection plans.
+
+A :class:`FailurePlan` decorates any scheduler with timed or predicate-based
+crashes so experiments can kill up to ``f`` base objects (and any number of
+clients) mid-run without hand-writing a scheduler. Crashes fire *before* the
+wrapped scheduler picks its next action, so a crash can pre-empt a response
+that was about to be delivered — the nastiest asynchronous case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.actions import Action
+from repro.sim.schedulers import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.kernel import Simulation
+
+CrashPredicate = Callable[["Simulation"], bool]
+
+
+@dataclass
+class BaseObjectCrash:
+    """Crash base object ``bo_id`` when ``when`` first returns True."""
+
+    bo_id: int
+    when: CrashPredicate
+    fired: bool = False
+
+
+@dataclass
+class ClientCrash:
+    """Crash client ``name`` when ``when`` first returns True."""
+
+    name: str
+    when: CrashPredicate
+    fired: bool = False
+
+
+def at_time(time: int) -> CrashPredicate:
+    """Crash once the simulation clock reaches ``time``."""
+    return lambda sim: sim.time >= time
+
+
+def after_ops_complete(count: int) -> CrashPredicate:
+    """Crash once ``count`` operations have returned."""
+    return lambda sim: len(sim.trace.completed_ops()) >= count
+
+
+def after_op_returns(op_uid: int) -> CrashPredicate:
+    """Crash once a specific operation has returned."""
+    return lambda sim: (
+        op_uid in sim.trace.ops and sim.trace.ops[op_uid].complete
+    )
+
+
+@dataclass
+class FailurePlan(Scheduler):
+    """Scheduler decorator that injects crashes.
+
+    Wraps ``inner``; before each scheduling decision, fires any due crash
+    (at most one per step, so traces stay readable).
+    """
+
+    inner: Scheduler
+    bo_crashes: list[BaseObjectCrash] = field(default_factory=list)
+    client_crashes: list[ClientCrash] = field(default_factory=list)
+
+    def crash_base_object(self, bo_id: int, when: CrashPredicate) -> "FailurePlan":
+        self.bo_crashes.append(BaseObjectCrash(bo_id, when))
+        return self
+
+    def crash_client(self, name: str, when: CrashPredicate) -> "FailurePlan":
+        self.client_crashes.append(ClientCrash(name, when))
+        return self
+
+    def next_action(self, sim: "Simulation") -> Action | None:
+        for crash in self.bo_crashes:
+            if not crash.fired and crash.when(sim):
+                crash.fired = True
+                sim.crash_base_object(crash.bo_id)
+                break
+        else:
+            for crash in self.client_crashes:
+                if not crash.fired and crash.when(sim):
+                    crash.fired = True
+                    sim.crash_client(crash.name)
+                    break
+        return self.inner.next_action(sim)

@@ -1,0 +1,348 @@
+"""The simulation kernel: asynchronous fault-prone shared memory.
+
+The kernel realises the paper's model (Section 2) exactly:
+
+* a set ``B`` of ``n`` base objects supporting atomic RMW, of which any
+  ``f`` may crash;
+* an unbounded set of clients, any number of which may crash;
+* an environment (here: a :class:`~repro.sim.schedulers.Scheduler`) that
+  decides, action by action, which enabled transition happens next —
+  stepping a client's local code, letting a pending RMW take effect, or
+  delivering an applied RMW's response.
+
+Because *triggering* an RMW and the RMW *taking effect* are separate
+transitions, a scheduler can hold any RMW pending indefinitely; because
+apply and delivery are also separate, responses can lag arbitrarily. This is
+precisely the freedom the paper's adversary Ad (Definition 7) exploits, and
+the freedom a fair scheduler must eventually resolve (Appendix A's fairness:
+every RMW by a correct client on a correct object eventually responds, and
+every correct client gets infinitely many opportunities to step).
+
+Granularity note: one ``STEP_CLIENT`` action advances a protocol coroutine
+to its next ``yield``, during which it may trigger several RMWs (the
+pseudo-code's ``|| for`` burst). Splitting the burst further would not change
+any bound: triggers have no shared-memory effect until applied, and the
+scheduler fully controls applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ParameterError, ProtocolError
+from repro.sim.actions import (
+    Action,
+    ActionKind,
+    AppliedRMW,
+    Pause,
+    PendingRMW,
+    RMWHandle,
+    RMWStatus,
+    WaitResponses,
+)
+from repro.sim.base_object import BaseObject
+from repro.sim.client import Client, OperationContext
+from repro.sim.trace import EventKind, OpKind, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.registers.base import RegisterProtocol
+    from repro.sim.schedulers import Scheduler
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Simulation.run`."""
+
+    steps: int
+    quiescent: bool
+    stopped_by_predicate: bool
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.quiescent and not self.stopped_by_predicate
+
+
+class Simulation:
+    """One run of a register protocol over fault-prone shared memory."""
+
+    def __init__(self, protocol: "RegisterProtocol", strict_waits: bool = True,
+                 keep_events: bool = True) -> None:
+        self.protocol = protocol
+        self.scheme = protocol.scheme
+        self.strict_waits = strict_waits
+        self.time = 0
+        self.trace = Trace(keep_events=keep_events)
+        self.base_objects = [
+            BaseObject(bo_id, protocol.initial_bo_state(bo_id))
+            for bo_id in range(protocol.n)
+        ]
+        self.clients: dict[str, Client] = {}
+        self.pending: dict[int, PendingRMW] = {}
+        self.applied: dict[int, AppliedRMW] = {}
+        self._next_rmw_id = 0
+        self._next_op_uid = 0
+
+    # ------------------------------------------------------------- clients
+
+    def add_client(self, name: str) -> Client:
+        if name in self.clients:
+            raise ParameterError(f"duplicate client name {name!r}")
+        client = Client(name, self)
+        self.clients[name] = client
+        return client
+
+    def client(self, name: str) -> Client:
+        return self.clients[name]
+
+    # ------------------------------------------------------------ triggers
+
+    def register_rmw(
+        self,
+        ctx: OperationContext,
+        bo_id: int,
+        fn: Any,
+        args: Any,
+        label: str,
+    ) -> RMWHandle:
+        """Record a pending RMW (called via ``OperationContext.trigger``)."""
+        if not 0 <= bo_id < len(self.base_objects):
+            raise ProtocolError(f"trigger on unknown base object {bo_id}")
+        rmw_id = self._next_rmw_id
+        self._next_rmw_id += 1
+        handle = RMWHandle(
+            rmw_id=rmw_id,
+            bo_id=bo_id,
+            op_uid=ctx.op_uid,
+            label=label,
+        )
+        if self.base_objects[bo_id].crashed:
+            # Triggering on a crashed object is allowed; it just never responds.
+            handle.status = RMWStatus.DROPPED
+            self.trace.event(
+                self.time, EventKind.DROP, rmw=rmw_id, bo=bo_id, reason="crashed"
+            )
+            return handle
+        self.pending[rmw_id] = PendingRMW(
+            rmw_id=rmw_id,
+            bo_id=bo_id,
+            client_name=ctx.client.name,
+            op_uid=ctx.op_uid,
+            fn=fn,
+            args=args,
+            label=label,
+            handle=handle,
+            trigger_time=self.time,
+        )
+        self.trace.event(
+            self.time, EventKind.TRIGGER, rmw=rmw_id, bo=bo_id,
+            client=ctx.client.name, label=label,
+        )
+        return handle
+
+    # ----------------------------------------------------- enabled actions
+
+    def runnable_clients(self) -> list[Client]:
+        return [client for client in self.clients.values() if client.runnable()]
+
+    def appliable_rmws(self) -> list[PendingRMW]:
+        """Pending RMWs whose base object is live, oldest first."""
+        return sorted(
+            (
+                rmw
+                for rmw in self.pending.values()
+                if not self.base_objects[rmw.bo_id].crashed
+            ),
+            key=lambda rmw: rmw.rmw_id,
+        )
+
+    def deliverable_responses(self) -> list[AppliedRMW]:
+        """Applied RMWs whose client is live, oldest first."""
+        return sorted(
+            (
+                rmw
+                for rmw in self.applied.values()
+                if not self.clients[rmw.client_name].crashed
+            ),
+            key=lambda rmw: rmw.rmw_id,
+        )
+
+    def enabled_actions(self) -> list[Action]:
+        actions = [
+            Action(ActionKind.STEP_CLIENT, client.name)
+            for client in self.runnable_clients()
+        ]
+        actions.extend(
+            Action(ActionKind.APPLY, rmw.rmw_id) for rmw in self.appliable_rmws()
+        )
+        actions.extend(
+            Action(ActionKind.DELIVER, rmw.rmw_id)
+            for rmw in self.deliverable_responses()
+        )
+        return actions
+
+    def quiescent(self) -> bool:
+        return not self.enabled_actions()
+
+    # ------------------------------------------------------------- actions
+
+    def execute(self, action: Action) -> None:
+        """Perform one schedulable action and advance time."""
+        if action.kind is ActionKind.STEP_CLIENT:
+            self.step_client(self.clients[action.target])
+        elif action.kind is ActionKind.APPLY:
+            self.apply_rmw(action.target)
+        elif action.kind is ActionKind.DELIVER:
+            self.deliver_response(action.target)
+        elif action.kind is ActionKind.APPLY_DELIVER:
+            self.apply_rmw(action.target)
+            self.deliver_response(action.target)
+        else:  # pragma: no cover - exhaustive enum
+            raise ParameterError(f"unknown action {action}")
+
+    def step_client(self, client: Client) -> None:
+        """Advance a client's coroutine to its next yield (or start an op)."""
+        self.time += 1
+        if client.crashed:
+            raise ProtocolError(f"stepping crashed client {client.name}")
+        if client.current is None:
+            if not client.queue:
+                return
+            queued = client.queue.popleft()
+            ctx = OperationContext(
+                kernel=self,
+                client=client,
+                op_uid=self._next_op_uid,
+                kind=queued.kind,
+                value=queued.value,
+            )
+            self._next_op_uid += 1
+            client.current = ctx
+            self.trace.record_invoke(
+                self.time, ctx.op_uid, client.name, queued.kind, queued.value
+            )
+            if queued.kind is OpKind.WRITE:
+                ctx.generator = self.protocol.write_gen(ctx, queued.value)
+            else:
+                ctx.generator = self.protocol.read_gen(ctx)
+        ctx = client.current
+        waiting = ctx.waiting
+        if isinstance(waiting, WaitResponses) and not waiting.satisfied():
+            if self.strict_waits and waiting.unsatisfiable():
+                raise ProtocolError(
+                    f"client {client.name} waits for {waiting.need} responses "
+                    "that can never arrive (too many crashes)"
+                )
+            return  # not actually runnable; benign no-op for lenient schedulers
+        ctx.waiting = None
+        try:
+            yielded = ctx.generator.send(None)
+        except StopIteration as stop:
+            self._complete_op(client, ctx, stop.value)
+            return
+        if isinstance(yielded, (WaitResponses, Pause)):
+            ctx.waiting = yielded
+        else:
+            raise ProtocolError(
+                f"protocol yielded {type(yielded).__name__}; expected "
+                "WaitResponses or Pause"
+            )
+
+    def _complete_op(self, client: Client, ctx: OperationContext, result: Any) -> None:
+        ctx.expire_oracles()
+        self.trace.record_return(self.time, ctx.op_uid, result)
+        client.current = None
+        client.completed_ops += 1
+
+    def apply_rmw(self, rmw_id: int) -> None:
+        """Let a pending RMW take effect on its base object."""
+        self.time += 1
+        rmw = self.pending.pop(rmw_id, None)
+        if rmw is None:
+            raise ProtocolError(f"apply of unknown/settled RMW {rmw_id}")
+        base_object = self.base_objects[rmw.bo_id]
+        response = base_object.apply(rmw.fn, rmw.args)
+        rmw.handle.status = RMWStatus.APPLIED
+        self.applied[rmw_id] = AppliedRMW(
+            rmw_id=rmw_id,
+            bo_id=rmw.bo_id,
+            client_name=rmw.client_name,
+            op_uid=rmw.op_uid,
+            response=response,
+            handle=rmw.handle,
+            apply_time=self.time,
+        )
+        self.trace.event(
+            self.time, EventKind.APPLY, rmw=rmw_id, bo=rmw.bo_id,
+            client=rmw.client_name, label=rmw.label,
+        )
+
+    def deliver_response(self, rmw_id: int) -> None:
+        """Deliver an applied RMW's response to its client."""
+        self.time += 1
+        rmw = self.applied.pop(rmw_id, None)
+        if rmw is None:
+            raise ProtocolError(f"delivery of unknown/settled RMW {rmw_id}")
+        client = self.clients[rmw.client_name]
+        if client.crashed:
+            rmw.handle.status = RMWStatus.DROPPED
+            self.trace.event(
+                self.time, EventKind.DROP, rmw=rmw_id, reason="client-crashed"
+            )
+            return
+        rmw.handle.response = rmw.response
+        rmw.handle.status = RMWStatus.DELIVERED
+        self.trace.event(
+            self.time, EventKind.DELIVER, rmw=rmw_id, client=rmw.client_name
+        )
+
+    # -------------------------------------------------------------- crashes
+
+    def crash_base_object(self, bo_id: int) -> None:
+        """Crash a base object; its pending work is dropped."""
+        self.time += 1
+        base_object = self.base_objects[bo_id]
+        base_object.crash()
+        for rmw_id in [r for r, rmw in self.pending.items() if rmw.bo_id == bo_id]:
+            rmw = self.pending.pop(rmw_id)
+            rmw.handle.status = RMWStatus.DROPPED
+        for rmw_id in [r for r, rmw in self.applied.items() if rmw.bo_id == bo_id]:
+            rmw = self.applied.pop(rmw_id)
+            rmw.handle.status = RMWStatus.DROPPED
+        self.trace.event(self.time, EventKind.CRASH_BO, bo=bo_id)
+
+    def crash_client(self, name: str) -> None:
+        """Crash a client. Its already-triggered RMWs may still take effect."""
+        self.time += 1
+        self.clients[name].crash()
+        self.trace.event(self.time, EventKind.CRASH_CLIENT, client=name)
+
+    def crashed_base_objects(self) -> int:
+        return sum(1 for bo in self.base_objects if bo.crashed)
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        scheduler: "Scheduler",
+        max_steps: int = 200_000,
+        until: Callable[["Simulation"], bool] | None = None,
+        on_action: Callable[["Simulation", Action], None] | None = None,
+    ) -> RunResult:
+        """Drive the simulation with ``scheduler``.
+
+        Stops when the scheduler reports quiescence (returns ``None``), the
+        ``until`` predicate fires, or ``max_steps`` actions have executed.
+        """
+        steps = 0
+        while steps < max_steps:
+            if until is not None and until(self):
+                return RunResult(steps, quiescent=False, stopped_by_predicate=True)
+            action = scheduler.next_action(self)
+            if action is None:
+                return RunResult(steps, quiescent=True, stopped_by_predicate=False)
+            self.execute(action)
+            if on_action is not None:
+                on_action(self, action)
+            steps += 1
+        return RunResult(steps, quiescent=False, stopped_by_predicate=False)

@@ -1,0 +1,184 @@
+"""Schedulers: the paper's "environment".
+
+A scheduler picks the next enabled action. Three non-adversarial policies
+live here; the paper's freezing adversary Ad (Definition 7) lives in
+:mod:`repro.lowerbound.adversary` and plugs into the same interface.
+
+* :class:`FairScheduler` produces *fair runs* (Appendix A): every pending
+  RMW on a live object is eventually applied and delivered, and every
+  runnable client is eventually stepped. It rotates between the three action
+  categories and serves each category FIFO.
+* :class:`RandomScheduler` picks uniformly among enabled actions from a
+  seeded RNG. Random runs are fair with probability 1 and are the fuzzing
+  workhorse for the consistency checkers.
+* :class:`SequentialScheduler` runs one client's outstanding operation to
+  completion before touching another client — it generates sequential
+  histories for sanity baselines.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.sim.actions import Action, ActionKind
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.kernel import Simulation
+
+
+class Scheduler(ABC):
+    """Strategy interface: choose the next enabled action, or ``None``."""
+
+    @abstractmethod
+    def next_action(self, sim: "Simulation") -> Action | None:
+        """Return the next action to execute, or ``None`` when quiescent."""
+
+
+class FairScheduler(Scheduler):
+    """Round-robin over action categories, FIFO within each.
+
+    Rotating categories guarantees that neither client steps nor memory
+    actions can starve the other; FIFO within a category guarantees no
+    individual RMW or client starves within it.
+    """
+
+    _CATEGORIES = (ActionKind.APPLY, ActionKind.DELIVER, ActionKind.STEP_CLIENT)
+
+    def __init__(self) -> None:
+        self._rotation = 0
+        self._client_rotation: dict[str, int] = {}
+        self._step_counter = 0
+
+    def next_action(self, sim: "Simulation") -> Action | None:
+        for offset in range(len(self._CATEGORIES)):
+            category = self._CATEGORIES[
+                (self._rotation + offset) % len(self._CATEGORIES)
+            ]
+            action = self._pick(sim, category)
+            if action is not None:
+                self._rotation = (
+                    self._rotation + offset + 1
+                ) % len(self._CATEGORIES)
+                return action
+        return None
+
+    def _pick(self, sim: "Simulation", category: ActionKind) -> Action | None:
+        if category is ActionKind.APPLY:
+            pending = sim.appliable_rmws()
+            if pending:
+                return Action(ActionKind.APPLY, pending[0].rmw_id)
+            return None
+        if category is ActionKind.DELIVER:
+            applied = sim.deliverable_responses()
+            if applied:
+                return Action(ActionKind.DELIVER, applied[0].rmw_id)
+            return None
+        runnable = sim.runnable_clients()
+        if not runnable:
+            return None
+        # Least-recently-stepped first, so every runnable client recurs.
+        runnable.sort(key=lambda c: self._client_rotation.get(c.name, -1))
+        chosen = runnable[0]
+        self._step_counter += 1
+        self._client_rotation[chosen.name] = self._step_counter
+        return Action(ActionKind.STEP_CLIENT, chosen.name)
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random enabled action from a seeded RNG."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def next_action(self, sim: "Simulation") -> Action | None:
+        actions = sim.enabled_actions()
+        if not actions:
+            return None
+        return self.rng.choice(actions)
+
+
+class ScriptedScheduler(Scheduler):
+    """Replay a recorded action sequence verbatim.
+
+    Used by the black-box replacement experiment (Definition 5): two runs
+    that execute the same script are identical except for the payload bytes
+    of the replaced write — provided the algorithm really is black-box.
+    Replaying is sound because action targets (client names, RMW ids) are
+    assigned deterministically by trigger order, which the script fixes.
+    """
+
+    def __init__(self, actions: list[Action]) -> None:
+        self.actions = list(actions)
+        self.position = 0
+
+    def next_action(self, sim: "Simulation") -> Action | None:
+        if self.position >= len(self.actions):
+            return None
+        action = self.actions[self.position]
+        self.position += 1
+        return action
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.actions)
+
+
+class SoloClientScheduler(Scheduler):
+    """Schedule only one client's actions; everyone else is frozen.
+
+    This is the paper's "solo read" device (Lemma 1): after the cut, the
+    adversary lets a single reader run while all other clients' pending
+    RMWs never take effect.
+    """
+
+    def __init__(self, client_name: str) -> None:
+        self.client_name = client_name
+
+    def next_action(self, sim: "Simulation") -> Action | None:
+        for rmw in sim.appliable_rmws():
+            if rmw.client_name == self.client_name:
+                return Action(ActionKind.APPLY, rmw.rmw_id)
+        for rmw in sim.deliverable_responses():
+            if rmw.client_name == self.client_name:
+                return Action(ActionKind.DELIVER, rmw.rmw_id)
+        client = sim.clients.get(self.client_name)
+        if client is not None and client.runnable():
+            return Action(ActionKind.STEP_CLIENT, self.client_name)
+        return None
+
+
+class SequentialScheduler(Scheduler):
+    """Run each client's operation to completion before the next client.
+
+    Produces sequential (no-concurrency) histories. Clients are served in
+    name order; memory actions of the active client are served before its
+    next local step so each round completes synchronously.
+    """
+
+    def next_action(self, sim: "Simulation") -> Action | None:
+        active = next(
+            (
+                client
+                for client in sorted(sim.clients.values(), key=lambda c: c.name)
+                if client.current is not None and not client.crashed
+            ),
+            None,
+        )
+        if active is None:
+            # Start the next queued op, if any client has one.
+            for client in sorted(sim.clients.values(), key=lambda c: c.name):
+                if client.runnable():
+                    return Action(ActionKind.STEP_CLIENT, client.name)
+            return None
+        # Serve the active client's memory actions first, FIFO.
+        for rmw in sim.appliable_rmws():
+            if rmw.client_name == active.name:
+                return Action(ActionKind.APPLY, rmw.rmw_id)
+        for rmw in sim.deliverable_responses():
+            if rmw.client_name == active.name:
+                return Action(ActionKind.DELIVER, rmw.rmw_id)
+        if active.runnable():
+            return Action(ActionKind.STEP_CLIENT, active.name)
+        return None  # active client blocked with nothing in flight: deadlock

@@ -1,0 +1,117 @@
+"""Run traces and operation records.
+
+The kernel appends a :class:`TraceEvent` for every invocation, return,
+trigger, apply, delivery, and crash. The per-operation view
+(:class:`OpRecord`) is what the consistency checkers consume: it captures
+the paper's ``trace(r)`` — the subsequence of invocations and returns —
+plus written/returned values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class OpKind(enum.Enum):
+    WRITE = "write"
+    READ = "read"
+
+
+class EventKind(enum.Enum):
+    INVOKE = "invoke"
+    RETURN = "return"
+    TRIGGER = "trigger"
+    APPLY = "apply"
+    DELIVER = "deliver"
+    DROP = "drop"
+    CRASH_BO = "crash-bo"
+    CRASH_CLIENT = "crash-client"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: int
+    kind: EventKind
+    details: dict[str, Any]
+
+
+@dataclass
+class OpRecord:
+    """One high-level operation's lifecycle."""
+
+    op_uid: int
+    client: str
+    kind: OpKind
+    written: bytes | None = None
+    result: Any = None
+    invoke_time: int = -1
+    return_time: int | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self.return_time is not None
+
+    def precedes(self, other: "OpRecord") -> bool:
+        """Real-time precedence: this op returned before ``other`` invoked."""
+        return self.return_time is not None and self.return_time < other.invoke_time
+
+
+class Trace:
+    """Append-only record of everything that happened in a run."""
+
+    def __init__(self, keep_events: bool = True) -> None:
+        self.keep_events = keep_events
+        self.events: list[TraceEvent] = []
+        self.ops: dict[int, OpRecord] = {}
+
+    # -------------------------------------------------------------- events
+
+    def event(self, time: int, kind: EventKind, **details: Any) -> None:
+        if self.keep_events:
+            self.events.append(TraceEvent(time, kind, details))
+
+    def record_invoke(
+        self,
+        time: int,
+        op_uid: int,
+        client: str,
+        kind: OpKind,
+        written: bytes | None,
+    ) -> OpRecord:
+        record = OpRecord(
+            op_uid=op_uid,
+            client=client,
+            kind=kind,
+            written=written,
+            invoke_time=time,
+        )
+        self.ops[op_uid] = record
+        self.event(time, EventKind.INVOKE, op=op_uid, client=client,
+                   op_kind=kind.value)
+        return record
+
+    def record_return(self, time: int, op_uid: int, result: Any) -> None:
+        record = self.ops[op_uid]
+        record.return_time = time
+        record.result = result
+        self.event(time, EventKind.RETURN, op=op_uid, client=record.client)
+
+    # ------------------------------------------------------------- queries
+
+    def completed_ops(self) -> list[OpRecord]:
+        return [op for op in self.ops.values() if op.complete]
+
+    def writes(self) -> list[OpRecord]:
+        return [op for op in self.ops.values() if op.kind is OpKind.WRITE]
+
+    def reads(self) -> list[OpRecord]:
+        return [op for op in self.ops.values() if op.kind is OpKind.READ]
+
+    def events_of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind is kind]
+
+    def rmw_count(self) -> int:
+        """Number of RMWs that took effect during the run."""
+        return len(self.events_of_kind(EventKind.APPLY))

@@ -1,0 +1,27 @@
+"""Consistency checkers for register histories (Appendix A semantics)."""
+
+from repro.spec.histories import History, HOp, manual_history
+from repro.spec.linearizability import LinearizabilityReport, check_linearizability
+from repro.spec.liveness import LivenessReport, analyze_liveness
+from repro.spec.regularity import (
+    CheckReport,
+    Violation,
+    check_strong_regularity,
+    check_weak_regularity,
+)
+from repro.spec.safeness import check_strong_safety
+
+__all__ = [
+    "CheckReport",
+    "HOp",
+    "History",
+    "LinearizabilityReport",
+    "LivenessReport",
+    "Violation",
+    "analyze_liveness",
+    "check_linearizability",
+    "check_strong_regularity",
+    "check_strong_safety",
+    "check_weak_regularity",
+    "manual_history",
+]

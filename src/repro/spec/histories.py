@@ -1,0 +1,146 @@
+"""Operation histories for consistency checking.
+
+A :class:`History` is the checker-facing view of a run's ``trace(r)``:
+invocation/return times, written values, and read results. It carries the
+register's initial value ``v0`` so checkers can validate reads that saw no
+write.
+
+Precedence follows Appendix A: ``op1`` precedes ``op2`` iff ``op1``'s return
+occurs before ``op2``'s invocation; two operations are concurrent when
+neither precedes the other. Incomplete operations (no return) never precede
+anything, and a linearization may include or exclude them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import MalformedHistory
+from repro.sim.trace import OpKind, Trace
+
+
+@dataclass(frozen=True)
+class HOp:
+    """One operation as the checkers see it."""
+
+    op_uid: int
+    client: str
+    kind: OpKind
+    written: bytes | None
+    result: object
+    invoke_time: int
+    return_time: int | None
+
+    @property
+    def complete(self) -> bool:
+        return self.return_time is not None
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OpKind.READ
+
+    def precedes(self, other: "HOp") -> bool:
+        return self.return_time is not None and self.return_time < other.invoke_time
+
+    def concurrent_with(self, other: "HOp") -> bool:
+        return not self.precedes(other) and not other.precedes(self)
+
+
+class History:
+    """An immutable collection of operations plus the initial value."""
+
+    def __init__(self, ops: Iterable[HOp], v0: bytes) -> None:
+        self.ops = sorted(ops, key=lambda op: (op.invoke_time, op.op_uid))
+        self.v0 = v0
+        self._validate_well_formed()
+
+    def _validate_well_formed(self) -> None:
+        """Each client has non-overlapping operations (Appendix A)."""
+        by_client: dict[str, list[HOp]] = {}
+        for op in self.ops:
+            by_client.setdefault(op.client, []).append(op)
+        for client, ops in by_client.items():
+            for earlier, later in zip(ops, ops[1:]):
+                if earlier.return_time is None:
+                    raise MalformedHistory(
+                        f"client {client} invoked op {later.op_uid} while "
+                        f"op {earlier.op_uid} was outstanding"
+                    )
+                if earlier.return_time >= later.invoke_time:
+                    raise MalformedHistory(
+                        f"client {client} ops {earlier.op_uid}/{later.op_uid} overlap"
+                    )
+
+    # ------------------------------------------------------------- factory
+
+    @classmethod
+    def from_trace(cls, trace: Trace, v0: bytes) -> "History":
+        ops = [
+            HOp(
+                op_uid=record.op_uid,
+                client=record.client,
+                kind=record.kind,
+                written=record.written,
+                result=record.result,
+                invoke_time=record.invoke_time,
+                return_time=record.return_time,
+            )
+            for record in trace.ops.values()
+        ]
+        return cls(ops, v0)
+
+    # ------------------------------------------------------------- queries
+
+    def writes(self, completed_only: bool = False) -> list[HOp]:
+        return [
+            op
+            for op in self.ops
+            if op.is_write and (op.complete or not completed_only)
+        ]
+
+    def reads(self, completed_only: bool = True) -> list[HOp]:
+        return [
+            op
+            for op in self.ops
+            if op.is_read and (op.complete or not completed_only)
+        ]
+
+    def completed(self) -> list[HOp]:
+        return [op for op in self.ops if op.complete]
+
+    def writes_of_value(self, value: object) -> list[HOp]:
+        return [op for op in self.ops if op.is_write and op.written == value]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        writes = len(self.writes())
+        reads = len(self.reads(completed_only=False))
+        return f"<History {writes} writes, {reads} reads>"
+
+
+def manual_history(
+    entries: list[tuple],
+    v0: bytes = b"",
+) -> History:
+    """Build a history from compact tuples — test helper.
+
+    Each entry is ``(client, kind, value, invoke, return_or_None)`` where
+    ``kind`` is ``"w"`` or ``"r"`` and ``value`` is the written value for
+    writes / the result for reads.
+    """
+    ops = []
+    for uid, (client, kind, value, invoke, ret) in enumerate(entries):
+        if kind == "w":
+            op = HOp(uid, client, OpKind.WRITE, value, "ok" if ret else None,
+                     invoke, ret)
+        else:
+            op = HOp(uid, client, OpKind.READ, None, value, invoke, ret)
+        ops.append(op)
+    return History(ops, v0)

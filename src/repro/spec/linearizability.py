@@ -1,0 +1,112 @@
+"""Atomicity (linearizability) checking for register histories.
+
+Wing & Gong-style search specialised to a read/write register: find a total
+order of the completed operations that respects real-time precedence and the
+sequential specification (every read returns the latest preceding write's
+value, or ``v0``). Memoised on (set of linearized ops, last written value),
+which keeps the search fast on test-scale histories.
+
+Used to separate semantics experimentally: ABD *without* read write-back is
+strongly regular but not atomic; sequential runs of every register are
+atomic. The paper's algorithms never claim atomicity, so this checker
+appears in tests and ablations, not in the headline experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spec.histories import History, HOp
+
+
+@dataclass
+class LinearizabilityReport:
+    ok: bool
+    order: list[int] | None = None  # op uids in linearization order
+    explored: int = 0
+    note: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_linearizability(
+    history: History, max_states: int = 2_000_000
+) -> LinearizabilityReport:
+    """Search for a linearization of the history.
+
+    Completed operations must all appear; *incomplete writes* may be
+    included (their effect may have taken place) or excluded — the
+    standard treatment, needed e.g. when a read returns the value of a
+    write still in flight. Incomplete reads are always excludable (they
+    have no effect) and are dropped.
+
+    Returns the order found, or ``ok=False`` after an exhaustive search;
+    gives up with ``note='budget'`` on state-budget exhaustion (no
+    verdict).
+    """
+    completed = history.completed()
+    pending_writes = [
+        op for op in history.ops if op.is_write and not op.complete
+    ]
+    ops = completed + pending_writes
+    by_uid = {op.op_uid: op for op in ops}
+    uids = sorted(by_uid)
+    required = frozenset(op.op_uid for op in completed)
+
+    # Precompute the strict predecessors of each op (incomplete ops precede
+    # nothing but can be preceded).
+    predecessors: dict[int, set[int]] = {
+        uid: {
+            other.op_uid
+            for other in ops
+            if other.op_uid != uid and other.precedes(by_uid[uid])
+        }
+        for uid in uids
+    }
+
+    seen: set[tuple[frozenset[int], object]] = set()
+    explored = 0
+    order: list[int] = []
+
+    def minimal_candidates(done: frozenset[int]) -> list[HOp]:
+        return [
+            by_uid[uid]
+            for uid in uids
+            if uid not in done and predecessors[uid] <= done
+        ]
+
+    def dfs(done: frozenset[int], last_value: object) -> bool:
+        nonlocal explored
+        if required <= done:
+            return True
+        key = (done, last_value)
+        if key in seen:
+            return False
+        explored += 1
+        if explored > max_states:
+            raise _Budget()
+        for op in minimal_candidates(done):
+            if op.is_read and op.result != last_value:
+                continue
+            next_value = op.written if op.is_write else last_value
+            order.append(op.op_uid)
+            if dfs(done | {op.op_uid}, next_value):
+                return True
+            order.pop()
+        seen.add(key)
+        return False
+
+    try:
+        ok = dfs(frozenset(), history.v0)
+    except _Budget:
+        return LinearizabilityReport(
+            ok=False, explored=explored, note="budget"
+        )
+    return LinearizabilityReport(
+        ok=ok, order=list(order) if ok else None, explored=explored
+    )
+
+
+class _Budget(Exception):
+    """Internal: search budget exhausted."""

@@ -1,0 +1,89 @@
+"""Liveness analysis of recorded runs (Appendix A's conditions).
+
+The paper distinguishes three liveness levels:
+
+* **wait-free** — every correct client's operation completes;
+* **lock-free** — some outstanding operation always eventually completes;
+* **FW-terminating** — writes are wait-free, and *if finitely many writes
+  are invoked*, every read completes.
+
+A finite trace cannot certify liveness (which quantifies over infinite
+fair runs), but it can *refute* claims and confirm their finite
+consequences: a quiesced fair run with an incomplete operation by a
+correct client witnesses a wait-freedom violation; a quiesced run with
+finitely many writes and an incomplete read by a correct client refutes
+FW-termination. :func:`analyze_liveness` reports exactly these facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.kernel import Simulation
+from repro.sim.trace import OpKind
+
+
+@dataclass
+class LivenessReport:
+    """What a quiesced run says about the register's liveness claims."""
+
+    quiescent: bool
+    crashed_clients: tuple[str, ...]
+    crashed_base_objects: int
+    f: int
+    incomplete_writes_correct: tuple[int, ...] = field(default=())
+    incomplete_reads_correct: tuple[int, ...] = field(default=())
+
+    @property
+    def within_failure_bound(self) -> bool:
+        """Did the run respect the model's f-crash assumption?"""
+        return self.crashed_base_objects <= self.f
+
+    @property
+    def writes_wait_free(self) -> bool:
+        """No correct client's write was left incomplete."""
+        return not self.incomplete_writes_correct
+
+    @property
+    def fw_terminating(self) -> bool:
+        """Writes wait-free and (the run being finite-write by
+        construction) every correct client's read completed."""
+        return self.writes_wait_free and not self.incomplete_reads_correct
+
+    @property
+    def verdict(self) -> str:
+        if not self.quiescent:
+            return "inconclusive (run did not quiesce)"
+        if not self.within_failure_bound:
+            return "inconclusive (more than f crashes)"
+        if self.fw_terminating:
+            return "consistent with FW-termination"
+        if self.writes_wait_free:
+            return "write-wait-free but a correct read hung"
+        return "wait-freedom violated for writes"
+
+
+def analyze_liveness(sim: Simulation, quiescent: bool) -> LivenessReport:
+    """Analyse a finished run for liveness violations."""
+    crashed_clients = tuple(
+        name for name, client in sim.clients.items() if client.crashed
+    )
+    incomplete_writes = []
+    incomplete_reads = []
+    for op in sim.trace.ops.values():
+        if op.complete or op.client in crashed_clients:
+            continue
+        if op.kind is OpKind.WRITE:
+            incomplete_writes.append(op.op_uid)
+        else:
+            incomplete_reads.append(op.op_uid)
+    # Queued-but-never-invoked ops do not count: liveness speaks about
+    # invoked operations only.
+    return LivenessReport(
+        quiescent=quiescent,
+        crashed_clients=crashed_clients,
+        crashed_base_objects=sim.crashed_base_objects(),
+        f=sim.protocol.setup.f,
+        incomplete_writes_correct=tuple(incomplete_writes),
+        incomplete_reads_correct=tuple(incomplete_reads),
+    )

@@ -1,0 +1,79 @@
+"""Strong safety checking (the paper's extension of Lamport's safe register).
+
+Appendix A: a MWMR register is *strongly safe* if there is a linearization
+of the writes such that every read with **no concurrent writes** can be
+inserted and see the latest preceding write (or ``v0``). Reads that overlap
+any write may return anything — which is precisely the loophole Appendix E's
+algorithm exploits to beat the Theorem 1 bound.
+
+The check mirrors the strong-regularity search: each quiescent read names a
+witness write that must be ordered last among all writes that precede the
+read; edge constraints plus real-time write order must admit a topological
+order.
+"""
+
+from __future__ import annotations
+
+from repro.spec.histories import History, HOp
+from repro.spec.regularity import CheckReport, Violation, _OrderGraph
+
+
+def _quiescent_reads(history: History) -> list[HOp]:
+    """Completed reads with no concurrent write operations."""
+    return [
+        read
+        for read in history.reads(completed_only=True)
+        if all(
+            write.precedes(read) or read.precedes(write)
+            for write in history.writes(completed_only=False)
+        )
+    ]
+
+
+def check_strong_safety(history: History) -> CheckReport:
+    """Check strong safety; concurrent-with-write reads are unconstrained."""
+    writes = history.writes()
+    graph = _OrderGraph(writes)
+    extra: list[tuple[int, int]] = []
+    violations: list[Violation] = []
+
+    for read in _quiescent_reads(history):
+        before = [w for w in writes if w.precedes(read)]
+        if not before:
+            if read.result != history.v0:
+                violations.append(
+                    Violation(
+                        read.op_uid,
+                        "no preceding write yet returned a non-initial value",
+                    )
+                )
+            continue
+        witnesses = [w for w in before if w.written == read.result]
+        if not witnesses:
+            violations.append(
+                Violation(
+                    read.op_uid,
+                    "result matches no write that precedes this quiescent read",
+                )
+            )
+            continue
+        # The witness must be the maximum among `before`; with several
+        # same-value candidates any one may serve — constrain the latest
+        # invoked (a canonical choice; same-value writes are interchangeable
+        # for the sequential specification).
+        witness = max(witnesses, key=lambda w: w.invoke_time)
+        for other in before:
+            if other.op_uid != witness.op_uid:
+                extra.append((other.op_uid, witness.op_uid))
+
+    if violations:
+        return CheckReport(ok=False, violations=violations)
+    order = _OrderGraph.topological(graph.copy_with(extra))
+    if order is None:
+        return CheckReport(
+            ok=False,
+            violations=[
+                Violation(-1, "write-order constraints from quiescent reads cycle")
+            ],
+        )
+    return CheckReport(ok=True, witness_order=order)

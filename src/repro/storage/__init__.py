@@ -1,0 +1,19 @@
+"""Storage accounting: block discovery and the Definition 2/6 cost meter."""
+
+from repro.storage.blockstore import (
+    collect_blocks,
+    distinct_source_bits,
+    sources_present,
+    total_bits,
+)
+from repro.storage.cost import CostBreakdown, PeakTracker, StorageMeter
+
+__all__ = [
+    "CostBreakdown",
+    "PeakTracker",
+    "StorageMeter",
+    "collect_blocks",
+    "distinct_source_bits",
+    "sources_present",
+    "total_bits",
+]

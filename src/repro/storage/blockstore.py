@@ -1,0 +1,73 @@
+"""Block-instance discovery for storage accounting.
+
+The paper's storage cost (Definition 2) sums the sizes of *block instances*
+found anywhere in base-object and client states. Protocol state in this
+implementation is ordinary Python data (dataclasses, dicts, lists, tuples)
+with :class:`~repro.coding.oracles.CodeBlock` leaves; :func:`collect_blocks`
+walks any such structure and yields every block it contains.
+
+Keeping discovery structural (rather than asking each protocol to enumerate
+its own blocks) removes a whole class of under-counting bugs: a register
+implementation cannot accidentally hide payload bits from the meter by
+stashing them in a new field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator, Mapping
+from typing import Any
+
+from repro.coding.oracles import BlockSource, CodeBlock
+
+
+def collect_blocks(obj: Any) -> Iterator[CodeBlock]:
+    """Yield every :class:`CodeBlock` reachable inside ``obj``.
+
+    Traverses mappings (values only), sequences, sets, and dataclasses.
+    Strings/bytes are treated as leaves. Cycles are not expected in protocol
+    state (it is built from immutable-ish rounds), so no visited-set is kept;
+    a cycle would be a protocol bug and recursion would surface it.
+    """
+    if isinstance(obj, CodeBlock):
+        yield obj
+        return
+    if obj is None or isinstance(obj, (str, bytes, bytearray, int, float, bool)):
+        return
+    if isinstance(obj, Mapping):
+        for value in obj.values():
+            yield from collect_blocks(value)
+        return
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            yield from collect_blocks(item)
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for field in dataclasses.fields(obj):
+            yield from collect_blocks(getattr(obj, field.name))
+        return
+    # Opaque leaf (e.g. a timestamp class): contributes no blocks.
+
+
+def total_bits(obj: Any) -> int:
+    """Return the summed bit size of all blocks reachable inside ``obj``."""
+    return sum(block.size_bits for block in collect_blocks(obj))
+
+
+def distinct_source_bits(obj: Any, op_uid: int) -> int:
+    """Return bits from *distinct-index* blocks of operation ``op_uid``.
+
+    This is the inner sum of Definition 6: block numbers are deduplicated
+    (storing the same block twice pins no extra information), and each
+    distinct number ``i`` contributes ``size(i)`` bits.
+    """
+    seen: dict[int, int] = {}
+    for block in collect_blocks(obj):
+        if block.source.op_uid == op_uid:
+            seen[block.source.index] = block.size_bits
+    return sum(seen.values())
+
+
+def sources_present(obj: Any) -> set[BlockSource]:
+    """Return the set of block sources reachable inside ``obj``."""
+    return {block.source for block in collect_blocks(obj)}

@@ -1,0 +1,172 @@
+"""The storage-cost meter (Definitions 2 and 6 of the paper).
+
+Definition 2 counts the bits of every block instance stored anywhere in the
+system at a point in time. Concretely, at any time the meter sums block bits
+over:
+
+* every live base object's state (blocks the protocol stored),
+* every applied-but-undelivered RMW response (the paper folds these into
+  the base object's state: "all the responses of pending RMWs that took
+  effect on it"),
+* every triggered-but-unapplied RMW's parameters (part of the triggering
+  client's state: "the parameters of its pending RMWs that have not yet
+  taken effect" — this is how the paper charges algorithms that park data
+  in channels).
+
+Meta-data (timestamps, counters) is free, and coding-oracle state is free.
+
+Definition 6's ``||S(t, w)||`` — the bits operation ``w`` contributes in
+*distinct-index* blocks outside its own client — is provided by
+:meth:`StorageMeter.op_contribution_bits`, with an optional base-object
+restriction used by the adversary's ``C-(t)`` bookkeeping (Lemma 2 applies
+it to ``B \\ F(t)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.sim.actions import Action
+from repro.storage.blockstore import collect_blocks
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.kernel import Simulation
+
+
+@dataclass
+class CostBreakdown:
+    """Where the bits live at one instant."""
+
+    bo_state_bits: int
+    undelivered_response_bits: int
+    pending_args_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.bo_state_bits
+            + self.undelivered_response_bits
+            + self.pending_args_bits
+        )
+
+
+class StorageMeter:
+    """Measures storage cost of a running simulation."""
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+
+    # ------------------------------------------------------- Definition 2
+
+    def bo_bits(self, bo_id: int) -> int:
+        """Bits stored at base object ``bo_id`` (state + its undelivered
+        responses). Crashed objects hold no retrievable bits."""
+        base_object = self.sim.base_objects[bo_id]
+        if base_object.crashed:
+            return 0
+        bits = sum(b.size_bits for b in collect_blocks(base_object.state))
+        bits += sum(
+            b.size_bits
+            for rmw in self.sim.applied.values()
+            if rmw.bo_id == bo_id
+            for b in collect_blocks(rmw.response)
+        )
+        return bits
+
+    def breakdown(self) -> CostBreakdown:
+        bo_state_bits = sum(
+            sum(b.size_bits for b in collect_blocks(bo.state))
+            for bo in self.sim.base_objects
+            if not bo.crashed
+        )
+        undelivered = sum(
+            sum(b.size_bits for b in collect_blocks(rmw.response))
+            for rmw in self.sim.applied.values()
+            if not self.sim.base_objects[rmw.bo_id].crashed
+        )
+        pending = sum(
+            sum(b.size_bits for b in collect_blocks(rmw.args))
+            for rmw in self.sim.pending.values()
+        )
+        return CostBreakdown(bo_state_bits, undelivered, pending)
+
+    def cost_bits(self) -> int:
+        """Definition 2's storage cost at the current instant."""
+        return self.breakdown().total_bits
+
+    def bo_only_cost_bits(self) -> int:
+        """Bits in base-object states alone (excluding channel occupancy).
+
+        Useful for comparing against the paper's closed-form per-object
+        bounds, which count ``Vp``/``Vf`` contents only.
+        """
+        return self.breakdown().bo_state_bits
+
+    # ------------------------------------------------------- Definition 6
+
+    def op_contribution_bits(
+        self,
+        op_uid: int,
+        bo_subset: Iterable[int] | None = None,
+        include_channels: bool = False,
+    ) -> int:
+        """``||S(t, w)||``: distinct-index bits of ``op_uid`` in storage.
+
+        ``bo_subset`` restricts to those base objects (Lemma 2 uses
+        ``B \\ F(t)``); ``None`` means all live objects. When
+        ``include_channels`` is set, blocks riding in undelivered responses
+        and in *other* clients' pending RMW parameters are counted too.
+        """
+        chosen = (
+            set(bo_subset)
+            if bo_subset is not None
+            else {bo.bo_id for bo in self.sim.base_objects}
+        )
+        seen: dict[int, int] = {}
+
+        def absorb(obj: object) -> None:
+            for block in collect_blocks(obj):
+                if block.source.op_uid == op_uid:
+                    seen[block.source.index] = block.size_bits
+
+        for bo in self.sim.base_objects:
+            if bo.crashed or bo.bo_id not in chosen:
+                continue
+            absorb(bo.state)
+        if include_channels:
+            owner = self.sim.trace.ops.get(op_uid)
+            owner_client = owner.client if owner is not None else None
+            for rmw in self.sim.applied.values():
+                if rmw.bo_id in chosen:
+                    absorb(rmw.response)
+            for rmw in self.sim.pending.values():
+                if rmw.client_name != owner_client:
+                    absorb(rmw.args)
+        return sum(seen.values())
+
+
+class PeakTracker:
+    """Records the worst-case (and optionally the full series of) storage.
+
+    Register it as ``on_action`` in :meth:`Simulation.run`; the paper's
+    "storage cost of an algorithm" is the max over all times of all runs,
+    which this tracker realises for one run.
+    """
+
+    def __init__(self, meter: StorageMeter, keep_series: bool = False) -> None:
+        self.meter = meter
+        self.keep_series = keep_series
+        self.peak_bits = meter.cost_bits()
+        self.peak_bo_only_bits = meter.bo_only_cost_bits()
+        self.series: list[tuple[int, int]] = []
+
+    def __call__(self, sim: "Simulation", action: Action) -> None:
+        breakdown = self.meter.breakdown()
+        total = breakdown.total_bits
+        if total > self.peak_bits:
+            self.peak_bits = total
+        if breakdown.bo_state_bits > self.peak_bo_only_bits:
+            self.peak_bo_only_bits = breakdown.bo_state_bits
+        if self.keep_series:
+            self.series.append((sim.time, total))

@@ -1,0 +1,32 @@
+"""Workload generation and the experiment runner."""
+
+from repro.workloads.generators import (
+    WorkloadSpec,
+    make_value,
+    reader_name,
+    writer_name,
+)
+from repro.workloads.fuzz import FuzzFailure, FuzzResult, fuzz_register
+from repro.workloads.patterns import (
+    PatternRun,
+    churn,
+    read_heavy,
+    staggered_writers,
+)
+from repro.workloads.runner import WorkloadResult, run_register_workload
+
+__all__ = [
+    "FuzzFailure",
+    "FuzzResult",
+    "PatternRun",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "churn",
+    "fuzz_register",
+    "make_value",
+    "read_heavy",
+    "reader_name",
+    "run_register_workload",
+    "staggered_writers",
+    "writer_name",
+]

@@ -1,0 +1,70 @@
+"""Deterministic workload material: values and client schedules.
+
+Experiments need *distinct* values per write (the consistency checkers match
+reads to writes by value) that are *reproducible* across runs (benchmarks
+must be stable). Values are therefore derived by expanding SHA-256 over a
+``(seed, tag)`` pair to the register width.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.registers.base import RegisterSetup
+
+
+def make_value(setup: RegisterSetup, tag: str, seed: int = 0) -> bytes:
+    """Return a deterministic pseudo-random value for this register width.
+
+    Distinct tags yield distinct values (up to SHA-256 collisions, which is
+    to say: distinct).
+    """
+    out = bytearray()
+    counter = 0
+    while len(out) < setup.data_size_bytes:
+        digest = hashlib.sha256(f"{seed}:{tag}:{counter}".encode()).digest()
+        out.extend(digest)
+        counter += 1
+    return bytes(out[: setup.data_size_bytes])
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a register workload.
+
+    ``writers`` concurrent writer clients each issue ``writes_per_writer``
+    writes back-to-back; ``readers`` reader clients each issue
+    ``reads_per_reader`` reads. With a fair or random scheduler all clients
+    run concurrently, so the write-concurrency level ``c`` equals
+    ``writers`` (each client has at most one outstanding op).
+    """
+
+    writers: int = 2
+    writes_per_writer: int = 1
+    readers: int = 1
+    reads_per_reader: int = 1
+    seed: int = 0
+
+    @property
+    def concurrency(self) -> int:
+        """The paper's ``c``: maximum concurrent outstanding writes."""
+        return self.writers
+
+    def write_values(self, setup: RegisterSetup) -> dict[str, list[bytes]]:
+        """Map each writer name to its sequence of distinct values."""
+        return {
+            writer_name(index): [
+                make_value(setup, f"w{index}.{j}", self.seed)
+                for j in range(self.writes_per_writer)
+            ]
+            for index in range(self.writers)
+        }
+
+
+def writer_name(index: int) -> str:
+    return f"w{index}"
+
+
+def reader_name(index: int) -> str:
+    return f"r{index}"

@@ -1,0 +1,131 @@
+"""Higher-level workload patterns beyond the flat burst.
+
+:class:`~repro.workloads.generators.WorkloadSpec` models the paper's
+canonical setting — a burst of ``c`` concurrent writers. Real evaluations
+also need shaped load; these builders enqueue richer schedules on a
+prepared simulation:
+
+* :func:`staggered_writers` — writers that start one quorum-round apart,
+  producing a sliding concurrency window rather than a c-burst;
+* :func:`read_heavy` — a small writer pool against many repeating readers
+  (the FW-termination stress shape);
+* :func:`churn` — clients that arrive in waves, each wave writing then
+  reading back, modelling client turnover.
+
+Each returns the prepared :class:`~repro.sim.kernel.Simulation` plus the
+expected completed-operation counts so tests and benches can assert
+drainage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Type
+
+from repro.registers.base import RegisterProtocol, RegisterSetup
+from repro.sim.kernel import Simulation
+from repro.sim.schedulers import FairScheduler, Scheduler
+from repro.workloads.generators import make_value
+
+
+@dataclass
+class PatternRun:
+    """A prepared simulation plus its expected op counts."""
+
+    sim: Simulation
+    expected_writes: int
+    expected_reads: int
+
+    def drain(self, scheduler: Scheduler | None = None,
+              max_steps: int = 400_000):
+        """Run to quiescence and return the kernel's RunResult."""
+        return self.sim.run(scheduler or FairScheduler(), max_steps=max_steps)
+
+    @property
+    def completed_writes(self) -> int:
+        return sum(1 for op in self.sim.trace.writes() if op.complete)
+
+    @property
+    def completed_reads(self) -> int:
+        return sum(1 for op in self.sim.trace.reads() if op.complete)
+
+
+def staggered_writers(
+    protocol_cls: Type[RegisterProtocol],
+    setup: RegisterSetup,
+    writers: int,
+    writes_each: int = 2,
+    seed: int = 0,
+) -> PatternRun:
+    """Writers with pipelined back-to-back writes.
+
+    Unlike the burst, each client queues several writes, so concurrency
+    stays near ``writers`` for a long window while timestamps keep
+    advancing — the steady-state shape for GC (Lemma 8) under sustained
+    load.
+    """
+    sim = Simulation(protocol_cls(setup))
+    for index in range(writers):
+        client = sim.add_client(f"sw{index}")
+        for round_number in range(writes_each):
+            client.enqueue_write(
+                make_value(setup, f"stag-{index}-{round_number}", seed)
+            )
+    return PatternRun(sim, expected_writes=writers * writes_each,
+                      expected_reads=0)
+
+
+def read_heavy(
+    protocol_cls: Type[RegisterProtocol],
+    setup: RegisterSetup,
+    readers: int,
+    reads_each: int = 3,
+    writers: int = 1,
+    seed: int = 0,
+) -> PatternRun:
+    """Few writers, many repeat readers — FW-termination stress."""
+    sim = Simulation(protocol_cls(setup))
+    for index in range(writers):
+        client = sim.add_client(f"rw{index}")
+        client.enqueue_write(make_value(setup, f"rh-{index}", seed))
+    for index in range(readers):
+        client = sim.add_client(f"rr{index}")
+        for _ in range(reads_each):
+            client.enqueue_read()
+    return PatternRun(
+        sim,
+        expected_writes=writers,
+        expected_reads=readers * reads_each,
+    )
+
+
+def churn(
+    protocol_cls: Type[RegisterProtocol],
+    setup: RegisterSetup,
+    waves: int,
+    clients_per_wave: int = 2,
+    seed: int = 0,
+) -> PatternRun:
+    """Client turnover: waves of write-then-read clients.
+
+    Wave ``i`` is only enqueued after wave ``i - 1`` drains, so each wave
+    observes its predecessors' completed writes — exercising timestamp
+    propagation through ``storedTS`` across generations of clients.
+    The returned :class:`PatternRun` is already drained.
+    """
+    sim = Simulation(protocol_cls(setup))
+    total_clients = 0
+    for wave in range(waves):
+        for index in range(clients_per_wave):
+            client = sim.add_client(f"c{wave}-{index}")
+            client.enqueue_write(
+                make_value(setup, f"churn-{wave}-{index}", seed)
+            )
+            client.enqueue_read()
+            total_clients += 1
+        sim.run(FairScheduler())
+    return PatternRun(
+        sim,
+        expected_writes=total_clients,
+        expected_reads=total_clients,
+    )

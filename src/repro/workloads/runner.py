@@ -1,0 +1,113 @@
+"""The experiment runner: wire a register, a workload, and a scheduler.
+
+:func:`run_register_workload` is the one-call entry point used by the
+examples, the tests, and every benchmark: it builds the simulation, enqueues
+the workload, runs to quiescence (or budget), and returns a
+:class:`WorkloadResult` bundling the trace, the storage measurements, and
+the checker-ready history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Type
+
+from repro.errors import SchedulerExhausted
+from repro.registers.base import RegisterProtocol, RegisterSetup
+from repro.sim.kernel import RunResult, Simulation
+from repro.sim.schedulers import FairScheduler, Scheduler
+from repro.sim.trace import Trace
+from repro.storage.cost import PeakTracker, StorageMeter
+from repro.workloads.generators import WorkloadSpec, reader_name, writer_name
+
+
+@dataclass
+class WorkloadResult:
+    """Everything an experiment wants to know about one run."""
+
+    sim: Simulation
+    run: RunResult
+    peak_storage_bits: int
+    peak_bo_state_bits: int
+    final_bo_state_bits: int
+    spec: WorkloadSpec = field(default=None)  # type: ignore[assignment]
+    series: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def trace(self) -> Trace:
+        return self.sim.trace
+
+    @property
+    def history(self) -> "History":
+        """Checker-ready history of this run."""
+        from repro.spec.histories import History
+
+        return History.from_trace(self.sim.trace, self.sim.protocol.setup.v0())
+
+    @property
+    def completed_writes(self) -> int:
+        return sum(1 for op in self.trace.writes() if op.complete)
+
+    @property
+    def completed_reads(self) -> int:
+        return sum(1 for op in self.trace.reads() if op.complete)
+
+    @property
+    def total_rmw_applies(self) -> int:
+        return sum(bo.applied_count for bo in self.sim.base_objects)
+
+
+def run_register_workload(
+    protocol_cls: Type[RegisterProtocol],
+    setup: RegisterSetup,
+    spec: WorkloadSpec | None = None,
+    scheduler: Scheduler | None = None,
+    max_steps: int = 400_000,
+    keep_series: bool = False,
+    keep_events: bool = True,
+    require_quiescence: bool = True,
+    configure: Callable[[Simulation, Scheduler], Scheduler] | None = None,
+) -> WorkloadResult:
+    """Run ``spec`` against a fresh register and measure storage.
+
+    ``configure`` may wrap the scheduler (e.g. in a
+    :class:`~repro.sim.failures.FailurePlan`) after clients are set up.
+    ``require_quiescence`` raises :class:`SchedulerExhausted` if the budget
+    runs out first — which, for fair schedulers and FW-terminating
+    registers, indicates a liveness bug worth failing loudly on.
+    """
+    spec = spec or WorkloadSpec()
+    scheduler = scheduler or FairScheduler()
+    protocol = protocol_cls(setup)
+    sim = Simulation(protocol, keep_events=keep_events)
+
+    values = spec.write_values(setup)
+    for index in range(spec.writers):
+        client = sim.add_client(writer_name(index))
+        for value in values[writer_name(index)]:
+            client.enqueue_write(value)
+    for index in range(spec.readers):
+        client = sim.add_client(reader_name(index))
+        for _ in range(spec.reads_per_reader):
+            client.enqueue_read()
+
+    if configure is not None:
+        scheduler = configure(sim, scheduler)
+
+    meter = StorageMeter(sim)
+    tracker = PeakTracker(meter, keep_series=keep_series)
+    run = sim.run(scheduler, max_steps=max_steps, on_action=tracker)
+    if require_quiescence and run.exhausted:
+        raise SchedulerExhausted(
+            f"{protocol.name}: {max_steps} steps without quiescence "
+            f"({spec.writers} writers, {spec.readers} readers)"
+        )
+    return WorkloadResult(
+        sim=sim,
+        run=run,
+        peak_storage_bits=tracker.peak_bits,
+        peak_bo_state_bits=tracker.peak_bo_only_bits,
+        final_bo_state_bits=meter.bo_only_cost_bits(),
+        spec=spec,
+        series=tracker.series,
+    )

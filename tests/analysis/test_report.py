@@ -1,0 +1,26 @@
+"""Report-generator tests."""
+
+from repro.analysis.report import generate_report, report_ok
+
+
+class TestReport:
+    def test_generates_all_sections(self):
+        report = generate_report()
+        assert "# Reproduction report" in report
+        assert "Theorem 1" in report
+        assert "Storage costs across registers" in report
+        assert "Channel parking" in report
+
+    def test_all_sections_reproduce(self):
+        report = generate_report()
+        assert report_ok(report)
+        assert report.count("reproduced") >= 3
+
+    def test_report_cli(self, capsys, tmp_path):
+        from repro.cli import main
+
+        output = tmp_path / "report.md"
+        code = main(["report", "--output", str(output)])
+        assert code == 0
+        assert output.exists()
+        assert report_ok(output.read_text())

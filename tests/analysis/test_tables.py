@@ -1,0 +1,61 @@
+"""Analysis helper tests."""
+
+import pytest
+
+from repro.analysis import (
+    SeriesPoint,
+    format_bits,
+    format_ratio,
+    format_table,
+    linear_slope,
+    monotone_nondecreasing,
+)
+
+
+class TestFormatting:
+    def test_format_bits_small_exact(self):
+        assert format_bits(384) == "384b"
+
+    def test_format_bits_kib(self):
+        assert format_bits(8 * 1024 * 16) == "16.0KiB"
+
+    def test_format_bits_mib(self):
+        assert format_bits(8 * 1024 * 1024 * 3) == "3.00MiB"
+
+    def test_format_ratio(self):
+        assert format_ratio(150, 100) == "1.50x"
+
+    def test_format_ratio_zero_prediction(self):
+        assert format_ratio(5, 0) == "n/a"
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_format_table_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+
+class TestSeries:
+    def test_series_point_ratio(self):
+        assert SeriesPoint(1, 150, 100).ratio == 1.5
+
+    def test_monotone_accepts_flat(self):
+        assert monotone_nondecreasing([3, 3, 3])
+
+    def test_monotone_rejects_drop(self):
+        assert not monotone_nondecreasing([3, 2, 5])
+
+    def test_monotone_slack(self):
+        assert monotone_nondecreasing([100, 95, 110], slack=0.1)
+
+    def test_linear_slope_exact(self):
+        assert linear_slope([0, 1, 2], [5, 7, 9]) == pytest.approx(2.0)
+
+    def test_linear_slope_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_slope([1], [2])

@@ -1,0 +1,154 @@
+"""Field-axiom and table-consistency tests for GF(2^8) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding import gf256
+from repro.errors import ParameterError
+
+field_elements = st.integers(min_value=0, max_value=255)
+nonzero_elements = st.integers(min_value=1, max_value=255)
+
+
+class TestTables:
+    def test_exp_table_starts_at_one(self):
+        assert gf256._EXP[0] == 1
+
+    def test_exp_table_wraps_with_period_255(self):
+        for i in range(255):
+            assert gf256._EXP[i] == gf256._EXP[i + 255]
+
+    def test_log_exp_roundtrip(self):
+        for value in range(1, 256):
+            assert gf256._EXP[gf256._LOG[value]] == value
+
+    def test_exp_values_cover_all_nonzero(self):
+        assert sorted(set(gf256._EXP[:255])) == list(range(1, 256))
+
+    def test_generator_is_primitive(self):
+        seen = set()
+        value = 1
+        for _ in range(255):
+            seen.add(value)
+            value = gf256._mul_no_table(value, gf256.GENERATOR)
+        assert len(seen) == 255
+
+
+class TestScalarOps:
+    def test_add_is_xor(self):
+        assert gf256.gf_add(0b1010, 0b0110) == 0b1100
+
+    def test_mul_zero(self):
+        for a in range(256):
+            assert gf256.gf_mul(a, 0) == 0
+            assert gf256.gf_mul(0, a) == 0
+
+    def test_mul_one_is_identity(self):
+        for a in range(256):
+            assert gf256.gf_mul(a, 1) == a
+
+    def test_mul_matches_peasant_multiplication(self):
+        for a in [0, 1, 2, 3, 91, 160, 255]:
+            for b in [0, 1, 5, 77, 128, 254, 255]:
+                assert gf256.gf_mul(a, b) == gf256._mul_no_table(a, b)
+
+    @given(field_elements, field_elements)
+    def test_mul_commutative(self, a, b):
+        assert gf256.gf_mul(a, b) == gf256.gf_mul(b, a)
+
+    @given(field_elements, field_elements, field_elements)
+    def test_mul_associative(self, a, b, c):
+        left = gf256.gf_mul(gf256.gf_mul(a, b), c)
+        right = gf256.gf_mul(a, gf256.gf_mul(b, c))
+        assert left == right
+
+    @given(field_elements, field_elements, field_elements)
+    def test_distributive(self, a, b, c):
+        left = gf256.gf_mul(a, b ^ c)
+        right = gf256.gf_mul(a, b) ^ gf256.gf_mul(a, c)
+        assert left == right
+
+    @given(nonzero_elements)
+    def test_inverse(self, a):
+        assert gf256.gf_mul(a, gf256.gf_inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.gf_inv(0)
+
+    @given(field_elements, nonzero_elements)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert gf256.gf_div(a, b) == gf256.gf_mul(a, gf256.gf_inv(b))
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.gf_div(7, 0)
+
+    @given(nonzero_elements, st.integers(min_value=0, max_value=600))
+    def test_pow_matches_repeated_mul(self, a, exponent):
+        expected = 1
+        for _ in range(exponent):
+            expected = gf256.gf_mul(expected, a)
+        assert gf256.gf_pow(a, exponent) == expected
+
+    def test_pow_zero_base(self):
+        assert gf256.gf_pow(0, 0) == 1
+        assert gf256.gf_pow(0, 5) == 0
+
+    def test_pow_negative_raises(self):
+        with pytest.raises(ParameterError):
+            gf256.gf_pow(3, -1)
+
+
+class TestVectorOps:
+    @given(field_elements, st.binary(min_size=1, max_size=64))
+    def test_mul_bytes_matches_scalar(self, scalar, data):
+        array = np.frombuffer(data, dtype=np.uint8)
+        result = gf256.gf_mul_bytes(scalar, array)
+        expected = [gf256.gf_mul(scalar, int(byte)) for byte in data]
+        assert list(result) == expected
+
+    @given(field_elements, st.binary(min_size=1, max_size=64))
+    def test_addmul_bytes_matches_scalar(self, scalar, data):
+        array = np.frombuffer(data, dtype=np.uint8)
+        accumulator = np.zeros(len(data), dtype=np.uint8)
+        gf256.gf_addmul_bytes(accumulator, scalar, array)
+        expected = [gf256.gf_mul(scalar, int(byte)) for byte in data]
+        assert list(accumulator) == expected
+
+    def test_addmul_scalar_zero_is_noop(self):
+        accumulator = np.array([1, 2, 3], dtype=np.uint8)
+        gf256.gf_addmul_bytes(accumulator, 0, np.array([9, 9, 9], dtype=np.uint8))
+        assert list(accumulator) == [1, 2, 3]
+
+    def test_addmul_scalar_one_is_xor(self):
+        accumulator = np.array([1, 2, 3], dtype=np.uint8)
+        gf256.gf_addmul_bytes(accumulator, 1, np.array([4, 4, 4], dtype=np.uint8))
+        assert list(accumulator) == [5, 6, 7]
+
+    def test_mul_bytes_returns_new_array(self):
+        data = np.array([1, 2], dtype=np.uint8)
+        result = gf256.gf_mul_bytes(1, data)
+        result[0] = 99
+        assert data[0] == 1
+
+
+class TestPolyEval:
+    def test_constant_polynomial(self):
+        assert gf256.gf_poly_eval([42], 7) == 42
+
+    def test_linear_polynomial(self):
+        # p(x) = 3 + 2x at x = 5 -> 3 ^ (2 * 5)
+        assert gf256.gf_poly_eval([3, 2], 5) == 3 ^ gf256.gf_mul(2, 5)
+
+    @given(
+        st.lists(field_elements, min_size=1, max_size=8),
+        field_elements,
+    )
+    def test_matches_power_expansion(self, coefficients, x):
+        expected = 0
+        for power, coefficient in enumerate(coefficients):
+            expected ^= gf256.gf_mul(coefficient, gf256.gf_pow(x, power))
+        assert gf256.gf_poly_eval(coefficients, x) == expected

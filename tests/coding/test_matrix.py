@@ -1,0 +1,160 @@
+"""Tests for dense GF(2^8) linear algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding import matrix as gfmat
+from repro.coding.gf256 import gf_mul
+from repro.errors import ParameterError
+
+
+def random_matrix(draw, rows, cols):
+    element = st.integers(min_value=0, max_value=255)
+    return draw(
+        st.lists(
+            st.lists(element, min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+
+
+small_square = st.integers(min_value=1, max_value=5)
+
+
+@st.composite
+def square_matrices(draw):
+    size = draw(small_square)
+    return random_matrix(draw, size, size)
+
+
+class TestBasics:
+    def test_identity(self):
+        assert gfmat.identity(2) == [[1, 0], [0, 1]]
+
+    def test_zeros(self):
+        assert gfmat.zeros(2, 3) == [[0, 0, 0], [0, 0, 0]]
+
+    def test_vandermonde_rows_are_geometric(self):
+        vander = gfmat.vandermonde(4, 3)
+        assert vander[0] == [1, 0, 0]  # point 0
+        assert vander[1] == [1, 1, 1]  # point 1
+        assert vander[2][1] == 2  # point 2, power 1
+
+    def test_vandermonde_too_many_points(self):
+        with pytest.raises(ParameterError):
+            gfmat.vandermonde(257, 2)
+
+
+class TestMul:
+    def test_identity_is_neutral(self):
+        matrix = [[3, 7], [1, 255]]
+        assert gfmat.mat_mul(gfmat.identity(2), matrix) == matrix
+        assert gfmat.mat_mul(matrix, gfmat.identity(2)) == matrix
+
+    def test_known_product(self):
+        a = [[2, 0], [0, 3]]
+        b = [[5, 1], [1, 0]]
+        expected = [
+            [gf_mul(2, 5), gf_mul(2, 1)],
+            [gf_mul(3, 1), 0],
+        ]
+        assert gfmat.mat_mul(a, b) == expected
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            gfmat.mat_mul([[1, 2]], [[1, 2]])
+
+    def test_mat_vec_matches_mat_mul(self):
+        matrix = [[1, 2, 3], [4, 5, 6]]
+        vector = [7, 8, 9]
+        column = [[v] for v in vector]
+        expected = [row[0] for row in gfmat.mat_mul(matrix, column)]
+        assert gfmat.mat_vec(matrix, vector) == expected
+
+    def test_mat_vec_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            gfmat.mat_vec([[1, 2]], [1, 2, 3])
+
+
+class TestInverse:
+    @given(square_matrices())
+    def test_inverse_property(self, matrix):
+        size = len(matrix)
+        if gfmat.rank(matrix) < size:
+            with pytest.raises(ParameterError):
+                gfmat.mat_inv(matrix)
+            return
+        inverse = gfmat.mat_inv(matrix)
+        assert gfmat.mat_mul(matrix, inverse) == gfmat.identity(size)
+        assert gfmat.mat_mul(inverse, matrix) == gfmat.identity(size)
+
+    def test_singular_raises(self):
+        with pytest.raises(ParameterError):
+            gfmat.mat_inv([[1, 1], [1, 1]])
+
+    def test_non_square_raises(self):
+        with pytest.raises(ParameterError):
+            gfmat.mat_inv([[1, 2, 3], [4, 5, 6]])
+
+    def test_vandermonde_submatrices_invertible(self):
+        vander = gfmat.vandermonde(8, 4)
+        import itertools
+
+        for rows in itertools.combinations(range(8), 4):
+            submatrix = [vander[r] for r in rows]
+            inverse = gfmat.mat_inv(submatrix)
+            assert gfmat.mat_mul(submatrix, inverse) == gfmat.identity(4)
+
+
+class TestRank:
+    def test_empty(self):
+        assert gfmat.rank([]) == 0
+
+    def test_identity_full_rank(self):
+        assert gfmat.rank(gfmat.identity(4)) == 4
+
+    def test_repeated_rows(self):
+        assert gfmat.rank([[1, 2], [1, 2], [2, 4]]) == 1
+
+    def test_zero_matrix(self):
+        assert gfmat.rank(gfmat.zeros(3, 3)) == 0
+
+    @given(square_matrices())
+    def test_rank_at_most_dimensions(self, matrix):
+        assert gfmat.rank(matrix) <= min(len(matrix), len(matrix[0]))
+
+
+class TestNullSpace:
+    def test_empty_matrix_gives_unit_vector(self):
+        assert gfmat.null_space_vector([], 3) == [1, 0, 0]
+
+    def test_zero_cols(self):
+        assert gfmat.null_space_vector([], 0) is None
+
+    def test_full_rank_has_no_kernel(self):
+        assert gfmat.null_space_vector(gfmat.identity(3), 3) is None
+
+    def test_inconsistent_cols_raises(self):
+        with pytest.raises(ParameterError):
+            gfmat.null_space_vector([[1, 2]], 3)
+
+    @given(st.data())
+    def test_kernel_vector_annihilates(self, data):
+        cols = data.draw(st.integers(min_value=1, max_value=5))
+        rows = data.draw(st.integers(min_value=0, max_value=3))
+        matrix = random_matrix(data.draw, rows, cols) if rows else []
+        kernel = gfmat.null_space_vector(matrix, cols)
+        if kernel is None:
+            assert matrix and gfmat.rank(matrix) == cols
+            return
+        assert any(kernel)
+        if matrix:
+            assert gfmat.mat_vec(matrix, kernel) == [0] * len(matrix)
+
+    def test_underdetermined_always_has_kernel(self):
+        matrix = [[1, 2, 3], [4, 5, 6]]
+        kernel = gfmat.null_space_vector(matrix, 3)
+        assert kernel is not None
+        assert gfmat.mat_vec(matrix, kernel) == [0, 0]

@@ -1,0 +1,149 @@
+"""Tests for the encode/decode oracles and the symmetry assumption."""
+
+import os
+
+import pytest
+
+from repro.coding import (
+    CodeBlock,
+    DecodeOracle,
+    EncodeOracle,
+    RatelessXorCode,
+    ReedSolomonCode,
+    ReplicationCode,
+    XorParityCode,
+)
+from repro.errors import ProtocolError
+
+ALL_SCHEMES = [
+    ReedSolomonCode(k=3, n=7, data_size_bytes=24),
+    XorParityCode(k=4, data_size_bytes=32),
+    ReplicationCode(data_size_bytes=16),
+    RatelessXorCode(k=4, data_size_bytes=32, seed=1),
+]
+
+
+class TestEncodeOracle:
+    def test_blocks_carry_source_tags(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        oracle = EncodeOracle(scheme, os.urandom(8), op_uid=17)
+        block = oracle.get(3)
+        assert block.source.op_uid == 17
+        assert block.source.index == 3
+        assert block.index == 3
+
+    def test_block_sizes_match_scheme(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        oracle = EncodeOracle(scheme, os.urandom(8), op_uid=1)
+        for index in range(4):
+            assert oracle.get(index).size_bits == scheme.block_size_bits(index)
+
+    def test_get_is_idempotent(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        oracle = EncodeOracle(scheme, os.urandom(8), op_uid=1)
+        assert oracle.get(2) is oracle.get(2)
+
+    def test_get_many_preserves_order(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        oracle = EncodeOracle(scheme, os.urandom(8), op_uid=1)
+        blocks = oracle.get_many([3, 0, 2])
+        assert [block.index for block in blocks] == [3, 0, 2]
+
+    def test_expired_oracle_raises(self):
+        scheme = ReplicationCode(data_size_bytes=4)
+        oracle = EncodeOracle(scheme, bytes(4), op_uid=1)
+        oracle.expire()
+        with pytest.raises(ProtocolError):
+            oracle.get(0)
+
+    def test_payloads_match_direct_encoding(self):
+        scheme = XorParityCode(k=2, data_size_bytes=8)
+        value = os.urandom(8)
+        oracle = EncodeOracle(scheme, value, op_uid=5)
+        for index in range(3):
+            assert oracle.get(index).payload == scheme.encode_block(value, index)
+
+
+class TestDecodeOracle:
+    def test_push_and_done_roundtrip(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        value = os.urandom(8)
+        encoder = EncodeOracle(scheme, value, op_uid=9)
+        decoder = DecodeOracle(scheme)
+        decoder.push(encoder.get(1))
+        decoder.push(encoder.get(3))
+        assert decoder.done() == value
+        assert decoder.expired
+
+    def test_done_with_insufficient_blocks_returns_none(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        encoder = EncodeOracle(scheme, os.urandom(8), op_uid=9)
+        decoder = DecodeOracle(scheme)
+        decoder.push(encoder.get(1))
+        assert decoder.done() is None
+
+    def test_attempts_are_independent(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        value_a, value_b = os.urandom(8), os.urandom(8)
+        encoder_a = EncodeOracle(scheme, value_a, op_uid=1)
+        encoder_b = EncodeOracle(scheme, value_b, op_uid=2)
+        decoder = DecodeOracle(scheme)
+        decoder.push(encoder_a.get(0), attempt=0)
+        decoder.push(encoder_a.get(1), attempt=0)
+        decoder.push(encoder_b.get(0), attempt=1)
+        decoder.push(encoder_b.get(1), attempt=1)
+        assert decoder.peek(attempt=0) == value_a
+        assert decoder.done(attempt=1) == value_b
+
+    def test_peek_does_not_expire(self):
+        scheme = ReplicationCode(data_size_bytes=4)
+        encoder = EncodeOracle(scheme, b"abcd", op_uid=1)
+        decoder = DecodeOracle(scheme)
+        decoder.push(encoder.get(0))
+        assert decoder.peek() == b"abcd"
+        assert not decoder.expired
+        assert decoder.done() == b"abcd"
+
+    def test_expired_push_raises(self):
+        scheme = ReplicationCode(data_size_bytes=4)
+        encoder = EncodeOracle(scheme, b"abcd", op_uid=1)
+        decoder = DecodeOracle(scheme)
+        decoder.push(encoder.get(0))
+        decoder.done()
+        with pytest.raises(ProtocolError):
+            decoder.push(encoder.get(1))
+
+    def test_blocks_in_counts_distinct_indices(self):
+        scheme = ReplicationCode(data_size_bytes=4)
+        encoder = EncodeOracle(scheme, b"abcd", op_uid=1)
+        decoder = DecodeOracle(scheme)
+        decoder.push(encoder.get(0))
+        decoder.push(encoder.get(0))
+        decoder.push(encoder.get(2))
+        assert decoder.blocks_in() == 2
+
+    def test_push_payload(self):
+        scheme = ReplicationCode(data_size_bytes=4)
+        decoder = DecodeOracle(scheme)
+        decoder.push_payload(0, b"wxyz")
+        assert decoder.done() == b"wxyz"
+
+
+class TestSymmetry:
+    """Definition 3: block sizes must not depend on the encoded value."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_block_sizes_value_independent(self, scheme):
+        value_a = bytes(scheme.data_size_bytes)
+        value_b = os.urandom(scheme.data_size_bytes)
+        index_limit = min(8, getattr(scheme, "n", None) or 8)
+        for index in range(index_limit):
+            block_a = scheme.encode_block(value_a, index)
+            block_b = scheme.encode_block(value_b, index)
+            assert len(block_a) == len(block_b)
+            assert len(block_a) * 8 == scheme.block_size_bits(index)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_total_bits_deduplicates(self, scheme):
+        single = scheme.total_bits([0])
+        assert scheme.total_bits([0, 0, 0]) == single

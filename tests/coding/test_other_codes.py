@@ -1,0 +1,210 @@
+"""Tests for XOR-parity, replication, and rateless codes."""
+
+import itertools
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import RatelessXorCode, ReplicationCode, XorParityCode
+from repro.errors import DecodingError, ParameterError
+
+
+class TestXorParity:
+    @pytest.fixture
+    def code(self):
+        return XorParityCode(k=4, data_size_bytes=32)
+
+    def test_n_is_k_plus_one(self, code):
+        assert code.n == 5
+
+    def test_parity_block_is_xor_of_shards(self, code):
+        value = os.urandom(32)
+        shards = code.shards(value)
+        parity = code.encode_block(value, 4)
+        expected = bytes(a ^ b ^ c ^ d for a, b, c, d in zip(*shards))
+        assert parity == expected
+
+    def test_all_data_blocks_decode(self, code):
+        value = os.urandom(32)
+        blocks = code.encode_many(value, range(4))
+        assert code.decode(blocks) == value
+
+    def test_every_k_subset_decodes(self, code):
+        value = os.urandom(32)
+        blocks = code.encode_many(value, range(5))
+        for subset in itertools.combinations(range(5), 4):
+            assert code.decode({i: blocks[i] for i in subset}) == value
+
+    def test_insufficient_blocks_return_none(self, code):
+        value = os.urandom(32)
+        blocks = code.encode_many(value, [0, 1, 4])
+        assert code.decode(blocks) is None
+
+    def test_collision_without_parity(self, code):
+        value = os.urandom(32)
+        indices = [0, 2]
+        delta = code.collision_delta(indices)
+        other = bytes(a ^ b for a, b in zip(value, delta))
+        for index in indices:
+            assert code.encode_block(value, index) == code.encode_block(other, index)
+
+    def test_collision_with_parity_present(self, code):
+        value = os.urandom(32)
+        indices = [1, 4]  # one data block and the parity
+        delta = code.collision_delta(indices)
+        other = bytes(a ^ b for a, b in zip(value, delta))
+        for index in indices:
+            assert code.encode_block(value, index) == code.encode_block(other, index)
+
+    def test_no_collision_with_k_blocks(self, code):
+        assert code.collision_delta([0, 1, 2, 4]) is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=32, max_size=32))
+    def test_roundtrip_property(self, value):
+        code = XorParityCode(k=4, data_size_bytes=32)
+        blocks = code.encode_many(value, [0, 2, 3, 4])
+        assert code.decode(blocks) == value
+
+
+class TestReplication:
+    @pytest.fixture
+    def code(self):
+        return ReplicationCode(data_size_bytes=16)
+
+    def test_every_block_is_the_value(self, code):
+        value = os.urandom(16)
+        for index in (0, 1, 17, 10_000):
+            assert code.encode_block(value, index) == value
+
+    def test_single_block_decodes(self, code):
+        value = os.urandom(16)
+        assert code.decode({42: value}) == value
+
+    def test_block_size_is_full_value(self, code):
+        assert code.block_size_bits(0) == 128
+
+    def test_empty_decode_returns_none(self, code):
+        assert code.decode({}) is None
+
+    def test_disagreeing_replicas_raise(self, code):
+        with pytest.raises(DecodingError):
+            code.decode({0: b"a" * 16, 1: b"b" * 16})
+
+    def test_wrong_replica_length_raises(self, code):
+        with pytest.raises(DecodingError):
+            code.decode({0: b"short"})
+
+    def test_bounded_variant_rejects_large_index(self):
+        code = ReplicationCode(data_size_bytes=16, n=3)
+        with pytest.raises(ParameterError):
+            code.encode_block(bytes(16), 3)
+
+    def test_negative_index_rejected(self, code):
+        with pytest.raises(ParameterError):
+            code.encode_block(bytes(16), -1)
+
+    def test_no_collision_on_nonempty_set(self, code):
+        assert code.collision_delta([0]) is None
+        assert code.collision_delta([3, 9]) is None
+
+    def test_empty_set_collides(self, code):
+        delta = code.collision_delta([])
+        assert delta is not None and any(delta)
+
+
+class TestRateless:
+    @pytest.fixture
+    def code(self):
+        return RatelessXorCode(k=4, data_size_bytes=32, seed=5)
+
+    def test_masks_are_deterministic(self, code):
+        again = RatelessXorCode(k=4, data_size_bytes=32, seed=5)
+        assert [code.mask(i) for i in range(50)] == [again.mask(i) for i in range(50)]
+
+    def test_masks_depend_on_seed(self, code):
+        other = RatelessXorCode(k=4, data_size_bytes=32, seed=6)
+        masks_a = [code.mask(i) for i in range(50)]
+        masks_b = [other.mask(i) for i in range(50)]
+        assert masks_a != masks_b
+
+    def test_masks_are_nonzero(self, code):
+        for index in range(200):
+            assert code.mask(index) != 0
+
+    def test_unbounded_index_space(self, code):
+        value = os.urandom(32)
+        block = code.encode_block(value, 10**9)
+        assert len(block) == code.shard_bytes
+
+    def test_roundtrip_with_enough_blocks(self, code):
+        value = os.urandom(32)
+        blocks = code.encode_many(value, range(16))
+        assert code.decode(blocks) == value
+
+    def test_decode_returns_none_when_rank_deficient(self, code):
+        value = os.urandom(32)
+        # A single block can never span GF(2)^4.
+        blocks = code.encode_many(value, [0])
+        assert code.decode(blocks) is None
+
+    def test_block_is_xor_of_masked_shards(self, code):
+        value = os.urandom(32)
+        shards = code._shards(value)
+        for index in range(20):
+            mask = code.mask(index)
+            expected = bytearray(code.shard_bytes)
+            for shard_index in range(code.k):
+                if mask & (1 << shard_index):
+                    for pos in range(code.shard_bytes):
+                        expected[pos] ^= int(shards[shard_index][pos])
+            assert code.encode_block(value, index) == bytes(expected)
+
+    def test_symmetric_block_size(self, code):
+        sizes = {code.block_size_bits(i) for i in range(100)}
+        assert sizes == {code.shard_bytes * 8}
+
+    def test_collision_delta_invisible(self, code):
+        value = os.urandom(32)
+        indices = [3, 7]
+        delta = code.collision_delta(indices)
+        assert delta is not None
+        other = bytes(a ^ b for a, b in zip(value, delta))
+        assert other != value
+        for index in indices:
+            assert code.encode_block(value, index) == code.encode_block(other, index)
+
+    def test_no_collision_when_masks_span(self, code):
+        # Find a set of indices whose masks span GF(2)^4, then expect None.
+        indices = []
+        basis: dict[int, int] = {}
+        index = 0
+        while len(basis) < code.k:
+            mask = code.mask(index)
+            reduced = mask
+            while reduced:
+                pivot = reduced.bit_length() - 1
+                if pivot not in basis:
+                    basis[pivot] = reduced
+                    indices.append(index)
+                    break
+                reduced ^= basis[pivot]
+            index += 1
+        assert code.collision_delta(indices) is None
+
+    def test_bad_payload_size_raises(self, code):
+        with pytest.raises(DecodingError):
+            code.decode({0: b"x"})
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ParameterError):
+            RatelessXorCode(k=3, data_size_bytes=32)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=32, max_size=32), st.integers(0, 1000))
+    def test_roundtrip_property(self, value, seed):
+        code = RatelessXorCode(k=4, data_size_bytes=32, seed=seed)
+        blocks = code.encode_many(value, range(20))
+        assert code.decode(blocks) == value

@@ -1,0 +1,161 @@
+"""Tests for the systematic Reed-Solomon code."""
+
+import itertools
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import ReedSolomonCode
+from repro.errors import DecodingError, EncodingError, ParameterError
+
+
+@pytest.fixture
+def rs():
+    return ReedSolomonCode(k=3, n=7, data_size_bytes=24)
+
+
+class TestConstruction:
+    def test_rejects_n_above_256(self):
+        with pytest.raises(ParameterError):
+            ReedSolomonCode(k=2, n=257, data_size_bytes=16)
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(ParameterError):
+            ReedSolomonCode(k=0, n=4, data_size_bytes=16)
+
+    def test_rejects_n_below_k(self):
+        with pytest.raises(ParameterError):
+            ReedSolomonCode(k=5, n=4, data_size_bytes=20)
+
+    def test_rejects_indivisible_data_size(self):
+        with pytest.raises(ParameterError):
+            ReedSolomonCode(k=3, n=5, data_size_bytes=16)
+
+    def test_systematic_generator(self, rs):
+        for index in range(rs.k):
+            row = rs.generator_row(index)
+            assert row == [1 if j == index else 0 for j in range(rs.k)]
+
+    def test_block_size_is_shard_size(self, rs):
+        for index in range(rs.n):
+            assert rs.block_size_bits(index) == rs.shard_bytes * 8
+
+    def test_min_blocks_to_decode(self, rs):
+        assert rs.min_blocks_to_decode() == rs.k
+
+
+class TestRoundtrip:
+    def test_systematic_blocks_are_shards(self, rs):
+        value = bytes(range(24))
+        shards = rs.shards(value)
+        for index in range(rs.k):
+            assert rs.encode_block(value, index) == shards[index]
+
+    def test_every_k_subset_decodes(self, rs):
+        value = os.urandom(24)
+        blocks = rs.encode_many(value, range(rs.n))
+        for subset in itertools.combinations(range(rs.n), rs.k):
+            chosen = {index: blocks[index] for index in subset}
+            assert rs.decode(chosen) == value
+
+    def test_more_than_k_blocks_decode(self, rs):
+        value = os.urandom(24)
+        blocks = rs.encode_many(value, range(rs.n))
+        assert rs.decode(blocks) == value
+
+    def test_fewer_than_k_blocks_return_none(self, rs):
+        value = os.urandom(24)
+        blocks = rs.encode_many(value, [0, 5])
+        assert rs.decode(blocks) is None
+
+    def test_empty_decode_returns_none(self, rs):
+        assert rs.decode({}) is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=24, max_size=24))
+    def test_roundtrip_property(self, value):
+        rs = ReedSolomonCode(k=3, n=7, data_size_bytes=24)
+        blocks = rs.encode_many(value, [1, 3, 6])
+        assert rs.decode(blocks) == value
+
+    @pytest.mark.parametrize("k,n", [(1, 3), (2, 4), (2, 6), (4, 9), (5, 11)])
+    def test_parameter_sweep(self, k, n):
+        data_size = 4 * k
+        rs = ReedSolomonCode(k=k, n=n, data_size_bytes=data_size)
+        value = os.urandom(data_size)
+        blocks = rs.encode_many(value, range(n))
+        # Decode from the last k blocks (all parity for n >= 2k).
+        chosen = {index: blocks[index] for index in range(n - k, n)}
+        assert rs.decode(chosen) == value
+
+
+class TestValidation:
+    def test_wrong_value_length_raises(self, rs):
+        with pytest.raises(EncodingError):
+            rs.encode_block(b"short", 0)
+
+    def test_index_out_of_range_raises(self, rs):
+        value = bytes(24)
+        with pytest.raises(ParameterError):
+            rs.encode_block(value, 7)
+        with pytest.raises(ParameterError):
+            rs.encode_block(value, -1)
+
+    def test_decode_rejects_bad_payload_size(self, rs):
+        with pytest.raises(DecodingError):
+            rs.decode({0: b"x"})
+
+    def test_decode_rejects_bad_index(self, rs):
+        with pytest.raises(ParameterError):
+            rs.decode({9: bytes(rs.shard_bytes)})
+
+
+class TestCollisions:
+    def test_no_collision_with_k_blocks(self, rs):
+        assert rs.collision_delta([0, 1, 2]) is None
+        assert rs.collision_delta([2, 4, 6]) is None
+
+    def test_collision_exists_below_k_blocks(self, rs):
+        delta = rs.collision_delta([0, 6])
+        assert delta is not None
+        assert any(delta)
+
+    def test_collision_delta_is_invisible_on_indices(self, rs):
+        value = os.urandom(24)
+        indices = [1, 5]
+        delta = rs.collision_delta(indices)
+        other = bytes(a ^ b for a, b in zip(value, delta))
+        assert other != value
+        for index in indices:
+            assert rs.encode_block(value, index) == rs.encode_block(other, index)
+
+    def test_collision_delta_changes_other_blocks(self, rs):
+        # MDS: if the delta were invisible on k indices, values would be equal.
+        value = bytes(24)
+        indices = [0, 1]
+        delta = rs.collision_delta(indices)
+        other = bytes(a ^ b for a, b in zip(value, delta))
+        changed = [
+            index
+            for index in range(rs.n)
+            if rs.encode_block(value, index) != rs.encode_block(other, index)
+        ]
+        assert changed  # some block must differ, else decode would be ambiguous
+
+    def test_empty_index_set_collides(self, rs):
+        assert rs.collision_delta([]) is not None
+
+    def test_duplicate_indices_count_once(self, rs):
+        # Two copies of one block pin only one block's worth of bits.
+        assert rs.collision_delta([3, 3, 3]) is not None
+
+
+class TestDecodeCache:
+    def test_cache_reused(self, rs):
+        value = os.urandom(24)
+        blocks = rs.encode_many(value, [1, 2, 4])
+        assert rs.decode(blocks) == value
+        assert (1, 2, 4) in rs._decode_cache
+        assert rs.decode(blocks) == value

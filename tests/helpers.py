@@ -1,0 +1,64 @@
+"""Shared test fixtures: a minimal protocol and run helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.registers.base import RegisterProtocol, RegisterSetup
+from repro.sim.actions import WaitResponses
+from repro.sim.kernel import Simulation
+
+
+@dataclass(frozen=True)
+class CounterState:
+    """Trivial base-object state for kernel lifecycle tests."""
+
+    value: int
+
+
+def increment_rmw(state: CounterState, args: int) -> tuple[CounterState, int]:
+    """Add ``args`` to the counter; respond with the new value."""
+    new = CounterState(state.value + args)
+    return new, new.value
+
+
+def read_counter_rmw(state: CounterState, args: None) -> tuple[CounterState, int]:
+    return state, state.value
+
+
+class CounterProtocol(RegisterProtocol):
+    """Not a register at all — a counter used to unit-test the kernel.
+
+    ``write`` increments every base object by 1 and waits for a quorum;
+    ``read`` collects a quorum of counter values and returns their max.
+    """
+
+    name = "counter"
+
+    def initial_bo_state(self, bo_id: int) -> CounterState:
+        return CounterState(0)
+
+    def write_gen(self, ctx, value):
+        handles = [
+            ctx.trigger(bo_id, increment_rmw, 1, label="inc")
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        return "ok"
+
+    def read_gen(self, ctx):
+        handles = [
+            ctx.trigger(bo_id, read_counter_rmw, None, label="get")
+            for bo_id in range(self.n)
+        ]
+        yield WaitResponses(handles, self.quorum)
+        values = [handle.response for handle in handles if handle.responded]
+        return max(values)
+
+
+def small_setup(f: int = 1, k: int = 2, data_size_bytes: int = 8) -> RegisterSetup:
+    return RegisterSetup(f=f, k=k, data_size_bytes=data_size_bytes)
+
+
+def counter_sim(f: int = 1, k: int = 2) -> Simulation:
+    return Simulation(CounterProtocol(small_setup(f=f, k=k)))

@@ -1,0 +1,139 @@
+"""Definition 5 / Lemma 1 tests: scripted replay + value replacement."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.lowerbound import (
+    record_run,
+    replay_run,
+    run_replacement_experiment,
+    stored_indices_of,
+)
+from repro.registers import AdaptiveRegister, CodedOnlyRegister, RegisterSetup
+from repro.sim import FairScheduler, RandomScheduler
+from repro.sim.trace import OpKind
+from repro.workloads import make_value
+
+SETUP = RegisterSetup(f=2, k=3, data_size_bytes=24)  # n=7, D=192, piece=64
+
+
+def writer_uid(sim, name="w0"):
+    return next(
+        op.op_uid
+        for op in sim.trace.ops.values()
+        if op.kind is OpKind.WRITE and op.client == name
+    )
+
+
+def cut_when_w0_has_pieces(low=1, high=2):
+    def until(sim):
+        for op in sim.trace.ops.values():
+            if op.kind is OpKind.WRITE and op.client == "w0":
+                count = len(stored_indices_of(sim, op.op_uid))
+                return low <= count <= high
+        return False
+
+    return until
+
+
+class TestRecordReplay:
+    def test_replay_reproduces_block_structure(self):
+        values = [make_value(SETUP, f"x{i}") for i in range(2)]
+        recorded = record_run(
+            CodedOnlyRegister, SETUP, values, FairScheduler(),
+            until=lambda sim: sim.time >= 40,
+        )
+        mirror = replay_run(CodedOnlyRegister, SETUP, values, recorded.actions)
+        assert mirror.time == recorded.sim.time
+        for original_bo, mirror_bo in zip(
+            recorded.sim.base_objects, mirror.base_objects
+        ):
+            assert original_bo.applied_count == mirror_bo.applied_count
+            assert original_bo.state == mirror_bo.state
+
+    def test_replay_with_different_value_changes_only_payloads(self):
+        values = [make_value(SETUP, "a"), make_value(SETUP, "b")]
+        recorded = record_run(
+            CodedOnlyRegister, SETUP, values, FairScheduler(),
+            until=lambda sim: sim.time >= 40,
+        )
+        swapped = [make_value(SETUP, "z"), values[1]]
+        mirror = replay_run(CodedOnlyRegister, SETUP, swapped, recorded.actions)
+        uid = writer_uid(recorded.sim)
+        # Same indices stored, same trace shape.
+        assert stored_indices_of(recorded.sim, uid) == stored_indices_of(
+            mirror, uid
+        )
+        assert len(mirror.trace.ops) == len(recorded.sim.trace.ops)
+
+    def test_replay_rejects_truncated_divergence(self):
+        values = [make_value(SETUP, "a")]
+        recorded = record_run(
+            CodedOnlyRegister, SETUP, values, FairScheduler(),
+            until=lambda sim: sim.time >= 10,
+        )
+        # Script for a 1-writer run cannot drive a 0-writer system.
+        with pytest.raises((ParameterError, Exception)):
+            replay_run(CodedOnlyRegister, SETUP, [], recorded.actions)
+
+
+class TestReplacementExperiment:
+    @pytest.mark.parametrize(
+        "register_cls", [AdaptiveRegister, CodedOnlyRegister],
+        ids=lambda c: c.name,
+    )
+    def test_lemma1_consistency(self, register_cls):
+        report = run_replacement_experiment(
+            register_cls, SETUP, concurrency=3,
+            scheduler=FairScheduler(), until=cut_when_w0_has_pieces(),
+            seed=3,
+        )
+        assert report.replacement_value is not None
+        assert report.states_correspond, "Definition 5 correspondence broken"
+        assert report.reader_results_equal, "solo readers distinguished runs"
+        assert not report.reader_saw_replaced_write
+        assert report.lemma1_consistent
+
+    def test_replacement_value_is_colliding(self):
+        report = run_replacement_experiment(
+            AdaptiveRegister, SETUP, concurrency=2,
+            scheduler=FairScheduler(), until=cut_when_w0_has_pieces(),
+            seed=5,
+        )
+        scheme = SETUP.build_scheme()
+        for index in report.stored_indices:
+            assert scheme.encode_block(report.original_value, index) == \
+                scheme.encode_block(report.replacement_value, index)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_schedules(self, seed):
+        report = run_replacement_experiment(
+            CodedOnlyRegister, SETUP, concurrency=3,
+            scheduler=RandomScheduler(seed),
+            until=cut_when_w0_has_pieces(),
+            seed=seed,
+        )
+        assert report.lemma1_consistent
+
+    def test_pinned_write_reports_no_collision(self):
+        """Cut after w0 stored >= k distinct pieces: no collision exists and
+        the experiment reports the broken premise instead of a claim."""
+        report = run_replacement_experiment(
+            CodedOnlyRegister, SETUP, concurrency=1,
+            scheduler=FairScheduler(),
+            until=cut_when_w0_has_pieces(low=3, high=99),
+            seed=1,
+        )
+        assert report.replacement_value is None
+        assert len(report.stored_indices) >= SETUP.k
+        assert report.lemma1_consistent  # vacuously
+
+    def test_reader_returns_v0_or_other_write(self):
+        report = run_replacement_experiment(
+            AdaptiveRegister, SETUP, concurrency=3,
+            scheduler=FairScheduler(), until=cut_when_w0_has_pieces(),
+            seed=7,
+        )
+        assert report.reader_result is not None
+        assert report.reader_result != report.original_value
+        assert report.reader_result != report.replacement_value

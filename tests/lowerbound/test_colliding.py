@@ -1,0 +1,129 @@
+"""Claim 1 tests: constructive I-colliding values across all schemes."""
+
+import itertools
+
+import pytest
+
+from repro.coding import (
+    RatelessXorCode,
+    ReedSolomonCode,
+    ReplicationCode,
+    XorParityCode,
+)
+from repro.errors import ParameterError
+from repro.lowerbound import (
+    build_colliding_family,
+    find_colliding_pair,
+    verify_claim1,
+    verify_collision,
+    xor_bytes,
+)
+
+RS = ReedSolomonCode(k=3, n=7, data_size_bytes=24)
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x01\x02", b"\x03\x00") == b"\x02\x02"
+
+    def test_self_inverse(self):
+        a, b = b"hello!!!", b"world???"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            xor_bytes(b"a", b"ab")
+
+
+class TestFindCollidingPair:
+    def test_pair_collides_and_differs(self):
+        pair = find_colliding_pair(RS, [0, 4])
+        assert pair is not None
+        assert verify_collision(RS, [0, 4], pair)
+
+    def test_respects_base_value(self):
+        base = bytes(range(24))
+        pair = find_colliding_pair(RS, [1, 2], base_value=base)
+        assert pair[0] == base
+        assert pair[1] != base
+
+    def test_none_when_indices_pin_value(self):
+        assert find_colliding_pair(RS, [0, 1, 2]) is None
+
+    def test_collision_invisible_outside_indices_is_false(self):
+        # A valid pair must differ on SOME block (else equal values).
+        pair = find_colliding_pair(RS, [5, 6])
+        differing = [
+            i for i in range(RS.n)
+            if RS.encode_block(pair[0], i) != RS.encode_block(pair[1], i)
+        ]
+        assert differing
+        assert not set(differing) & {5, 6}
+
+
+class TestVerifyClaim1:
+    @pytest.mark.parametrize("size", [0, 1, 2])
+    def test_premise_implies_collision_rs(self, size):
+        for indices in itertools.combinations(range(RS.n), size):
+            report = verify_claim1(RS, indices)
+            assert report.premise_holds  # size < k blocks => < D bits
+            assert report.collision_found and report.collision_valid
+            assert report.consistent_with_claim
+
+    def test_k_blocks_break_premise(self):
+        for indices in itertools.combinations(range(RS.n), RS.k):
+            report = verify_claim1(RS, indices)
+            assert not report.premise_holds
+            assert not report.collision_found
+            assert report.consistent_with_claim
+
+    def test_xor_parity_scheme(self):
+        code = XorParityCode(k=4, data_size_bytes=32)
+        for indices in [(0,), (1, 4), (0, 1, 2)]:
+            report = verify_claim1(code, indices)
+            assert report.premise_holds
+            assert report.collision_valid
+
+    def test_rateless_scheme(self):
+        code = RatelessXorCode(k=4, data_size_bytes=32, seed=3)
+        report = verify_claim1(code, [10, 20, 30])
+        assert report.premise_holds
+        assert report.collision_valid
+
+    def test_replication_never_has_premise(self):
+        code = ReplicationCode(data_size_bytes=8)
+        report = verify_claim1(code, [0])
+        # One replica already pins D bits: premise fails, claim vacuous.
+        assert not report.premise_holds
+        assert report.consistent_with_claim
+
+    def test_duplicate_indices_deduplicated(self):
+        report = verify_claim1(RS, [3, 3, 3, 3])
+        assert report.stored_bits == RS.block_size_bits(3)
+        assert report.premise_holds
+
+    def test_report_records_sizes(self):
+        report = verify_claim1(RS, [0, 1])
+        assert report.stored_bits == 2 * RS.shard_bytes * 8
+        assert report.data_bits == 192
+
+
+class TestCollidingFamily:
+    def test_lemma1_family_construction(self):
+        """One colliding pair per 'write', all primary values distinct."""
+        index_sets = [[0], [1, 2], [3, 4], []]
+
+        def value_factory(position):
+            return bytes([position] * 24)
+
+        family = build_colliding_family(RS, index_sets, value_factory)
+        assert len(family) == 4
+        primaries = [pair[0] for pair in family]
+        assert len(set(primaries)) == 4
+        for indices, pair in zip(index_sets, family):
+            assert verify_collision(RS, indices, pair)
+
+    def test_family_fails_on_pinned_write(self):
+        index_sets = [[0], [0, 1, 2]]  # second set pins the full value
+        with pytest.raises(ParameterError):
+            build_colliding_family(RS, index_sets, lambda i: bytes([i] * 24))

@@ -1,0 +1,164 @@
+"""Message-passing simulator tests."""
+
+import pytest
+
+from repro.coding.oracles import BlockSource, CodeBlock
+from repro.errors import ProtocolError, SimulationError
+from repro.msgnet import (
+    FairMsgScheduler,
+    Network,
+    RandomMsgScheduler,
+    Receive,
+    run_network,
+)
+
+
+def echo_body(process):
+    """Reply to every message with its payload."""
+    while True:
+        message = yield Receive()
+        process.send(message.sender, ("echo", message.payload))
+
+
+def one_shot_body(process, recipient, payload, results):
+    process.send(recipient, payload)
+    message = yield Receive()
+    results.append(message.payload)
+
+
+class TestTransport:
+    def test_send_and_deliver(self):
+        network = Network()
+        a = network.add_process("a")
+        b = network.add_process("b")
+        results = []
+        b.start(echo_body(b))
+        a.start(one_shot_body(a, "b", "hello", results))
+        run_network(network, FairMsgScheduler())
+        assert results == [("echo", "hello")]
+
+    def test_messages_pending_until_delivered(self):
+        network = Network()
+        network.add_process("a")
+        b = network.add_process("b")
+        b.start(echo_body(b))
+        network.send("a", "b", "x")
+        assert len(network.in_flight) == 1
+        [message] = network.deliverable()
+        network.deliver(message.msg_id)
+        assert not network.in_flight
+
+    def test_send_to_unknown_process_raises(self):
+        network = Network()
+        network.add_process("a")
+        with pytest.raises(ProtocolError):
+            network.send("a", "ghost", "x")
+
+    def test_duplicate_process_rejected(self):
+        network = Network()
+        network.add_process("a")
+        with pytest.raises(SimulationError):
+            network.add_process("a")
+
+    def test_no_fifo_assumed(self):
+        """A scheduler may reorder same-link messages arbitrarily."""
+        network = Network()
+        received = []
+
+        def sink_body(process):
+            while True:
+                message = yield Receive()
+                received.append(message.payload)
+
+        sink = network.add_process("sink")
+        sink.start(sink_body(sink))
+        network.add_process("src")
+        network.send("src", "sink", 1)
+        network.send("src", "sink", 2)
+        # Deliver in reverse order: allowed.
+        ids = sorted(network.in_flight)
+        network.deliver(ids[1])
+        sink.step()
+        network.deliver(ids[0])
+        sink.step()
+        assert received == [2, 1]
+
+
+class TestCrashes:
+    def test_crashed_recipient_drops_in_flight(self):
+        network = Network()
+        network.add_process("a")
+        network.add_process("b")
+        network.send("a", "b", "x")
+        network.crash_process("b")
+        assert not network.in_flight
+        assert not network.deliverable()
+
+    def test_send_to_crashed_is_dropped_silently(self):
+        network = Network()
+        network.add_process("a")
+        network.add_process("b")
+        network.crash_process("b")
+        network.send("a", "b", "x")
+        assert not network.in_flight
+
+    def test_crashed_process_not_runnable(self):
+        network = Network()
+        a = network.add_process("a")
+        a.start(echo_body(a))
+        network.crash_process("a")
+        assert not a.runnable()
+
+
+class TestScheduling:
+    def test_quiescence(self):
+        network = Network()
+        assert network.quiescent()
+
+    def test_fair_scheduler_drains_ping_pong(self):
+        network = Network()
+        results = []
+        b = network.add_process("b")
+        b.start(echo_body(b))
+        for index in range(3):
+            name = f"a{index}"
+            a = network.add_process(name)
+            a.start(one_shot_body(a, "b", index, results))
+        steps = run_network(network, FairMsgScheduler())
+        assert steps > 0
+        assert sorted(payload for _, payload in results) == [0, 1, 2]
+
+    def test_random_scheduler_deterministic_per_seed(self):
+        def run_once(seed):
+            network = Network()
+            results = []
+            b = network.add_process("b")
+            b.start(echo_body(b))
+            a = network.add_process("a")
+            a.start(one_shot_body(a, "b", "x", results))
+            steps = run_network(network, RandomMsgScheduler(seed))
+            return steps, results
+
+        assert run_once(5) == run_once(5)
+
+
+class TestStorageInFlight:
+    def test_code_blocks_in_messages_are_charged(self):
+        network = Network()
+        network.add_process("a")
+        network.add_process("b")
+        block = CodeBlock(
+            payload=bytes(8), index=0, source=BlockSource(1, 0), size_bits=64
+        )
+        network.send("a", "b", ("write", block))
+        assert network.storage_bits_in_flight() == 64
+        [message] = network.deliverable()
+        network.deliver(message.msg_id)
+        assert network.storage_bits_in_flight() == 0
+
+    def test_metadata_messages_are_free(self):
+        network = Network()
+        network.add_process("a")
+        network.add_process("b")
+        network.send("a", "b", ("read-ts", 7, "meta"))
+        assert network.storage_bits_in_flight() == 0

@@ -1,0 +1,106 @@
+"""ABD replication tests: (2f+1)D storage, regularity, concurrency-blind."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.registers import (
+    ABDRegister,
+    AdaptiveRegister,
+    RegisterSetup,
+    replication_setup,
+)
+from repro.sim import FairScheduler, RandomScheduler, Simulation
+from repro.spec import check_linearizability, check_strong_regularity
+from repro.workloads import WorkloadSpec, make_value, run_register_workload
+
+SETUP = replication_setup(f=2, data_size_bytes=16)
+
+
+class TestConstruction:
+    def test_requires_replication_setup(self):
+        coded = RegisterSetup(f=2, k=2, data_size_bytes=16)
+        with pytest.raises(ParameterError):
+            ABDRegister(coded)
+
+    def test_n_is_2f_plus_1(self):
+        assert SETUP.n == 5
+        assert SETUP.quorum == 3
+
+
+class TestStorage:
+    def test_storage_is_2f_plus_1_replicas(self):
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=1,
+                            reads_per_reader=1, seed=2)
+        result = run_register_workload(ABDRegister, SETUP, spec)
+        expected = SETUP.n * SETUP.data_size_bits
+        assert result.peak_bo_state_bits == expected
+        assert result.final_bo_state_bits == expected
+
+    @pytest.mark.parametrize("writers", [1, 3, 6])
+    def test_storage_independent_of_concurrency(self, writers):
+        """Replication's defining property: c does not matter."""
+        spec = WorkloadSpec(writers=writers, writes_per_writer=1, readers=0,
+                            seed=4)
+        result = run_register_workload(ABDRegister, SETUP, spec)
+        assert result.peak_bo_state_bits == SETUP.n * SETUP.data_size_bits
+
+    def test_replication_costs_more_than_coding_at_rest(self):
+        """The intro's comparison: 3D replication vs (k+2)D/k coded, f=1."""
+        abd = replication_setup(f=1, data_size_bytes=24)
+        coded = RegisterSetup(f=1, k=3, data_size_bytes=24)
+        spec = WorkloadSpec(writers=1, writes_per_writer=1, readers=0)
+        abd_result = run_register_workload(ABDRegister, abd, spec)
+        coded_result = run_register_workload(AdaptiveRegister, coded, spec)
+        d = abd.data_size_bits
+        assert abd_result.final_bo_state_bits == 3 * d
+        assert coded_result.final_bo_state_bits == (3 + 2) * d // 3
+        assert coded_result.final_bo_state_bits < abd_result.final_bo_state_bits
+
+
+class TestBehaviour:
+    def test_write_then_read(self):
+        sim = Simulation(ABDRegister(SETUP))
+        value = make_value(SETUP, "abd")
+        writer = sim.add_client("w0")
+        writer.enqueue_write(value)
+        assert sim.run(FairScheduler()).quiescent
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        [read] = sim.trace.reads()
+        assert read.result == value
+
+    def test_reads_are_single_round_wait_free(self):
+        sim = Simulation(ABDRegister(SETUP))
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        [read] = sim.trace.reads()
+        assert read.complete
+        assert read.result == SETUP.v0()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_strong_regularity_fuzz(self, seed):
+        spec = WorkloadSpec(writers=3, writes_per_writer=2, readers=2,
+                            reads_per_reader=3, seed=seed)
+        result = run_register_workload(
+            ABDRegister, SETUP, spec, scheduler=RandomScheduler(seed * 3 + 1)
+        )
+        assert check_strong_regularity(result.history).ok
+
+    def test_sequential_runs_are_atomic(self):
+        from repro.sim import SequentialScheduler
+
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=6)
+        result = run_register_workload(
+            ABDRegister, SETUP, spec, scheduler=SequentialScheduler()
+        )
+        assert check_linearizability(result.history).ok
+
+    def test_all_ops_complete_under_heavy_concurrency(self):
+        spec = WorkloadSpec(writers=6, writes_per_writer=2, readers=4,
+                            reads_per_reader=2, seed=8)
+        result = run_register_workload(ABDRegister, SETUP, spec)
+        assert result.completed_writes == 12
+        assert result.completed_reads == 8

@@ -1,0 +1,97 @@
+"""Atomic ABD tests: linearizability via read write-back."""
+
+import pytest
+
+from repro.registers import ABDRegister, AtomicABDRegister, replication_setup
+from repro.sim import FairScheduler, RandomScheduler, Simulation
+from repro.spec import check_linearizability, check_strong_regularity
+from repro.workloads import WorkloadSpec, make_value, run_register_workload
+
+SETUP = replication_setup(f=1, data_size_bytes=8)  # n=3: small histories
+
+
+class TestBasics:
+    def test_write_then_read(self):
+        sim = Simulation(AtomicABDRegister(SETUP))
+        value = make_value(SETUP, "atomic")
+        writer = sim.add_client("w0")
+        writer.enqueue_write(value)
+        assert sim.run(FairScheduler()).quiescent
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        [read] = sim.trace.reads()
+        assert read.result == value
+
+    def test_reads_take_two_rounds(self):
+        sim = Simulation(AtomicABDRegister(SETUP))
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        # Round 1: n reads; round 2: n write-backs.
+        assert sim.trace.rmw_count() == 2 * SETUP.n
+
+    def test_storage_unchanged_by_write_back(self):
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=1)
+        result = run_register_workload(AtomicABDRegister, SETUP, spec)
+        assert result.peak_bo_state_bits == SETUP.n * SETUP.data_size_bits
+        assert result.final_bo_state_bits == SETUP.n * SETUP.data_size_bits
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_linearizable_under_random_schedules(self, seed):
+        spec = WorkloadSpec(writers=2, writes_per_writer=1, readers=2,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            AtomicABDRegister, SETUP, spec, scheduler=RandomScheduler(seed)
+        )
+        report = check_linearizability(result.history)
+        assert report.note != "budget"
+        assert report.ok, f"seed {seed}: atomic ABD not linearizable"
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_still_strongly_regular(self, seed):
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            AtomicABDRegister, SETUP, spec, scheduler=RandomScheduler(seed)
+        )
+        assert check_strong_regularity(result.history).ok
+
+    def test_write_back_visible_in_storage_timestamps(self):
+        """After a read returns ts, a quorum stores >= ts."""
+        sim = Simulation(AtomicABDRegister(SETUP))
+        value = make_value(SETUP, "wb")
+        writer = sim.add_client("w0")
+        writer.enqueue_write(value)
+        sim.run(FairScheduler())
+        top_ts = max(bo.state.chunk.ts for bo in sim.base_objects)
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        at_or_above = sum(
+            1 for bo in sim.base_objects if bo.state.chunk.ts >= top_ts
+        )
+        assert at_or_above >= SETUP.quorum
+
+
+class TestContrastWithPlainABD:
+    def test_same_storage_cost(self):
+        spec = WorkloadSpec(writers=2, writes_per_writer=1, readers=1,
+                            reads_per_reader=1, seed=3)
+        plain = run_register_workload(ABDRegister, SETUP, spec)
+        atomic = run_register_workload(AtomicABDRegister, SETUP, spec)
+        assert plain.peak_bo_state_bits == atomic.peak_bo_state_bits
+
+    def test_atomic_reads_cost_one_extra_round(self):
+        def solo_read_rmws(register_cls):
+            sim = Simulation(register_cls(SETUP))
+            reader = sim.add_client("r0")
+            reader.enqueue_read()
+            sim.run(FairScheduler())
+            return sim.trace.rmw_count()
+
+        assert solo_read_rmws(ABDRegister) == SETUP.n
+        assert solo_read_rmws(AtomicABDRegister) == 2 * SETUP.n

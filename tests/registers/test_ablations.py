@@ -1,0 +1,68 @@
+"""GC-ablation register tests."""
+
+import pytest
+
+from repro.registers import AdaptiveNoGCRegister, AdaptiveRegister, RegisterSetup
+from repro.registers.timestamps import TS_ZERO
+from repro.sim import FairScheduler, RandomScheduler, Simulation
+from repro.spec import check_strong_regularity
+from repro.workloads import WorkloadSpec, make_value, run_register_workload
+
+SETUP = RegisterSetup(f=1, k=2, data_size_bytes=8)  # n=4
+
+
+class TestNoGCBehaviour:
+    def test_writes_take_two_rounds(self):
+        sim = Simulation(AdaptiveNoGCRegister(SETUP))
+        writer = sim.add_client("w0")
+        writer.enqueue_write(make_value(SETUP, "x"))
+        sim.run(FairScheduler())
+        # 2 rounds x n RMWs (no GC round).
+        assert sim.trace.rmw_count() == 2 * SETUP.n
+
+    def test_stored_ts_never_advances(self):
+        spec = WorkloadSpec(writers=2, writes_per_writer=3, readers=0, seed=1)
+        result = run_register_workload(AdaptiveNoGCRegister, SETUP, spec)
+        assert all(
+            bo.state.stored_ts == TS_ZERO for bo in result.sim.base_objects
+        )
+
+    def test_storage_never_shrinks(self):
+        spec = WorkloadSpec(writers=1, writes_per_writer=5, readers=0, seed=2)
+        result = run_register_workload(AdaptiveNoGCRegister, SETUP, spec)
+        optimum = SETUP.n * SETUP.data_size_bits // SETUP.k
+        assert result.final_bo_state_bits > optimum
+        # Settles at k pieces + one replica (k pieces) per object: 2D each.
+        assert result.final_bo_state_bits <= 2 * SETUP.n * SETUP.data_size_bits
+
+    def test_reads_still_return_latest(self):
+        sim = Simulation(AdaptiveNoGCRegister(SETUP))
+        writer = sim.add_client("w0")
+        values = [make_value(SETUP, f"v{i}") for i in range(3)]
+        for value in values:
+            writer.enqueue_write(value)
+        sim.run(FairScheduler())
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        [read] = sim.trace.reads()
+        assert read.result == values[-1]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_still_strongly_regular(self, seed):
+        spec = WorkloadSpec(writers=3, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            AdaptiveNoGCRegister, SETUP, spec, scheduler=RandomScheduler(seed)
+        )
+        assert check_strong_regularity(result.history).ok
+
+
+class TestContrast:
+    def test_with_gc_converges_without_does_not(self):
+        spec = WorkloadSpec(writers=2, writes_per_writer=3, readers=0, seed=3)
+        with_gc = run_register_workload(AdaptiveRegister, SETUP, spec)
+        without = run_register_workload(AdaptiveNoGCRegister, SETUP, spec)
+        optimum = SETUP.n * SETUP.data_size_bits // SETUP.k
+        assert with_gc.final_bo_state_bits == optimum
+        assert without.final_bo_state_bits > optimum

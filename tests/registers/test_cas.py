@@ -1,0 +1,174 @@
+"""CAS register tests: tag/label protocol, atomicity, O(cD) storage."""
+
+import pytest
+
+from repro.registers import RegisterSetup
+from repro.registers.base import Chunk, initial_chunk
+from repro.registers.cas import (
+    CASRegister,
+    CASState,
+    FinalizeArgs,
+    GCArgs,
+    Label,
+    PreWriteArgs,
+    TaggedChunk,
+    finalize_rmw,
+    gc_rmw,
+    pre_write_rmw,
+)
+from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.sim import FairScheduler, RandomScheduler, Simulation
+from repro.spec import check_linearizability, check_strong_regularity
+from repro.workloads import WorkloadSpec, make_value, run_register_workload
+
+SETUP = RegisterSetup(f=1, k=2, data_size_bytes=8)  # n=4, quorum=3
+SCHEME = SETUP.build_scheme()
+
+
+def piece(ts_num: int, client: str, index: int = 0) -> Chunk:
+    value = make_value(SETUP, f"{ts_num}{client}")
+    return Chunk(Timestamp(ts_num, client),
+                 initial_chunk(SCHEME, value, index).block)
+
+
+class TestRMWs:
+    def test_pre_write_adds_pre_labelled(self):
+        state = CASState((), TS_ZERO)
+        new_state, _ = pre_write_rmw(state, PreWriteArgs(piece(1, "a")))
+        [tagged] = new_state.pieces
+        assert tagged.label is Label.PRE
+        assert tagged.ts == Timestamp(1, "a")
+
+    def test_pre_write_idempotent(self):
+        state = CASState((), TS_ZERO)
+        state, _ = pre_write_rmw(state, PreWriteArgs(piece(1, "a")))
+        state, _ = pre_write_rmw(state, PreWriteArgs(piece(1, "a")))
+        assert len(state.pieces) == 1
+
+    def test_pieces_accumulate_across_writes(self):
+        state = CASState((), TS_ZERO)
+        for i in range(5):
+            state, _ = pre_write_rmw(state, PreWriteArgs(piece(i + 1, "x")))
+        assert len(state.pieces) == 5  # the O(cD) accumulation
+
+    def test_finalize_relabels_and_raises_watermark(self):
+        state = CASState(
+            (TaggedChunk(piece(2, "b"), Label.PRE),
+             TaggedChunk(piece(1, "a"), Label.PRE)),
+            TS_ZERO,
+        )
+        state, _ = finalize_rmw(state, FinalizeArgs(Timestamp(2, "b")))
+        labels = {p.ts.num: p.label for p in state.pieces}
+        assert labels[2] is Label.FIN
+        assert labels[1] is Label.PRE
+        assert state.fin_ts == Timestamp(2, "b")
+
+    def test_finalize_unknown_tag_only_raises_watermark(self):
+        state = CASState((), TS_ZERO)
+        state, _ = finalize_rmw(state, FinalizeArgs(Timestamp(7, "q")))
+        assert state.fin_ts == Timestamp(7, "q")
+
+    def test_gc_drops_older(self):
+        state = CASState(
+            (TaggedChunk(piece(1, "a"), Label.FIN),
+             TaggedChunk(piece(3, "c"), Label.PRE)),
+            TS_ZERO,
+        )
+        state, _ = gc_rmw(state, GCArgs(Timestamp(2, "b")))
+        assert [p.ts.num for p in state.pieces] == [3]
+
+
+class TestBehaviour:
+    def test_write_then_read(self):
+        sim = Simulation(CASRegister(SETUP))
+        value = make_value(SETUP, "cas")
+        writer = sim.add_client("w0")
+        writer.enqueue_write(value)
+        assert sim.run(FairScheduler()).quiescent
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        [read] = sim.trace.reads()
+        assert read.result == value
+
+    def test_initial_read_returns_v0(self):
+        sim = Simulation(CASRegister(SETUP))
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        [read] = sim.trace.reads()
+        assert read.result == SETUP.v0()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_ops_drain(self, seed):
+        spec = WorkloadSpec(writers=3, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            CASRegister, SETUP, spec, scheduler=RandomScheduler(seed)
+        )
+        assert result.run.quiescent
+        assert result.completed_writes == 6
+        assert result.completed_reads == 4
+
+
+class TestAtomicity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_linearizable_fuzz(self, seed):
+        spec = WorkloadSpec(writers=2, writes_per_writer=1, readers=2,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            CASRegister, SETUP, spec, scheduler=RandomScheduler(seed * 5 + 2)
+        )
+        report = check_linearizability(result.history)
+        assert report.note != "budget"
+        assert report.ok, f"seed {seed}: CAS produced a non-atomic history"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_strongly_regular_too(self, seed):
+        spec = WorkloadSpec(writers=3, writes_per_writer=1, readers=2,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            CASRegister, SETUP, spec, scheduler=RandomScheduler(seed + 31)
+        )
+        assert check_strong_regularity(result.history).ok
+
+
+class TestStorage:
+    def test_quiescent_storage_is_one_piece_per_object(self):
+        spec = WorkloadSpec(writers=3, writes_per_writer=1, readers=0, seed=2)
+        result = run_register_workload(CASRegister, SETUP, spec)
+        assert result.final_bo_state_bits == (
+            SETUP.n * SETUP.data_size_bits // SETUP.k
+        )
+
+    def test_peak_grows_with_concurrency(self):
+        peaks = []
+        for c in (1, 3, 6):
+            spec = WorkloadSpec(writers=c, writes_per_writer=1, readers=0,
+                                seed=1)
+            result = run_register_workload(CASRegister, SETUP, spec)
+            peaks.append(result.peak_bo_state_bits)
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_peak_bounded_by_c_plus_one_pieces(self):
+        for c in (2, 4):
+            spec = WorkloadSpec(writers=c, writes_per_writer=1, readers=0,
+                                seed=3)
+            result = run_register_workload(CASRegister, SETUP, spec)
+            cap = (c + 1) * SETUP.n * SETUP.data_size_bits // SETUP.k
+            assert result.peak_bo_state_bits <= cap
+
+    def test_fault_tolerance(self):
+        from repro.sim import FailurePlan, at_time
+
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=4)
+
+        def configure(sim, scheduler):
+            return FailurePlan(scheduler).crash_base_object(1, at_time(25))
+
+        result = run_register_workload(
+            CASRegister, SETUP, spec, configure=configure,
+        )
+        assert result.completed_writes == 4
+        assert result.completed_reads == 4

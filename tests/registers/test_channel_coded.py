@@ -1,0 +1,134 @@
+"""Channel-parking register tests: small nodes, charged channels."""
+
+import pytest
+
+from repro.registers import ChannelCodedRegister, RegisterSetup
+from repro.registers.channel_coded import (
+    ChannelCodedState,
+    ConfirmArgs,
+    UpdateArgs,
+    confirm_rmw,
+    update_rmw,
+)
+from repro.registers.base import Chunk, initial_chunk
+from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.sim import FairScheduler, RandomScheduler, Simulation
+from repro.spec import check_strong_regularity, check_weak_regularity
+from repro.workloads import WorkloadSpec, make_value, run_register_workload
+
+SETUP = RegisterSetup(f=2, k=2, data_size_bytes=16)  # n=6, D=128, piece=64
+SCHEME = SETUP.build_scheme()
+
+
+def piece(ts_num: int, client: str, index: int = 0) -> Chunk:
+    value = make_value(SETUP, f"{ts_num}{client}")
+    return Chunk(Timestamp(ts_num, client),
+                 initial_chunk(SCHEME, value, index).block)
+
+
+class TestRMWs:
+    def test_update_replaces_older(self):
+        state = ChannelCodedState(piece(1, "a"), TS_ZERO)
+        newer = piece(2, "b")
+        new_state, _ = update_rmw(state, UpdateArgs(newer))
+        assert new_state.chunk is newer
+
+    def test_update_keeps_newer(self):
+        state = ChannelCodedState(piece(5, "z"), TS_ZERO)
+        new_state, _ = update_rmw(state, UpdateArgs(piece(2, "a")))
+        assert new_state is state
+
+    def test_exactly_one_piece_always(self):
+        state = ChannelCodedState(piece(1, "a"), TS_ZERO)
+        for i in range(2, 8):
+            state, _ = update_rmw(state, UpdateArgs(piece(i, "b")))
+        assert isinstance(state.chunk, Chunk)  # single slot, never a set
+
+    def test_confirm_raises_watermark_monotonically(self):
+        state = ChannelCodedState(piece(3, "a"), Timestamp(2, "x"))
+        state, _ = confirm_rmw(state, ConfirmArgs(Timestamp(5, "y")))
+        assert state.stored_ts == Timestamp(5, "y")
+        state, _ = confirm_rmw(state, ConfirmArgs(Timestamp(1, "z")))
+        assert state.stored_ts == Timestamp(5, "y")
+
+
+class TestBehaviour:
+    def test_write_then_read(self):
+        sim = Simulation(ChannelCodedRegister(SETUP))
+        value = make_value(SETUP, "cc")
+        writer = sim.add_client("w0")
+        writer.enqueue_write(value)
+        assert sim.run(FairScheduler()).quiescent
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        [read] = sim.trace.reads()
+        assert read.result == value
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_strong_regularity_fuzz(self, seed):
+        spec = WorkloadSpec(writers=3, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            ChannelCodedRegister, SETUP, spec,
+            scheduler=RandomScheduler(seed + 17),
+        )
+        history = result.history
+        assert check_weak_regularity(history).ok
+        assert check_strong_regularity(history).ok
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fw_termination(self, seed):
+        spec = WorkloadSpec(writers=4, writes_per_writer=2, readers=3,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            ChannelCodedRegister, SETUP, spec, scheduler=RandomScheduler(seed)
+        )
+        assert result.run.quiescent
+        assert result.completed_reads == 6
+
+    def test_survives_f_crashes(self):
+        from repro.sim import FailurePlan, at_time
+
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=4)
+
+        def configure(sim, scheduler):
+            plan = FailurePlan(scheduler)
+            plan.crash_base_object(0, at_time(15))
+            plan.crash_base_object(4, at_time(45))
+            return plan
+
+        result = run_register_workload(
+            ChannelCodedRegister, SETUP, spec, configure=configure,
+        )
+        assert result.completed_writes == 4
+        assert result.completed_reads == 4
+
+
+class TestCostSplit:
+    """The Section 3.2 point: node storage flat, total cost grows with c."""
+
+    def test_bo_state_is_always_one_piece_per_object(self):
+        for c in (1, 3, 6):
+            spec = WorkloadSpec(writers=c, writes_per_writer=1, readers=0,
+                                seed=c)
+            result = run_register_workload(ChannelCodedRegister, SETUP, spec)
+            expected = SETUP.n * SETUP.data_size_bits // SETUP.k
+            assert result.peak_bo_state_bits == expected
+            assert result.final_bo_state_bits == expected
+
+    def test_definition2_cost_grows_with_c(self):
+        peaks = []
+        for c in (1, 3, 6):
+            spec = WorkloadSpec(writers=c, writes_per_writer=1, readers=0,
+                                seed=1)
+            result = run_register_workload(ChannelCodedRegister, SETUP, spec)
+            peaks.append(result.peak_storage_bits)
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_channel_share_dominates_under_concurrency(self):
+        spec = WorkloadSpec(writers=6, writes_per_writer=1, readers=0, seed=2)
+        result = run_register_workload(ChannelCodedRegister, SETUP, spec)
+        bo_share = result.peak_bo_state_bits
+        assert result.peak_storage_bits > 2 * bo_share

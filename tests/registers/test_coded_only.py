@@ -1,0 +1,123 @@
+"""Coded-only register tests: the O(cD) blow-up the paper critiques."""
+
+import pytest
+
+from repro.analysis import linear_slope
+from repro.registers import CodedOnlyRegister, RegisterSetup
+from repro.registers.coded_only import (
+    CodedOnlyState,
+    GCArgs,
+    UpdateArgs,
+    gc_rmw,
+    update_rmw,
+)
+from repro.registers.base import Chunk, initial_chunk
+from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.sim import RandomScheduler
+from repro.spec import check_strong_regularity
+from repro.workloads import WorkloadSpec, make_value, run_register_workload
+
+SETUP = RegisterSetup(f=1, k=2, data_size_bytes=8)
+SCHEME = SETUP.build_scheme()
+
+
+def piece(ts_num: int, client: str, index: int = 0) -> Chunk:
+    value = make_value(SETUP, f"{ts_num}{client}")
+    return Chunk(Timestamp(ts_num, client), initial_chunk(SCHEME, value, index).block)
+
+
+class TestRMWs:
+    def test_pieces_accumulate_without_cap(self):
+        """No |Vp| < k guard: concurrency piles pieces up — the flaw."""
+        state = CodedOnlyState(TS_ZERO, ())
+        for i in range(6):
+            args = UpdateArgs(
+                ts=Timestamp(i + 1, chr(97 + i)),
+                stored_ts=TS_ZERO,
+                piece=piece(i + 1, chr(97 + i)),
+            )
+            state, _ = update_rmw(state, args)
+        assert len(state.vp) == 6  # > k = 2
+
+    def test_stale_update_ignored(self):
+        state = CodedOnlyState(Timestamp(5, "z"), ())
+        args = UpdateArgs(ts=Timestamp(3, "a"), stored_ts=TS_ZERO,
+                          piece=piece(3, "a"))
+        new_state, _ = update_rmw(state, args)
+        assert new_state is state
+
+    def test_update_drops_pieces_below_writers_stored_ts(self):
+        old = piece(1, "a")
+        state = CodedOnlyState(TS_ZERO, (old,))
+        args = UpdateArgs(ts=Timestamp(5, "b"), stored_ts=Timestamp(3, "x"),
+                          piece=piece(5, "b"))
+        new_state, _ = update_rmw(state, args)
+        assert old not in new_state.vp
+
+    def test_gc_removes_older_and_raises_ts(self):
+        state = CodedOnlyState(TS_ZERO, (piece(1, "a"), piece(4, "b")))
+        new_state, _ = gc_rmw(state, GCArgs(ts=Timestamp(3, "c")))
+        assert [c.ts.num for c in new_state.vp] == [4]
+        assert new_state.stored_ts == Timestamp(3, "c")
+
+
+class TestBlowUp:
+    def test_peak_storage_grows_linearly_with_c(self):
+        """The paper's motivating observation, measured."""
+        setup = RegisterSetup(f=2, k=4, data_size_bytes=32)
+        cs = [1, 2, 3, 4, 6]
+        peaks = []
+        for c in cs:
+            spec = WorkloadSpec(writers=c, writes_per_writer=1, readers=0,
+                                seed=1)
+            result = run_register_workload(CodedOnlyRegister, setup, spec)
+            peaks.append(result.peak_bo_state_bits)
+        piece_bits = setup.data_size_bits // setup.k
+        slope = linear_slope(cs, peaks)
+        # Each extra concurrent writer adds about one piece per object.
+        assert slope == pytest.approx(setup.n * piece_bits, rel=0.35)
+        assert peaks[-1] > peaks[0] * 2
+
+    def test_gc_still_converges(self):
+        setup = RegisterSetup(f=2, k=4, data_size_bytes=32)
+        spec = WorkloadSpec(writers=5, writes_per_writer=1, readers=0, seed=2)
+        result = run_register_workload(CodedOnlyRegister, setup, spec)
+        expected = setup.n * setup.data_size_bits // setup.k
+        assert result.final_bo_state_bits == expected
+
+    def test_beats_adaptive_only_at_low_concurrency(self):
+        """Below k-1 writers both act alike; above, adaptive caps and
+        coded-only keeps growing."""
+        from repro.registers import AdaptiveRegister
+
+        setup = RegisterSetup(f=2, k=3, data_size_bytes=24)
+        for c, coded_should_exceed in [(2, False), (8, True)]:
+            spec = WorkloadSpec(writers=c, writes_per_writer=1, readers=0,
+                                seed=3)
+            coded = run_register_workload(CodedOnlyRegister, setup, spec)
+            adaptive = run_register_workload(AdaptiveRegister, setup, spec)
+            if coded_should_exceed:
+                assert coded.peak_bo_state_bits > adaptive.peak_bo_state_bits
+            else:
+                assert coded.peak_bo_state_bits <= adaptive.peak_bo_state_bits
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_strong_regularity_fuzz(self, seed):
+        spec = WorkloadSpec(writers=3, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            CodedOnlyRegister, SETUP, spec, scheduler=RandomScheduler(seed + 50)
+        )
+        assert check_strong_regularity(result.history).ok
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fw_termination(self, seed):
+        spec = WorkloadSpec(writers=4, writes_per_writer=2, readers=3,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            CodedOnlyRegister, SETUP, spec, scheduler=RandomScheduler(seed)
+        )
+        assert result.run.quiescent
+        assert result.completed_reads == 6

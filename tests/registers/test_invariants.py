@@ -1,0 +1,109 @@
+"""Invariant 1 checker tests (Appendix D's key invariant)."""
+
+import pytest
+
+from repro.registers import (
+    AdaptiveRegister,
+    CodedOnlyRegister,
+    RegisterSetup,
+    SafeCodedRegister,
+    check_invariant1,
+    chunks_in_state,
+)
+from repro.registers.adaptive import AdaptiveState
+from repro.registers.base import initial_chunk
+from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.sim import FairScheduler, RandomScheduler, Simulation
+from repro.workloads import WorkloadSpec, run_register_workload
+
+SETUP = RegisterSetup(f=2, k=2, data_size_bytes=16)
+
+
+class TestChunkExtraction:
+    def test_adaptive_state(self):
+        scheme = SETUP.build_scheme()
+        chunk = initial_chunk(scheme, SETUP.v0(), 0)
+        state = AdaptiveState(TS_ZERO, (chunk,), (chunk,))
+        assert len(chunks_in_state(state)) == 2
+
+    def test_safe_state(self):
+        protocol = SafeCodedRegister(SETUP)
+        state = protocol.initial_bo_state(3)
+        assert len(chunks_in_state(state)) == 1
+
+    def test_opaque_state_is_empty(self):
+        assert chunks_in_state(object()) == ()
+
+
+class TestInvariantHolds:
+    def test_initial_states(self):
+        sim = Simulation(AdaptiveRegister(SETUP))
+        report = check_invariant1(sim)
+        assert report.ok
+        assert report.subsets_checked > 0
+
+    @pytest.mark.parametrize("register_cls",
+                             [AdaptiveRegister, CodedOnlyRegister])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_holds_throughout_random_runs(self, register_cls, seed):
+        """Invariant 1 at every RMW boundary of an adversarial run."""
+        protocol = register_cls(SETUP)
+        sim = Simulation(protocol)
+        spec = WorkloadSpec(writers=3, writes_per_writer=1, readers=1,
+                            reads_per_reader=1, seed=seed)
+        values = spec.write_values(SETUP)
+        for index in range(spec.writers):
+            client = sim.add_client(f"w{index}")
+            for value in values[f"w{index}"]:
+                client.enqueue_write(value)
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+
+        failures = []
+
+        def check(simulation, action):
+            if not check_invariant1(simulation).ok:
+                failures.append(simulation.time)
+
+        sim.run(RandomScheduler(seed), on_action=check)
+        assert not failures, f"invariant 1 broken at times {failures[:5]}"
+
+    def test_holds_after_f_crashes(self):
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=0, seed=3)
+        result = run_register_workload(
+            AdaptiveRegister, SETUP, spec, scheduler=FairScheduler()
+        )
+        result.sim.crash_base_object(0)
+        result.sim.crash_base_object(1)
+        assert check_invariant1(result.sim).ok
+
+    def test_vacuous_beyond_f_crashes(self):
+        sim = Simulation(AdaptiveRegister(SETUP))
+        for bo_id in range(SETUP.f + 2):
+            sim.crash_base_object(bo_id)
+        report = check_invariant1(sim)
+        assert report.ok
+        assert report.subsets_checked == 0
+
+
+class TestInvariantViolationDetected:
+    def test_emptied_quorum_detected(self):
+        """Gut k objects' states; some (n-f)-subset must fail."""
+        sim = Simulation(AdaptiveRegister(SETUP))
+        empty = AdaptiveState(TS_ZERO, (), ())
+        # Empty out n - k + 1 objects so no subset retains k pieces of v0.
+        for bo_id in range(SETUP.n - SETUP.k + 1):
+            sim.base_objects[bo_id].state = empty
+        report = check_invariant1(sim)
+        assert not report.ok
+        assert report.failing_subset is not None
+
+    def test_stale_stored_ts_detected(self):
+        """An object advertising storedTS above every stored piece breaks
+        the invariant (reads could never satisfy ts >= storedTS)."""
+        sim = Simulation(AdaptiveRegister(SETUP))
+        future = Timestamp(99, "zz")
+        bo = sim.base_objects[0]
+        bo.state = AdaptiveState(future, bo.state.vp, bo.state.vf)
+        report = check_invariant1(sim)
+        assert not report.ok

@@ -1,0 +1,101 @@
+"""The classic new-old inversion, constructed deterministically.
+
+Plain ABD (no read write-back) is strongly regular but not atomic; the
+atomic variant adds the write-back round. This module *drives* the
+separating schedule by hand:
+
+1. a write installs its replica at exactly one object (quorum not yet
+   reached — the write stays outstanding);
+2. reader r0 samples a quorum containing that object: returns the NEW
+   value;
+3. reader r1 then samples a quorum avoiding it: plain ABD returns the OLD
+   value — a non-linearizable (yet regular) history; atomic ABD's
+   write-back makes the same drive return the new value.
+"""
+
+from repro.registers import ABDRegister, AtomicABDRegister, replication_setup
+from repro.sim import Simulation
+from repro.spec import (
+    History,
+    check_linearizability,
+    check_weak_regularity,
+)
+from repro.workloads import make_value
+
+SETUP = replication_setup(f=1, data_size_bytes=8)  # n=3, quorum=2
+
+
+def drive_inversion(register_cls):
+    """Run the schedule; return (sim, r0_result, r1_result, new_value)."""
+    sim = Simulation(register_cls(SETUP))
+    value = make_value(SETUP, "new")
+    writer = sim.add_client("w0")
+    writer.enqueue_write(value)
+    # Round 1 of the write: read timestamps, full drain.
+    sim.step_client(writer)
+    for rmw in list(sim.appliable_rmws()):
+        sim.apply_rmw(rmw.rmw_id)
+        sim.deliver_response(rmw.rmw_id)
+    sim.step_client(writer)  # round 2: triggers update on all 3 objects
+    updates = [r for r in sim.appliable_rmws() if r.label == "update"]
+    assert len(updates) == 3
+    # Apply ONLY object 0's update; objects 1, 2 stay stale. No delivery:
+    # the write remains outstanding.
+    bo0_update = next(r for r in updates if r.bo_id == 0)
+    sim.apply_rmw(bo0_update.rmw_id)
+
+    def solo_read(name, visible_objects):
+        reader = sim.add_client(name)
+        reader.enqueue_read()
+        for _ in range(50):
+            if reader.runnable():
+                sim.step_client(reader)
+            if reader.current is None and reader.completed_ops:
+                break
+            progressed = False
+            for rmw in sim.appliable_rmws():
+                if rmw.client_name == name and rmw.bo_id in visible_objects:
+                    sim.apply_rmw(rmw.rmw_id)
+                    sim.deliver_response(rmw.rmw_id)
+                    progressed = True
+                    break
+            if not progressed and not reader.runnable():
+                break
+        read_ops = [
+            op for op in sim.trace.ops.values()
+            if op.client == name and op.kind.value == "read"
+        ]
+        return read_ops[-1].result if read_ops and read_ops[-1].complete else None
+
+    r0 = solo_read("r0", visible_objects={0, 1})
+    r1 = solo_read("r1", visible_objects={1, 2})
+    return sim, r0, r1, value
+
+
+class TestPlainABDInverts:
+    def test_inversion_produced(self):
+        sim, r0, r1, new_value = drive_inversion(ABDRegister)
+        assert r0 == new_value          # saw the half-written new value
+        assert r1 == SETUP.v0()         # then the old value re-appeared
+
+    def test_history_regular_but_not_atomic(self):
+        sim, r0, r1, _ = drive_inversion(ABDRegister)
+        history = History.from_trace(sim.trace, SETUP.v0())
+        assert check_weak_regularity(history).ok
+        report = check_linearizability(history)
+        assert report.note != "budget"
+        assert not report.ok
+
+
+class TestAtomicABDDoesNot:
+    def test_write_back_fixes_the_same_drive(self):
+        """r0's write-back installs the new value at object 1, which is in
+        r1's quorum — r1 must see it."""
+        sim, r0, r1, new_value = drive_inversion(AtomicABDRegister)
+        assert r0 == new_value
+        assert r1 == new_value
+
+    def test_resulting_history_linearizable(self):
+        sim, _, _, _ = drive_inversion(AtomicABDRegister)
+        history = History.from_trace(sim.trace, SETUP.v0())
+        assert check_linearizability(history).ok

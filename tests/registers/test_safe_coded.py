@@ -1,0 +1,158 @@
+"""Safe register tests: Corollary 7 storage, wait-freedom, strong safety."""
+
+import pytest
+
+from repro.registers import RegisterSetup, SafeCodedRegister
+from repro.registers.safe_coded import SafeState, SafeUpdateArgs, update_rmw
+from repro.registers.base import Chunk, initial_chunk
+from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.sim import FairScheduler, RandomScheduler, Simulation
+from repro.spec import check_strong_safety
+from repro.storage import StorageMeter
+from repro.workloads import WorkloadSpec, make_value, run_register_workload
+
+SETUP = RegisterSetup(f=1, k=3, data_size_bytes=12)
+
+
+def chunk(ts_num: int, client: str, index: int = 0) -> Chunk:
+    scheme = SETUP.build_scheme()
+    value = make_value(SETUP, f"{ts_num}{client}")
+    return Chunk(Timestamp(ts_num, client), initial_chunk(scheme, value, index).block)
+
+
+class TestUpdateRMW:
+    def test_newer_timestamp_overwrites(self):
+        state = SafeState(chunk(1, "a"))
+        newer = chunk(2, "b")
+        new_state, _ = update_rmw(state, SafeUpdateArgs(newer))
+        assert new_state.chunk is newer
+
+    def test_older_timestamp_ignored(self):
+        state = SafeState(chunk(5, "z"))
+        older = chunk(3, "a")
+        new_state, _ = update_rmw(state, SafeUpdateArgs(older))
+        assert new_state is state
+
+    def test_equal_timestamp_ignored(self):
+        state = SafeState(chunk(5, "z"))
+        same = chunk(5, "z")
+        new_state, _ = update_rmw(state, SafeUpdateArgs(same))
+        assert new_state is state
+
+
+class TestCorollary7Storage:
+    def test_storage_is_exactly_n_over_k_times_d(self):
+        """nD/k = (2f/k + 1) D bits at all times, not just at rest."""
+        spec = WorkloadSpec(writers=3, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=3)
+        result = run_register_workload(SafeCodedRegister, SETUP, spec)
+        expected = SETUP.n * SETUP.data_size_bits // SETUP.k
+        assert result.peak_bo_state_bits == expected
+        assert result.final_bo_state_bits == expected
+
+    def test_storage_invariant_under_every_schedule(self):
+        expected = SETUP.n * SETUP.data_size_bits // SETUP.k
+        for seed in range(5):
+            spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=1,
+                                reads_per_reader=1, seed=seed)
+            result = run_register_workload(
+                SafeCodedRegister, SETUP, spec, scheduler=RandomScheduler(seed)
+            )
+            assert result.peak_bo_state_bits == expected
+
+    def test_below_theorem1_bound(self):
+        """The safe register beats Omega(min(f,c) D) — the paper's point
+        that the bound needs regularity. With k = 2f the storage is 2D
+        while min(f, c) D = f D grows with f."""
+        for f in (2, 3, 5, 8):
+            setup = RegisterSetup(f=f, k=2 * f, data_size_bytes=2 * f)
+            expected = setup.n * setup.data_size_bits // setup.k  # 2D
+            theorem1 = min(f, f) * setup.data_size_bits // 2      # fD/2
+            assert expected == 2 * setup.data_size_bits
+            if f >= 5:  # 2D < fD/2 once f > 4
+                assert expected < theorem1
+
+
+class TestWaitFreedom:
+    def test_reads_single_round(self):
+        sim = Simulation(SafeCodedRegister(SETUP))
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        [read] = sim.trace.reads()
+        assert read.complete
+        # One round = n triggers; no retry loop.
+        assert sim.trace.rmw_count() <= SETUP.n
+
+    def test_reads_return_even_under_endless_write_pressure(self):
+        """Unlike FW-terminating registers, reads here never loop."""
+        spec = WorkloadSpec(writers=4, writes_per_writer=3, readers=2,
+                            reads_per_reader=3, seed=5)
+        for seed in range(4):
+            result = run_register_workload(
+                SafeCodedRegister, SETUP, spec, scheduler=RandomScheduler(seed)
+            )
+            assert result.completed_reads == 6
+
+    def test_write_two_rounds(self):
+        sim = Simulation(SafeCodedRegister(SETUP))
+        writer = sim.add_client("w0")
+        writer.enqueue_write(make_value(SETUP, "x"))
+        sim.run(FairScheduler())
+        [write] = sim.trace.writes()
+        assert write.complete
+
+
+class TestSafety:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_strong_safety_fuzz(self, seed):
+        spec = WorkloadSpec(writers=3, writes_per_writer=2, readers=3,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            SafeCodedRegister, SETUP, spec, scheduler=RandomScheduler(seed * 13)
+        )
+        assert check_strong_safety(result.history).ok
+
+    def test_quiescent_read_returns_latest(self):
+        sim = Simulation(SafeCodedRegister(SETUP))
+        value_a = make_value(SETUP, "a")
+        value_b = make_value(SETUP, "b")
+        writer = sim.add_client("w0")
+        writer.enqueue_write(value_a)
+        writer.enqueue_write(value_b)
+        assert sim.run(FairScheduler()).quiescent
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.run(FairScheduler())
+        [read] = sim.trace.reads()
+        assert read.result == value_b
+
+    def test_read_concurrent_with_stalled_write_returns_v0(self):
+        """Stall a write after 2 of k=3 pieces landed; a solo read then
+        finds 3 initial pieces (enough for v0) and returns v0 — legal
+        because the read is concurrent with the stalled write."""
+        sim = Simulation(SafeCodedRegister(SETUP))  # n=5, quorum=4, k=3
+        writer = sim.add_client("w0")
+        writer.enqueue_write(make_value(SETUP, "x"))
+        sim.step_client(writer)  # round 1: triggers 5 readValue RMWs
+        for rmw in list(sim.appliable_rmws()):
+            sim.apply_rmw(rmw.rmw_id)
+            sim.deliver_response(rmw.rmw_id)
+        sim.step_client(writer)  # round 2: triggers 5 update RMWs
+        updates = [r for r in sim.appliable_rmws() if r.label == "update"]
+        assert len(updates) == 5
+        for rmw in updates[:2]:  # objects 0 and 1 get the new pieces
+            sim.apply_rmw(rmw.rmw_id)
+        # Solo read: full round against the current mixed state.
+        reader = sim.add_client("r0")
+        reader.enqueue_read()
+        sim.step_client(reader)
+        for rmw in list(sim.appliable_rmws()):
+            if rmw.client_name == "r0":
+                sim.apply_rmw(rmw.rmw_id)
+                sim.deliver_response(rmw.rmw_id)
+        sim.step_client(reader)
+        [read] = sim.trace.reads()
+        assert read.complete
+        # Objects 2, 3, 4 still hold v0 pieces: k = 3 of them decode v0.
+        assert read.result == SETUP.v0()

@@ -1,0 +1,100 @@
+"""RegisterSetup parameter validation and derived quantities."""
+
+import pytest
+
+from repro.coding import ReedSolomonCode, ReplicationCode
+from repro.errors import ParameterError
+from repro.registers import RegisterSetup, replication_setup
+from repro.registers.base import group_by_timestamp, initial_chunk
+from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.registers.base import Chunk
+
+
+class TestValidation:
+    def test_rejects_f_zero(self):
+        with pytest.raises(ParameterError):
+            RegisterSetup(f=0, k=2, data_size_bytes=8)
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ParameterError):
+            RegisterSetup(f=1, k=0, data_size_bytes=8)
+
+    def test_rejects_indivisible_data(self):
+        with pytest.raises(ParameterError):
+            RegisterSetup(f=1, k=3, data_size_bytes=8)
+
+    def test_rejects_wrong_initial_value_length(self):
+        with pytest.raises(ParameterError):
+            RegisterSetup(f=1, k=2, data_size_bytes=8, initial_value=b"x")
+
+
+class TestDerived:
+    @pytest.mark.parametrize("f,k,n", [(1, 1, 3), (1, 2, 4), (2, 2, 6),
+                                       (3, 3, 9), (2, 4, 8)])
+    def test_n_is_2f_plus_k(self, f, k, n):
+        setup = RegisterSetup(f=f, k=k, data_size_bytes=k * 4)
+        assert setup.n == n
+        assert setup.quorum == n - f
+
+    def test_quorum_intersection_contains_k(self):
+        """Any two (n-f)-quorums intersect in >= k objects — the Section 5
+        fact all correctness arguments use."""
+        for f, k in [(1, 1), (1, 3), (2, 2), (3, 4)]:
+            setup = RegisterSetup(f=f, k=k, data_size_bytes=k * 4)
+            # worst case |A cap B| = 2*quorum - n
+            assert 2 * setup.quorum - setup.n >= k
+
+    def test_default_v0_is_zeros(self):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        assert setup.v0() == bytes(8)
+
+    def test_custom_v0(self):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=4, initial_value=b"abcd")
+        assert setup.v0() == b"abcd"
+
+    def test_default_scheme_is_reed_solomon(self):
+        setup = RegisterSetup(f=2, k=2, data_size_bytes=8)
+        scheme = setup.build_scheme()
+        assert isinstance(scheme, ReedSolomonCode)
+        assert scheme.k == 2 and scheme.n == 6
+
+    def test_replication_setup(self):
+        setup = replication_setup(f=2, data_size_bytes=8)
+        assert setup.n == 5
+        assert isinstance(setup.build_scheme(), ReplicationCode)
+
+    def test_data_size_bits(self):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=16)
+        assert setup.data_size_bits == 128
+
+
+class TestChunks:
+    def test_initial_chunk_has_sentinel_source(self):
+        from repro.registers import INITIAL_OP_UID
+
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        scheme = setup.build_scheme()
+        chunk = initial_chunk(scheme, setup.v0(), 3)
+        assert chunk.ts == TS_ZERO
+        assert chunk.block.source.op_uid == INITIAL_OP_UID
+        assert chunk.index == 3
+        assert chunk.block.payload == scheme.encode_block(setup.v0(), 3)
+
+    def test_group_by_timestamp_dedupes_indices(self):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        scheme = setup.build_scheme()
+        ts = Timestamp(1, "w")
+        chunk_a = Chunk(ts, initial_chunk(scheme, setup.v0(), 0).block)
+        chunk_b = Chunk(ts, initial_chunk(scheme, setup.v0(), 0).block)
+        chunk_c = Chunk(ts, initial_chunk(scheme, setup.v0(), 1).block)
+        grouped = group_by_timestamp([chunk_a, chunk_b, chunk_c])
+        assert set(grouped) == {ts}
+        assert len(grouped[ts]) == 2  # indices 0 and 1
+
+    def test_group_by_timestamp_separates_writes(self):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        scheme = setup.build_scheme()
+        chunk_a = Chunk(Timestamp(1, "w"), initial_chunk(scheme, setup.v0(), 0).block)
+        chunk_b = Chunk(Timestamp(2, "w"), initial_chunk(scheme, setup.v0(), 0).block)
+        grouped = group_by_timestamp([chunk_a, chunk_b])
+        assert len(grouped) == 2

@@ -1,0 +1,53 @@
+"""Timestamp ordering tests (Algorithm 1, line 1)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.registers import TS_ZERO, Timestamp, max_timestamp
+
+names = st.text(alphabet="abcxyz", min_size=0, max_size=4)
+nums = st.integers(min_value=0, max_value=1000)
+timestamps = st.builds(Timestamp, num=nums, client=names)
+
+
+class TestOrdering:
+    def test_lexicographic_num_first(self):
+        assert Timestamp(1, "z") < Timestamp(2, "a")
+
+    def test_client_breaks_ties(self):
+        assert Timestamp(3, "a") < Timestamp(3, "b")
+
+    def test_zero_is_minimal(self):
+        assert TS_ZERO <= Timestamp(0, "")
+        assert TS_ZERO < Timestamp(0, "a")
+        assert TS_ZERO < Timestamp(1, "")
+
+    @given(timestamps, timestamps)
+    def test_total_order(self, a, b):
+        assert (a < b) or (b < a) or (a == b)
+
+    @given(timestamps, timestamps, timestamps)
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    def test_equality_and_hash(self):
+        assert Timestamp(2, "x") == Timestamp(2, "x")
+        assert hash(Timestamp(2, "x")) == hash(Timestamp(2, "x"))
+        assert len({Timestamp(2, "x"), Timestamp(2, "x")}) == 1
+
+
+class TestHelpers:
+    def test_next_for_is_strictly_larger(self):
+        ts = Timestamp(4, "z")
+        successor = ts.next_for("a")
+        assert successor > ts
+        assert successor.num == 5
+        assert successor.client == "a"
+
+    @given(st.lists(timestamps, min_size=1, max_size=6))
+    def test_max_timestamp(self, values):
+        assert max_timestamp(*values) == max(values)
+
+    def test_max_of_nothing_is_zero(self):
+        assert max_timestamp() == TS_ZERO

@@ -1,0 +1,166 @@
+"""Failure-injection tests: registers must survive up to f crashes."""
+
+import pytest
+
+from repro.registers import (
+    ABDRegister,
+    AdaptiveRegister,
+    CodedOnlyRegister,
+    RegisterSetup,
+    SafeCodedRegister,
+    replication_setup,
+)
+from repro.sim import FailurePlan, FairScheduler, after_ops_complete, at_time
+from repro.spec import check_strong_regularity, check_strong_safety
+from repro.workloads import WorkloadSpec, run_register_workload
+
+
+def with_bo_crashes(crash_ids, when_factory=at_time, when_arg=5):
+    """Configure hook: crash the given base objects mid-run."""
+
+    def configure(sim, scheduler):
+        plan = FailurePlan(scheduler)
+        for offset, bo_id in enumerate(crash_ids):
+            plan.crash_base_object(bo_id, when_factory(when_arg + offset))
+        return plan
+
+    return configure
+
+
+class TestRegistersSurviveFCrashes:
+    @pytest.mark.parametrize(
+        "register_cls", [AdaptiveRegister, CodedOnlyRegister, SafeCodedRegister]
+    )
+    def test_coded_registers_with_f_crashes(self, register_cls):
+        setup = RegisterSetup(f=2, k=2, data_size_bytes=16)
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=1)
+        result = run_register_workload(
+            register_cls,
+            setup,
+            spec,
+            scheduler=FairScheduler(),
+            configure=with_bo_crashes([0, 3]),
+        )
+        assert result.run.quiescent
+        assert result.completed_writes == 4
+        assert result.completed_reads == 4
+
+    def test_abd_with_f_crashes(self):
+        setup = replication_setup(f=2, data_size_bytes=16)
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=1)
+        result = run_register_workload(
+            ABDRegister,
+            setup,
+            spec,
+            scheduler=FairScheduler(),
+            configure=with_bo_crashes([1, 4]),
+        )
+        assert result.run.quiescent
+        assert result.completed_reads == 4
+
+    def test_consistency_preserved_under_crashes(self):
+        setup = RegisterSetup(f=2, k=2, data_size_bytes=16)
+        spec = WorkloadSpec(writers=3, writes_per_writer=1, readers=2,
+                            reads_per_reader=2, seed=3)
+        result = run_register_workload(
+            AdaptiveRegister,
+            setup,
+            spec,
+            scheduler=FairScheduler(),
+            configure=with_bo_crashes([2, 5]),
+        )
+        assert check_strong_regularity(result.history).ok
+
+    def test_safe_register_safety_under_crashes(self):
+        setup = RegisterSetup(f=1, k=3, data_size_bytes=15)
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=9)
+        result = run_register_workload(
+            SafeCodedRegister,
+            setup,
+            spec,
+            scheduler=FairScheduler(),
+            configure=with_bo_crashes([4]),
+        )
+        assert check_strong_safety(result.history).ok
+
+    def test_crash_after_ops_complete_predicate(self):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=1,
+                            reads_per_reader=1)
+        result = run_register_workload(
+            AdaptiveRegister,
+            setup,
+            spec,
+            scheduler=FairScheduler(),
+            configure=with_bo_crashes([0], when_factory=after_ops_complete,
+                                      when_arg=2),
+        )
+        assert result.run.quiescent
+        assert result.sim.crashed_base_objects() == 1
+
+
+class TestClientCrashes:
+    def test_writer_crash_mid_write_does_not_block_others(self):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        spec = WorkloadSpec(writers=3, writes_per_writer=1, readers=1,
+                            reads_per_reader=1, seed=2)
+
+        def configure(sim, scheduler):
+            return FailurePlan(scheduler).crash_client("w0", at_time(10))
+
+        result = run_register_workload(
+            AdaptiveRegister, setup, spec, scheduler=FairScheduler(),
+            configure=configure,
+        )
+        assert result.run.quiescent
+        # w1 and w2 completed; w0 may or may not have.
+        survivors = [
+            op for op in result.trace.writes()
+            if op.client in ("w1", "w2")
+        ]
+        assert all(op.complete for op in survivors)
+        assert result.completed_reads == 1
+
+    def test_consistency_with_crashed_writer(self):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        spec = WorkloadSpec(writers=3, writes_per_writer=1, readers=2,
+                            reads_per_reader=2, seed=7)
+
+        def configure(sim, scheduler):
+            return FailurePlan(scheduler).crash_client("w1", at_time(25))
+
+        result = run_register_workload(
+            AdaptiveRegister, setup, spec, scheduler=FairScheduler(),
+            configure=configure,
+        )
+        assert check_strong_regularity(result.history).ok
+
+
+class TestBeyondF:
+    def test_more_than_f_crashes_block_liveness(self):
+        """With f+1 crashes a quorum never forms; the write blocks forever.
+
+        The run still quiesces (the blocked client is not runnable and
+        nothing else is enabled) but the operation never returns — exactly
+        the asynchronous model's behaviour when the failure bound is broken.
+        """
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        spec = WorkloadSpec(writers=1, writes_per_writer=1, readers=0)
+
+        def configure(sim, scheduler):
+            plan = FailurePlan(scheduler)
+            plan.crash_base_object(0, at_time(0))
+            plan.crash_base_object(1, at_time(1))
+            return plan
+
+        result = run_register_workload(
+            AdaptiveRegister, setup, spec, scheduler=FairScheduler(),
+            configure=configure, max_steps=5_000,
+        )
+        assert result.run.quiescent
+        assert result.completed_writes == 0
+        [write_op] = result.trace.writes()
+        assert not write_op.complete

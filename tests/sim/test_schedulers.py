@@ -1,0 +1,121 @@
+"""Scheduler policy tests: fairness, determinism, sequentiality."""
+
+from repro.registers import AdaptiveRegister, RegisterSetup
+from repro.sim import (
+    ActionKind,
+    FairScheduler,
+    RandomScheduler,
+    SequentialScheduler,
+    Simulation,
+)
+from repro.workloads import WorkloadSpec, run_register_workload
+from tests.helpers import counter_sim
+
+
+def loaded_sim(writers: int = 3, ops_each: int = 2):
+    sim = counter_sim()
+    for index in range(writers):
+        client = sim.add_client(f"w{index}")
+        for _ in range(ops_each):
+            client.enqueue_write(bytes(8))
+    return sim
+
+
+class TestFairScheduler:
+    def test_completes_all_operations(self):
+        sim = loaded_sim()
+        result = sim.run(FairScheduler())
+        assert result.quiescent
+        assert all(client.completed_ops == 2 for client in sim.clients.values())
+
+    def test_every_client_gets_steps(self):
+        sim = loaded_sim(writers=4, ops_each=1)
+        sim.run(FairScheduler())
+        steppers = {
+            op.client for op in sim.trace.completed_ops()
+        }
+        assert steppers == {"w0", "w1", "w2", "w3"}
+
+    def test_no_rmw_starves(self):
+        """Every triggered RMW is eventually applied under fairness."""
+        sim = loaded_sim(writers=2, ops_each=1)
+        sim.run(FairScheduler())
+        assert not sim.pending
+        assert not sim.applied
+
+    def test_rotates_categories(self):
+        sim = loaded_sim(writers=2, ops_each=1)
+        scheduler = FairScheduler()
+        kinds = []
+        for _ in range(12):
+            action = scheduler.next_action(sim)
+            if action is None:
+                break
+            kinds.append(action.kind)
+            sim.execute(action)
+        # Both memory actions and client steps must appear early on.
+        assert ActionKind.STEP_CLIENT in kinds
+        assert ActionKind.APPLY in kinds
+
+
+class TestRandomScheduler:
+    def test_same_seed_same_run(self):
+        runs = []
+        for _ in range(2):
+            sim = loaded_sim()
+            sim.run(RandomScheduler(seed=42))
+            runs.append(
+                [(op.op_uid, op.invoke_time, op.return_time)
+                 for op in sim.trace.ops.values()]
+            )
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_usually_differ(self):
+        timings = set()
+        for seed in range(6):
+            sim = loaded_sim()
+            sim.run(RandomScheduler(seed=seed))
+            timings.add(
+                tuple(
+                    (op.op_uid, op.return_time) for op in sim.trace.ops.values()
+                )
+            )
+        assert len(timings) > 1
+
+    def test_completes_all_operations(self):
+        for seed in range(5):
+            sim = loaded_sim()
+            result = sim.run(RandomScheduler(seed=seed), max_steps=100_000)
+            assert result.quiescent, f"seed {seed} did not quiesce"
+
+
+class TestSequentialScheduler:
+    def test_produces_sequential_history(self):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        result = run_register_workload(
+            AdaptiveRegister,
+            setup,
+            WorkloadSpec(writers=3, writes_per_writer=2, readers=2,
+                         reads_per_reader=1),
+            scheduler=SequentialScheduler(),
+        )
+        ops = sorted(result.trace.ops.values(), key=lambda op: op.invoke_time)
+        for earlier, later in zip(ops, ops[1:]):
+            assert earlier.return_time < later.invoke_time, (
+                "sequential scheduler produced overlapping operations"
+            )
+
+    def test_sequential_reads_see_latest_write(self):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        spec = WorkloadSpec(writers=2, writes_per_writer=1, readers=1,
+                            reads_per_reader=1)
+        result = run_register_workload(
+            AdaptiveRegister, setup, spec, scheduler=SequentialScheduler()
+        )
+        ops = sorted(result.trace.ops.values(), key=lambda op: op.invoke_time)
+        last_written = None
+        for op in ops:
+            if op.kind.value == "write":
+                last_written = op.written
+            else:
+                assert op.result == (last_written or setup.v0())

@@ -1,0 +1,63 @@
+"""Trace-recording tests."""
+
+from repro.sim.trace import EventKind, OpKind, OpRecord, Trace
+
+
+class TestOpRecord:
+    def test_complete_flag(self):
+        record = OpRecord(0, "c", OpKind.WRITE, invoke_time=1)
+        assert not record.complete
+        record.return_time = 5
+        assert record.complete
+
+    def test_precedes(self):
+        first = OpRecord(0, "a", OpKind.WRITE, invoke_time=0, return_time=3)
+        second = OpRecord(1, "b", OpKind.READ, invoke_time=4, return_time=8)
+        assert first.precedes(second)
+        assert not second.precedes(first)
+
+    def test_incomplete_never_precedes(self):
+        first = OpRecord(0, "a", OpKind.WRITE, invoke_time=0)
+        second = OpRecord(1, "b", OpKind.READ, invoke_time=9, return_time=10)
+        assert not first.precedes(second)
+
+
+class TestTrace:
+    def test_invoke_return_cycle(self):
+        trace = Trace()
+        record = trace.record_invoke(1, 0, "c1", OpKind.WRITE, b"v")
+        assert record.invoke_time == 1
+        assert not record.complete
+        trace.record_return(7, 0, "ok")
+        assert record.return_time == 7
+        assert record.result == "ok"
+        assert trace.completed_ops() == [record]
+
+    def test_writes_and_reads_split(self):
+        trace = Trace()
+        trace.record_invoke(1, 0, "c1", OpKind.WRITE, b"v")
+        trace.record_invoke(2, 1, "c2", OpKind.READ, None)
+        assert len(trace.writes()) == 1
+        assert len(trace.reads()) == 1
+
+    def test_events_of_kind(self):
+        trace = Trace()
+        trace.event(1, EventKind.TRIGGER, rmw=0)
+        trace.event(2, EventKind.APPLY, rmw=0)
+        trace.event(3, EventKind.APPLY, rmw=1)
+        assert len(trace.events_of_kind(EventKind.APPLY)) == 2
+        assert trace.rmw_count() == 2
+
+    def test_keep_events_false_drops_events_not_ops(self):
+        trace = Trace(keep_events=False)
+        trace.event(1, EventKind.TRIGGER, rmw=0)
+        record = trace.record_invoke(2, 0, "c1", OpKind.WRITE, b"v")
+        assert trace.events == []
+        assert trace.ops[0] is record
+
+    def test_event_details_preserved(self):
+        trace = Trace()
+        trace.event(4, EventKind.DELIVER, rmw=9, client="c3")
+        [event] = trace.events
+        assert event.time == 4
+        assert event.details == {"rmw": 9, "client": "c3"}

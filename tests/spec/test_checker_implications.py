@@ -1,0 +1,100 @@
+"""Cross-checker implication properties on random concurrent histories.
+
+The semantic hierarchy is a chain; the checkers must respect it on every
+history, concurrent or not:
+
+    linearizable  =>  strongly regular  =>  weakly regular
+    strongly regular  =>  strongly safe
+
+Hypothesis generates arbitrary well-formed histories (including garbage
+reads that violate everything — implications are vacuous there, which is
+exactly what makes them cheap and strong oracle tests for checker bugs).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.spec import (
+    check_linearizability,
+    check_strong_regularity,
+    check_strong_safety,
+    check_weak_regularity,
+    manual_history,
+)
+
+V0 = b"\x00"
+VALUES = [b"\x01", b"\x02", b"\x03", V0]
+
+light = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def concurrent_histories(draw):
+    """Random well-formed histories over 3 clients, ops possibly overlapping
+    across clients (never within one client)."""
+    entries = []
+    for client_index in range(draw(st.integers(1, 3))):
+        client = f"c{client_index}"
+        cursor = draw(st.integers(0, 5))
+        for _ in range(draw(st.integers(0, 3))):
+            is_write = draw(st.booleans())
+            value = draw(st.sampled_from(VALUES))
+            duration = draw(st.integers(1, 8))
+            complete = draw(st.integers(0, 9)) > 0  # mostly complete
+            start = cursor
+            end = start + duration if complete else None
+            if is_write:
+                entries.append((client, "w", value, start, end))
+            else:
+                entries.append((client, "r", value, start, end))
+            if end is None:
+                break  # an outstanding op must be the client's last
+            cursor = end + 1 + draw(st.integers(0, 4))
+    return manual_history(entries, v0=V0)
+
+
+class TestImplications:
+    @light
+    @given(concurrent_histories())
+    def test_linearizable_implies_strongly_regular(self, history):
+        lin = check_linearizability(history, max_states=100_000)
+        if lin.note == "budget" or not lin.ok:
+            return
+        assert check_strong_regularity(history).ok, (
+            "linearizable history rejected by the strong-regularity checker"
+        )
+
+    @light
+    @given(concurrent_histories())
+    def test_strongly_regular_implies_weakly_regular(self, history):
+        if check_strong_regularity(history).ok:
+            assert check_weak_regularity(history).ok
+
+    @light
+    @given(concurrent_histories())
+    def test_strongly_regular_implies_strongly_safe(self, history):
+        if check_strong_regularity(history).ok:
+            assert check_strong_safety(history).ok
+
+    @light
+    @given(concurrent_histories())
+    def test_write_only_histories_pass_everything(self, history):
+        if any(op.is_read for op in history.ops):
+            return
+        assert check_weak_regularity(history).ok
+        assert check_strong_regularity(history).ok
+        assert check_strong_safety(history).ok
+        lin = check_linearizability(history, max_states=100_000)
+        assert lin.note == "budget" or lin.ok
+
+    @light
+    @given(concurrent_histories())
+    def test_checkers_are_deterministic(self, history):
+        assert check_strong_regularity(history).ok == \
+            check_strong_regularity(history).ok
+        assert check_weak_regularity(history).ok == \
+            check_weak_regularity(history).ok

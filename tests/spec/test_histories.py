@@ -1,0 +1,118 @@
+"""History model tests: precedence, well-formedness, construction."""
+
+import pytest
+
+from repro.errors import MalformedHistory
+from repro.spec import History, manual_history
+from repro.sim.trace import OpKind, Trace
+
+
+class TestPrecedence:
+    def test_strict_precedence(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c2", "r", b"a", 6, 9),
+        ])
+        write, read = h.ops
+        assert write.precedes(read)
+        assert not read.precedes(write)
+
+    def test_overlap_is_concurrent(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 10),
+            ("c2", "r", b"a", 5, 15),
+        ])
+        write, read = h.ops
+        assert write.concurrent_with(read)
+
+    def test_incomplete_never_precedes(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, None),
+            ("c2", "r", b"a", 100, 110),
+        ])
+        write, read = h.ops
+        assert not write.precedes(read)
+        assert not read.precedes(write)
+        assert write.concurrent_with(read)
+
+    def test_touching_times_not_preceding(self):
+        # return at t, invoke at t: not strictly before.
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c2", "r", b"a", 5, 9),
+        ])
+        write, read = h.ops
+        assert not write.precedes(read)
+
+
+class TestWellFormedness:
+    def test_overlapping_same_client_rejected(self):
+        with pytest.raises(MalformedHistory):
+            manual_history([
+                ("c1", "w", b"a", 0, 10),
+                ("c1", "w", b"b", 5, 15),
+            ])
+
+    def test_outstanding_then_new_op_rejected(self):
+        with pytest.raises(MalformedHistory):
+            manual_history([
+                ("c1", "w", b"a", 0, None),
+                ("c1", "r", b"a", 5, 9),
+            ])
+
+    def test_sequential_same_client_accepted(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c1", "w", b"b", 6, 9),
+        ])
+        assert len(h) == 2
+
+    def test_different_clients_may_overlap(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 10),
+            ("c2", "w", b"b", 0, 10),
+        ])
+        assert len(h.writes()) == 2
+
+
+class TestQueries:
+    def test_writes_of_value(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c2", "w", b"b", 6, 9),
+            ("c3", "w", b"a", 10, 12),
+        ])
+        assert len(h.writes_of_value(b"a")) == 2
+
+    def test_completed_only_filters(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, None),
+            ("c2", "r", b"a", 1, 3),
+            ("c3", "r", b"x", 2, None),
+        ])
+        assert len(h.writes(completed_only=True)) == 0
+        assert len(h.writes(completed_only=False)) == 1
+        assert len(h.reads(completed_only=True)) == 1
+        assert len(h.reads(completed_only=False)) == 2
+
+    def test_ops_sorted_by_invocation(self):
+        h = manual_history([
+            ("c1", "w", b"b", 7, 9),
+            ("c2", "w", b"a", 0, 5),
+        ])
+        assert [op.written for op in h.ops] == [b"a", b"b"]
+
+
+class TestFromTrace:
+    def test_roundtrip_through_trace(self):
+        trace = Trace()
+        trace.record_invoke(1, 0, "c1", OpKind.WRITE, b"val")
+        trace.record_return(5, 0, "ok")
+        trace.record_invoke(6, 1, "c2", OpKind.READ, None)
+        trace.record_return(9, 1, b"val")
+        history = History.from_trace(trace, v0=b"\x00")
+        assert len(history) == 2
+        write, read = history.ops
+        assert write.written == b"val"
+        assert read.result == b"val"
+        assert write.precedes(read)

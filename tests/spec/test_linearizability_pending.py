@@ -1,0 +1,67 @@
+"""Pending-write handling in the linearizability checker.
+
+The standard definition lets a linearization include an operation that
+never returned (its effect may have taken place). These tests pin the
+checker's treatment: incomplete writes are includable, incomplete reads
+are droppable, and inclusion respects precedence.
+"""
+
+from repro.spec import check_linearizability, manual_history
+
+V0 = b"\x00"
+
+
+class TestPendingWrites:
+    def test_read_of_in_flight_write_is_linearizable(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, None),     # never returns
+            ("c2", "r", b"a", 5, 9),        # yet its value is visible
+        ], v0=V0)
+        report = check_linearizability(h)
+        assert report.ok
+        assert 0 in report.order  # the pending write was included
+
+    def test_pending_write_may_be_excluded(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, None),
+            ("c2", "r", V0, 5, 9),          # write's effect never seen
+        ], v0=V0)
+        report = check_linearizability(h)
+        assert report.ok
+        assert 0 not in (report.order or [])
+
+    def test_two_reads_straddling_pending_write_invert(self):
+        """new then old around one pending write: still not atomic."""
+        h = manual_history([
+            ("c1", "w", b"a", 0, None),
+            ("c2", "r", b"a", 5, 9),
+            ("c3", "r", V0, 10, 14),        # after the 'a' read: inversion
+        ], v0=V0)
+        assert not check_linearizability(h).ok
+
+    def test_pending_write_respects_precedence(self):
+        """A pending write invoked after a read returned cannot explain it."""
+        h = manual_history([
+            ("c2", "r", b"a", 0, 4),
+            ("c1", "w", b"a", 6, None),     # invoked after the read returned
+        ], v0=V0)
+        assert not check_linearizability(h).ok
+
+    def test_incomplete_reads_are_dropped(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c2", "r", b"zz", 6, None),    # never returned: no constraint
+        ], v0=V0)
+        assert check_linearizability(h).ok
+
+    def test_chain_of_pending_writes(self):
+        # Two pending writes, reads see them in one consistent order.
+        h = manual_history([
+            ("c1", "w", b"a", 0, None),
+            ("c2", "w", b"b", 0, None),
+            ("c3", "r", b"a", 5, 8),
+            ("c3", "r", b"b", 9, 12),
+        ], v0=V0)
+        report = check_linearizability(h)
+        assert report.ok
+        assert report.order.index(0) < report.order.index(1)

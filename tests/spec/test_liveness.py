@@ -1,0 +1,113 @@
+"""Liveness-report tests."""
+
+from repro.registers import AdaptiveRegister, RegisterSetup
+from repro.sim import FailurePlan, FairScheduler, at_time
+from repro.spec import analyze_liveness
+from repro.workloads import WorkloadSpec, run_register_workload
+
+SETUP = RegisterSetup(f=1, k=2, data_size_bytes=8)
+
+
+class TestHealthyRuns:
+    def test_clean_run_is_fw_terminating(self):
+        spec = WorkloadSpec(writers=2, writes_per_writer=1, readers=1,
+                            reads_per_reader=1, seed=1)
+        result = run_register_workload(AdaptiveRegister, SETUP, spec)
+        report = analyze_liveness(result.sim, result.run.quiescent)
+        assert report.within_failure_bound
+        assert report.writes_wait_free
+        assert report.fw_terminating
+        assert report.verdict == "consistent with FW-termination"
+
+    def test_crashed_clients_excused(self):
+        spec = WorkloadSpec(writers=2, writes_per_writer=1, readers=1,
+                            reads_per_reader=1, seed=2)
+
+        def configure(sim, scheduler):
+            return FailurePlan(scheduler).crash_client("w0", at_time(10))
+
+        result = run_register_workload(
+            AdaptiveRegister, SETUP, spec, configure=configure,
+        )
+        report = analyze_liveness(result.sim, result.run.quiescent)
+        assert "w0" in report.crashed_clients
+        assert report.writes_wait_free  # w0's hung write doesn't count
+
+
+class TestViolations:
+    def test_too_many_crashes_is_inconclusive(self):
+        spec = WorkloadSpec(writers=1, writes_per_writer=1, readers=0)
+
+        def configure(sim, scheduler):
+            plan = FailurePlan(scheduler)
+            plan.crash_base_object(0, at_time(0))
+            plan.crash_base_object(1, at_time(1))
+            return plan
+
+        result = run_register_workload(
+            AdaptiveRegister, SETUP, spec, scheduler=FairScheduler(),
+            configure=configure, max_steps=5_000,
+        )
+        report = analyze_liveness(result.sim, result.run.quiescent)
+        assert not report.within_failure_bound
+        assert "inconclusive" in report.verdict
+        # The stuck write is recorded even though the verdict excuses it.
+        assert report.incomplete_writes_correct
+
+    def test_non_quiescent_run_is_inconclusive(self):
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=1,
+                            reads_per_reader=1)
+        result = run_register_workload(
+            AdaptiveRegister, SETUP, spec, max_steps=10,
+            require_quiescence=False,
+        )
+        report = analyze_liveness(result.sim, result.run.quiescent)
+        assert report.verdict.startswith("inconclusive")
+
+    def test_hung_correct_write_detected(self):
+        """Within the failure bound, an incomplete write by a correct
+        client must flip the verdict."""
+        spec = WorkloadSpec(writers=1, writes_per_writer=1, readers=0)
+
+        def configure(sim, scheduler):
+            # Crash only ONE object (within f=1), but ALSO freeze the run
+            # early so the write is genuinely incomplete at quiescence...
+            # simplest honest construction: crash f+1? No — that breaks
+            # the bound. Instead crash one object and cut the run early
+            # with max_steps; quiescent=False -> inconclusive. To get a
+            # *quiescent* run with a hung correct write we'd need a buggy
+            # register, so simulate the report directly instead.
+            return scheduler
+
+        result = run_register_workload(
+            AdaptiveRegister, SETUP, spec, configure=configure,
+        )
+        report = analyze_liveness(result.sim, result.run.quiescent)
+        assert report.writes_wait_free  # healthy register: no violation
+
+        # Synthesize the violating report to pin the verdict logic.
+        from repro.spec import LivenessReport
+
+        bad = LivenessReport(
+            quiescent=True,
+            crashed_clients=(),
+            crashed_base_objects=1,
+            f=1,
+            incomplete_writes_correct=(7,),
+        )
+        assert not bad.writes_wait_free
+        assert bad.verdict == "wait-freedom violated for writes"
+
+    def test_hung_read_verdict(self):
+        from repro.spec import LivenessReport
+
+        report = LivenessReport(
+            quiescent=True,
+            crashed_clients=(),
+            crashed_base_objects=0,
+            f=1,
+            incomplete_reads_correct=(9,),
+        )
+        assert report.writes_wait_free
+        assert not report.fw_terminating
+        assert report.verdict == "write-wait-free but a correct read hung"

@@ -1,0 +1,100 @@
+"""Strong-safety checker tests.
+
+Safe semantics constrain only reads with *no concurrent writes*; reads that
+overlap any write may return anything — including garbage. This is the
+loophole Appendix E's algorithm exploits.
+"""
+
+from repro.spec import check_strong_safety, manual_history
+
+V0 = b"\x00"
+
+
+class TestSafePasses:
+    def test_quiescent_read_sees_latest(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c2", "r", b"a", 6, 9),
+        ], v0=V0)
+        assert check_strong_safety(h).ok
+
+    def test_concurrent_read_may_return_anything(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 10),
+            ("c2", "r", b"garbage-not-written", 5, 8),
+        ], v0=V0)
+        assert check_strong_safety(h).ok
+
+    def test_concurrent_read_may_return_v0(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c2", "w", b"b", 8, 20),
+            ("c3", "r", V0, 9, 12),
+        ], v0=V0)
+        assert check_strong_safety(h).ok
+
+    def test_v0_before_any_write(self):
+        h = manual_history([
+            ("c2", "r", V0, 0, 3),
+            ("c1", "w", b"a", 5, 10),
+        ], v0=V0)
+        assert check_strong_safety(h).ok
+
+    def test_concurrent_writes_allow_either_order(self):
+        # Both writes concurrent; later quiescent reads pin one order.
+        h = manual_history([
+            ("c1", "w", b"a", 0, 10),
+            ("c2", "w", b"b", 0, 10),
+            ("c3", "r", b"a", 11, 14),
+        ], v0=V0)
+        assert check_strong_safety(h).ok
+
+    def test_incomplete_write_makes_read_concurrent(self):
+        # The unfinished write overlaps the read: read is unconstrained.
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c2", "w", b"b", 6, None),
+            ("c3", "r", b"nonsense", 8, 12),
+        ], v0=V0)
+        assert check_strong_safety(h).ok
+
+
+class TestSafeViolations:
+    def test_quiescent_read_of_unwritten_value(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c2", "r", b"zz", 6, 9),
+        ], v0=V0)
+        report = check_strong_safety(h)
+        assert not report.ok
+
+    def test_quiescent_read_of_stale_value(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c1", "w", b"b", 6, 10),
+            ("c2", "r", b"a", 11, 15),
+        ], v0=V0)
+        assert not check_strong_safety(h).ok
+
+    def test_quiescent_v0_after_write(self):
+        h = manual_history([
+            ("c1", "w", b"a", 0, 5),
+            ("c2", "r", V0, 6, 9),
+        ], v0=V0)
+        assert not check_strong_safety(h).ok
+
+    def test_conflicting_quiescent_reads_cycle(self):
+        # Concurrent writes a, b; one later read says a is latest, another
+        # (after more writes of neither value... keep it minimal) says b,
+        # then a again — forcing a cycle in the write order.
+        h = manual_history([
+            ("c1", "w", b"a", 0, 10),
+            ("c2", "w", b"b", 0, 10),
+            ("c3", "r", b"a", 11, 14),
+            ("c4", "r", b"b", 15, 18),
+            ("c5", "r", b"a", 19, 22),
+        ], v0=V0)
+        # read(a) then read(b) is fine (b ordered after a? then read(a)
+        # would be stale...). With only two writes, reads alternating
+        # a, b, a cannot be explained by one write order.
+        assert not check_strong_safety(h).ok

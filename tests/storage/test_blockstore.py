@@ -1,0 +1,91 @@
+"""Block-discovery tests: structural traversal and Definition 6 dedup."""
+
+from dataclasses import dataclass
+
+from repro.coding.oracles import BlockSource, CodeBlock
+from repro.storage import (
+    collect_blocks,
+    distinct_source_bits,
+    sources_present,
+    total_bits,
+)
+
+
+def block(op_uid: int, index: int, size_bits: int = 64) -> CodeBlock:
+    return CodeBlock(
+        payload=bytes(size_bits // 8),
+        index=index,
+        source=BlockSource(op_uid, index),
+        size_bits=size_bits,
+    )
+
+
+@dataclass(frozen=True)
+class Holder:
+    name: str
+    inner: object
+
+
+class TestCollectBlocks:
+    def test_bare_block(self):
+        b = block(1, 0)
+        assert list(collect_blocks(b)) == [b]
+
+    def test_none_and_scalars_are_empty(self):
+        for leaf in (None, 5, 2.5, True, "text", b"bytes", bytearray(b"x")):
+            assert list(collect_blocks(leaf)) == []
+
+    def test_list_and_tuple(self):
+        blocks = [block(1, 0), block(1, 1)]
+        assert list(collect_blocks(blocks)) == blocks
+        assert list(collect_blocks(tuple(blocks))) == blocks
+
+    def test_dict_values_only(self):
+        b = block(2, 3)
+        found = list(collect_blocks({"key": b, "other": 7}))
+        assert found == [b]
+
+    def test_nested_dataclass(self):
+        b = block(4, 1)
+        holder = Holder("outer", Holder("inner", [b, None]))
+        assert list(collect_blocks(holder)) == [b]
+
+    def test_set_traversal(self):
+        b = block(5, 2)
+        assert list(collect_blocks({b})) == [b]
+
+    def test_deep_mixed_structure(self):
+        b1, b2, b3 = block(1, 0), block(1, 1), block(2, 0)
+        structure = {"a": [b1, (b2,)], "b": Holder("x", {"c": b3})}
+        found = set(collect_blocks(structure))
+        assert found == {b1, b2, b3}
+
+    def test_opaque_object_is_leaf(self):
+        class Opaque:
+            pass
+
+        assert list(collect_blocks(Opaque())) == []
+
+
+class TestAccounting:
+    def test_total_bits_sums_sizes(self):
+        blocks = [block(1, 0, 64), block(1, 1, 128)]
+        assert total_bits(blocks) == 192
+
+    def test_distinct_source_bits_dedupes_indices(self):
+        # Two instances of block (op=1, i=0) pin the same information.
+        blocks = [block(1, 0), block(1, 0), block(1, 1)]
+        assert distinct_source_bits(blocks, op_uid=1) == 128
+
+    def test_distinct_source_bits_filters_by_op(self):
+        blocks = [block(1, 0), block(2, 0), block(2, 1)]
+        assert distinct_source_bits(blocks, op_uid=2) == 128
+        assert distinct_source_bits(blocks, op_uid=1) == 64
+        assert distinct_source_bits(blocks, op_uid=3) == 0
+
+    def test_sources_present(self):
+        blocks = [block(1, 0), block(2, 5)]
+        assert sources_present(blocks) == {
+            BlockSource(1, 0),
+            BlockSource(2, 5),
+        }

@@ -1,0 +1,35 @@
+"""Exception-hierarchy tests: one base, catchable domains."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in (
+            "CodingError", "EncodingError", "DecodingError", "ParameterError",
+            "SimulationError", "ProtocolError", "SchedulerExhausted",
+            "ObjectCrashed", "SpecError", "MalformedHistory",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_coding_domain(self):
+        assert issubclass(errors.EncodingError, errors.CodingError)
+        assert issubclass(errors.DecodingError, errors.CodingError)
+
+    def test_simulation_domain(self):
+        assert issubclass(errors.ProtocolError, errors.SimulationError)
+        assert issubclass(errors.SchedulerExhausted, errors.SimulationError)
+        assert issubclass(errors.ObjectCrashed, errors.SimulationError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(errors.ParameterError, ValueError)
+
+    def test_spec_domain(self):
+        assert issubclass(errors.MalformedHistory, errors.SpecError)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DecodingError("boom")

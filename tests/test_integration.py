@@ -1,0 +1,159 @@
+"""Cross-module integration: the full matrix, end to end.
+
+Each test wires registers + schedulers + failures + checkers + the meter
+together the way a downstream user would, and asserts the paper-level
+facts (semantics, storage formulas, liveness) hold simultaneously.
+"""
+
+import pytest
+
+from repro import (
+    ABDRegister,
+    AdaptiveRegister,
+    AtomicABDRegister,
+    CodedOnlyRegister,
+    FailurePlan,
+    FairScheduler,
+    RandomScheduler,
+    RegisterSetup,
+    SafeCodedRegister,
+    WorkloadSpec,
+    analyze_liveness,
+    check_strong_regularity,
+    check_strong_safety,
+    check_weak_regularity,
+    replication_setup,
+    run_register_workload,
+)
+from repro.sim import at_time
+
+CODED_REGISTERS = [AdaptiveRegister, CodedOnlyRegister, SafeCodedRegister]
+CHECKERS = {
+    AdaptiveRegister: check_strong_regularity,
+    CodedOnlyRegister: check_strong_regularity,
+    SafeCodedRegister: check_strong_safety,
+    ABDRegister: check_strong_regularity,
+    AtomicABDRegister: check_strong_regularity,
+}
+
+
+def setup_for(register_cls, f=2, k=2, data=16):
+    if register_cls in (ABDRegister, AtomicABDRegister):
+        return replication_setup(f=f, data_size_bytes=data)
+    return RegisterSetup(f=f, k=k, data_size_bytes=data)
+
+
+class TestFullMatrix:
+    @pytest.mark.parametrize("register_cls", list(CHECKERS),
+                             ids=lambda c: c.name)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_semantics_liveness_storage_together(self, register_cls, seed):
+        setup = setup_for(register_cls)
+        spec = WorkloadSpec(writers=3, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=seed)
+        result = run_register_workload(
+            register_cls, setup, spec, scheduler=RandomScheduler(seed * 11)
+        )
+        # 1. Everything drained.
+        assert result.run.quiescent
+        assert result.completed_writes == 6
+        assert result.completed_reads == 4
+        # 2. Claimed consistency level holds.
+        assert CHECKERS[register_cls](result.history).ok
+        # 3. Weak regularity is implied everywhere except the safe register.
+        if register_cls is not SafeCodedRegister:
+            assert check_weak_regularity(result.history).ok
+        # 4. Liveness report is clean.
+        liveness = analyze_liveness(result.sim, result.run.quiescent)
+        assert liveness.fw_terminating
+        # 5. Storage never exceeded the register's coarse envelope.
+        d = setup.data_size_bits
+        envelope = {
+            "adaptive": 2 * setup.n * d,
+            "coded-only": (spec.writers + 1) * setup.n * d // setup.k,
+            "safe-coded": setup.n * d // setup.k,
+            "abd": setup.n * d,
+            "abd-atomic": setup.n * d,
+        }[register_cls.name]
+        assert result.peak_bo_state_bits <= envelope
+
+    @pytest.mark.parametrize("register_cls", CODED_REGISTERS,
+                             ids=lambda c: c.name)
+    def test_with_crashes_everything_still_holds(self, register_cls):
+        setup = setup_for(register_cls, f=2, k=2)
+        spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=2,
+                            reads_per_reader=2, seed=4)
+
+        def configure(sim, scheduler):
+            plan = FailurePlan(scheduler)
+            plan.crash_base_object(0, at_time(20))
+            plan.crash_base_object(5, at_time(60))
+            return plan
+
+        result = run_register_workload(
+            register_cls, setup, spec, scheduler=FairScheduler(),
+            configure=configure,
+        )
+        assert result.run.quiescent
+        assert result.completed_writes == 4
+        assert result.completed_reads == 4
+        assert CHECKERS[register_cls](result.history).ok
+
+
+class TestScaleSweep:
+    @pytest.mark.parametrize("f,k", [(1, 1), (1, 4), (3, 2), (4, 4)])
+    def test_parameter_corners(self, f, k):
+        setup = RegisterSetup(f=f, k=k, data_size_bytes=4 * k)
+        spec = WorkloadSpec(writers=2, writes_per_writer=1, readers=1,
+                            reads_per_reader=1, seed=6)
+        result = run_register_workload(AdaptiveRegister, setup, spec)
+        assert result.run.quiescent
+        assert check_strong_regularity(result.history).ok
+        assert result.final_bo_state_bits == setup.n * setup.data_size_bits // k
+
+    def test_large_values(self):
+        """Payloads are real bytes end to end: push a 4 KiB value through."""
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=4096)
+        spec = WorkloadSpec(writers=1, writes_per_writer=1, readers=1,
+                            reads_per_reader=1, seed=8)
+        result = run_register_workload(AdaptiveRegister, setup, spec)
+        assert result.run.quiescent
+        [read] = result.trace.reads()
+        written = {op.written for op in result.trace.writes()}
+        assert read.result in written | {setup.v0()}
+        assert len(read.result) == 4096
+
+    def test_many_clients(self):
+        setup = RegisterSetup(f=2, k=3, data_size_bytes=24)
+        spec = WorkloadSpec(writers=10, writes_per_writer=1, readers=5,
+                            reads_per_reader=1, seed=9)
+        result = run_register_workload(CodedOnlyRegister, setup, spec)
+        assert result.completed_writes == 10
+        assert result.completed_reads == 5
+
+
+class TestCrossRegisterFacts:
+    def test_storage_hierarchy_at_rest(self):
+        """safe < adaptive-quiescent < ABD for the same (f, D), k=f."""
+        f, data = 3, 48
+        coded = RegisterSetup(f=f, k=f, data_size_bytes=data)
+        abd = replication_setup(f=f, data_size_bytes=data)
+        spec = WorkloadSpec(writers=1, writes_per_writer=1, readers=0, seed=2)
+        safe = run_register_workload(SafeCodedRegister, coded, spec)
+        adaptive = run_register_workload(AdaptiveRegister, coded, spec)
+        abd_run = run_register_workload(ABDRegister, abd, spec)
+        assert safe.final_bo_state_bits == adaptive.final_bo_state_bits
+        assert adaptive.final_bo_state_bits < abd_run.final_bo_state_bits
+
+    def test_same_history_different_verdicts(self):
+        """One adversarial schedule, every register: each passes its own
+        bar, demonstrating the semantics are properties of algorithms,
+        not of the checker."""
+        for register_cls in CODED_REGISTERS:
+            setup = setup_for(register_cls)
+            spec = WorkloadSpec(writers=2, writes_per_writer=2, readers=2,
+                                reads_per_reader=2, seed=12)
+            result = run_register_workload(
+                register_cls, setup, spec, scheduler=RandomScheduler(99)
+            )
+            assert CHECKERS[register_cls](result.history).ok

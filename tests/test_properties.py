@@ -1,0 +1,207 @@
+"""Hypothesis property tests across module boundaries.
+
+These go beyond per-module unit properties: they generate random register
+configurations, workloads, and schedules and assert the paper's invariants
+wholesale.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AdaptiveRegister,
+    CodedOnlyRegister,
+    RandomScheduler,
+    RegisterSetup,
+    SafeCodedRegister,
+    WorkloadSpec,
+    check_strong_regularity,
+    check_strong_safety,
+    check_weak_regularity,
+    run_register_workload,
+)
+from repro.coding import ReedSolomonCode
+from repro.lowerbound import verify_claim1
+from repro.spec import manual_history
+from repro.spec.histories import History
+
+light = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+configs = st.tuples(
+    st.integers(min_value=1, max_value=3),   # f
+    st.integers(min_value=1, max_value=4),   # k
+    st.integers(min_value=1, max_value=4),   # writers
+    st.integers(min_value=0, max_value=2),   # readers
+    st.integers(min_value=0, max_value=10_000),  # schedule seed
+)
+
+
+class TestRegisterInvariants:
+    @light
+    @given(configs)
+    def test_adaptive_always_strongly_regular_and_gc_exact(self, config):
+        f, k, writers, readers, seed = config
+        setup = RegisterSetup(f=f, k=k, data_size_bytes=4 * k)
+        spec = WorkloadSpec(writers=writers, writes_per_writer=1,
+                            readers=readers, reads_per_reader=1, seed=seed)
+        result = run_register_workload(
+            AdaptiveRegister, setup, spec, scheduler=RandomScheduler(seed)
+        )
+        assert result.run.quiescent
+        assert check_strong_regularity(result.history).ok
+        # Lemma 8 (upper bound: a straggler update losing the race against
+        # its own GC can leave an object empty under arbitrary schedules):
+        assert result.final_bo_state_bits <= (
+            setup.n * setup.data_size_bits // setup.k
+        )
+        # ...but Invariant 1 must hold regardless: every quorum decodes.
+        from repro.registers import check_invariant1
+
+        assert check_invariant1(result.sim).ok
+
+    @light
+    @given(configs)
+    def test_safe_register_storage_invariant(self, config):
+        f, k, writers, readers, seed = config
+        setup = RegisterSetup(f=f, k=k, data_size_bytes=4 * k)
+        spec = WorkloadSpec(writers=writers, writes_per_writer=1,
+                            readers=readers, reads_per_reader=1, seed=seed)
+        result = run_register_workload(
+            SafeCodedRegister, setup, spec, scheduler=RandomScheduler(seed)
+        )
+        expected = setup.n * setup.data_size_bits // setup.k
+        assert result.peak_bo_state_bits == expected
+        assert check_strong_safety(result.history).ok
+
+    @light
+    @given(configs)
+    def test_coded_only_peak_formula(self, config):
+        f, k, writers, readers, seed = config
+        setup = RegisterSetup(f=f, k=k, data_size_bytes=4 * k)
+        spec = WorkloadSpec(writers=writers, writes_per_writer=1,
+                            readers=readers, reads_per_reader=1, seed=seed)
+        result = run_register_workload(
+            CodedOnlyRegister, setup, spec, scheduler=RandomScheduler(seed)
+        )
+        cap = (writers + 1) * setup.n * setup.data_size_bits // setup.k
+        assert result.peak_bo_state_bits <= cap
+
+
+class TestClaim1Property:
+    @light
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.data(),
+    )
+    def test_random_index_sets(self, k, data):
+        n = data.draw(st.integers(min_value=k, max_value=2 * k + 4))
+        scheme = ReedSolomonCode(k=k, n=n, data_size_bytes=4 * k)
+        size = data.draw(st.integers(min_value=0, max_value=min(n, k + 1)))
+        indices = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size, max_size=size,
+            )
+        )
+        report = verify_claim1(scheme, indices)
+        assert report.consistent_with_claim
+        # Sharpness both ways for MDS codes:
+        if len(set(indices)) < k:
+            assert report.collision_valid
+        else:
+            assert not report.collision_found
+
+
+class TestCheckerMetamorphic:
+    """Metamorphic properties of the history checkers."""
+
+    ops_strategy = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),    # client id
+            st.booleans(),                            # is write
+            st.integers(min_value=0, max_value=3),    # value id
+            st.integers(min_value=0, max_value=30),   # invoke
+            st.integers(min_value=1, max_value=15),   # duration
+        ),
+        min_size=0, max_size=6,
+    )
+
+    @staticmethod
+    def build_sequential(entries):
+        """Serialise generated ops into a sequential well-formed history."""
+        time = 0
+        rows = []
+        last_value = b"\x00"
+        for client, is_write, value_id, _invoke, _duration in entries:
+            value = bytes([value_id + 1])
+            if is_write:
+                rows.append((f"c{client}", "w", value, time, time + 1))
+                last_value = value
+            else:
+                rows.append((f"c{client}", "r", last_value, time, time + 1))
+            time += 2
+        return manual_history(rows, v0=b"\x00")
+
+    @light
+    @given(ops_strategy)
+    def test_sequential_histories_pass_everything(self, entries):
+        history = self.build_sequential(entries)
+        assert check_weak_regularity(history).ok
+        assert check_strong_regularity(history).ok
+        assert check_strong_safety(history).ok
+
+    @light
+    @given(ops_strategy)
+    def test_weak_implied_by_strong(self, entries):
+        history = self.build_sequential(entries)
+        strong = check_strong_regularity(history)
+        if strong.ok:
+            assert check_weak_regularity(history).ok
+
+    @light
+    @given(ops_strategy, st.integers(min_value=1, max_value=50))
+    def test_time_shift_invariance(self, entries, shift):
+        """Uniformly shifting all times never changes any verdict."""
+        history = self.build_sequential(entries)
+        shifted = History(
+            [
+                type(op)(
+                    op.op_uid, op.client, op.kind, op.written, op.result,
+                    op.invoke_time + shift,
+                    None if op.return_time is None else op.return_time + shift,
+                )
+                for op in history.ops
+            ],
+            history.v0,
+        )
+        assert check_weak_regularity(history).ok == \
+            check_weak_regularity(shifted).ok
+        assert check_strong_regularity(history).ok == \
+            check_strong_regularity(shifted).ok
+
+
+class TestDeterminismProperty:
+    @light
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_same_seed_same_everything(self, seed):
+        setup = RegisterSetup(f=1, k=2, data_size_bytes=8)
+        spec = WorkloadSpec(writers=2, writes_per_writer=1, readers=1,
+                            reads_per_reader=1, seed=seed)
+
+        def run():
+            return run_register_workload(
+                AdaptiveRegister, setup, spec,
+                scheduler=RandomScheduler(seed),
+            )
+
+        first, second = run(), run()
+        assert first.peak_storage_bits == second.peak_storage_bits
+        assert first.run.steps == second.run.steps
+        firsts = [(o.op_uid, o.return_time) for o in first.trace.ops.values()]
+        seconds = [(o.op_uid, o.return_time) for o in second.trace.ops.values()]
+        assert firsts == seconds

@@ -1,0 +1,82 @@
+"""Fuzz-driver tests."""
+
+import pytest
+
+from repro.registers import (
+    AdaptiveRegister,
+    RegisterSetup,
+    SafeCodedRegister,
+)
+from repro.spec import check_strong_regularity, check_strong_safety
+from repro.workloads import fuzz_register
+
+SETUP = RegisterSetup(f=1, k=2, data_size_bytes=8)
+
+
+class TestFuzzRegister:
+    def test_healthy_register_passes(self):
+        result = fuzz_register(
+            AdaptiveRegister, SETUP, check_strong_regularity,
+            runs=5, ops_each=1,
+        )
+        assert result.ok
+        assert result.runs == 5
+        assert "all consistent" in result.summary()
+
+    def test_with_crashes(self):
+        result = fuzz_register(
+            AdaptiveRegister, SETUP, check_strong_regularity,
+            runs=4, ops_each=1, crash_objects=1,
+        )
+        assert result.ok
+
+    def test_crash_budget_enforced(self):
+        with pytest.raises(ValueError):
+            fuzz_register(
+                AdaptiveRegister, SETUP, check_strong_regularity,
+                runs=1, crash_objects=SETUP.f + 1,
+            )
+
+    # The safe register needs enough write pressure to scatter pieces and
+    # force a v0 return after some write completed — k=3, 4 writers x 3
+    # ops finds violations reliably across seeds.
+    PRESSURE_SETUP = RegisterSetup(f=1, k=3, data_size_bytes=12)
+
+    def test_wrong_checker_detects_violations(self):
+        """The safe register is not regular: fuzzing it against the
+        regularity checker must find failures (reads returning v0 or a
+        stale value under concurrency)."""
+        result = fuzz_register(
+            SafeCodedRegister, self.PRESSURE_SETUP, check_strong_regularity,
+            runs=15, writers=4, readers=4, ops_each=3,
+        )
+        assert not result.ok
+        assert "FAILURES" in result.summary()
+
+    def test_right_checker_accepts_safe_register(self):
+        result = fuzz_register(
+            SafeCodedRegister, self.PRESSURE_SETUP, check_strong_safety,
+            runs=15, writers=4, readers=4, ops_each=3,
+        )
+        assert result.ok
+
+    def test_failures_carry_seeds(self):
+        result = fuzz_register(
+            SafeCodedRegister, self.PRESSURE_SETUP, check_strong_regularity,
+            runs=15, writers=4, readers=4, ops_each=3, base_seed=0,
+        )
+        assert result.failures
+        for failure in result.failures:
+            assert 0 <= failure.seed < 15
+            assert failure.reason
+
+
+class TestFuzzCLI:
+    def test_fuzz_command_passes_for_adaptive(self, capsys):
+        from repro.cli import main
+
+        code = main(["fuzz", "--register", "adaptive", "--f", "1",
+                     "--k", "2", "--data-size", "8", "--runs", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all consistent" in out

@@ -1,0 +1,92 @@
+"""Workload-pattern tests: staggered, read-heavy, churn."""
+
+import pytest
+
+from repro.registers import (
+    AdaptiveRegister,
+    CodedOnlyRegister,
+    RegisterSetup,
+    SafeCodedRegister,
+)
+from repro.spec import History, check_strong_regularity, check_strong_safety
+from repro.storage import StorageMeter
+from repro.workloads import churn, read_heavy, staggered_writers
+
+SETUP = RegisterSetup(f=1, k=2, data_size_bytes=8)
+
+
+class TestStaggered:
+    def test_drains_completely(self):
+        run = staggered_writers(AdaptiveRegister, SETUP, writers=3,
+                                writes_each=2)
+        assert run.drain().quiescent
+        assert run.completed_writes == run.expected_writes == 6
+
+    def test_gc_holds_under_sustained_load(self):
+        run = staggered_writers(AdaptiveRegister, SETUP, writers=4,
+                                writes_each=3)
+        run.drain()
+        meter = StorageMeter(run.sim)
+        assert meter.bo_only_cost_bits() == (
+            SETUP.n * SETUP.data_size_bits // SETUP.k
+        )
+
+    def test_regular_history(self):
+        run = staggered_writers(CodedOnlyRegister, SETUP, writers=3,
+                                writes_each=2, seed=5)
+        run.drain()
+        history = History.from_trace(run.sim.trace, SETUP.v0())
+        assert check_strong_regularity(history).ok
+
+
+class TestReadHeavy:
+    @pytest.mark.parametrize("register_cls",
+                             [AdaptiveRegister, SafeCodedRegister])
+    def test_many_readers_drain(self, register_cls):
+        run = read_heavy(register_cls, SETUP, readers=6, reads_each=3)
+        assert run.drain().quiescent
+        assert run.completed_reads == run.expected_reads == 18
+        assert run.completed_writes == 1
+
+    def test_safe_register_histories_stay_safe(self):
+        run = read_heavy(SafeCodedRegister, SETUP, readers=4, reads_each=2,
+                         writers=2, seed=3)
+        run.drain()
+        history = History.from_trace(run.sim.trace, SETUP.v0())
+        assert check_strong_safety(history).ok
+
+
+class TestChurn:
+    def test_waves_complete(self):
+        run = churn(AdaptiveRegister, SETUP, waves=3, clients_per_wave=2)
+        assert run.completed_writes == run.expected_writes == 6
+        assert run.completed_reads == run.expected_reads == 6
+
+    def test_later_waves_read_recent_values(self):
+        """Each read-after-own-write in a drained wave returns a value from
+        its own wave or a concurrent client — never an ancient one."""
+        run = churn(AdaptiveRegister, SETUP, waves=3, clients_per_wave=1,
+                    seed=7)
+        reads = sorted(
+            (op for op in run.sim.trace.reads() if op.complete),
+            key=lambda op: op.invoke_time,
+        )
+        writes_by_value = {
+            op.written: op for op in run.sim.trace.writes()
+        }
+        for read in reads:
+            writer = writes_by_value.get(read.result)
+            assert writer is not None, "read returned an unwritten value"
+            # The matching write must not belong to a later wave.
+            assert writer.invoke_time <= read.return_time
+
+    def test_churn_history_regular(self):
+        run = churn(CodedOnlyRegister, SETUP, waves=2, clients_per_wave=2,
+                    seed=9)
+        history = History.from_trace(run.sim.trace, SETUP.v0())
+        assert check_strong_regularity(history).ok
+
+    def test_timestamps_propagate_across_waves(self):
+        run = churn(AdaptiveRegister, SETUP, waves=3, clients_per_wave=1)
+        top = max(bo.state.stored_ts for bo in run.sim.base_objects)
+        assert top.num >= 3  # at least one ts per wave
