@@ -14,9 +14,20 @@ Public surface:
 * :class:`~repro.coding.oracles.EncodeOracle` /
   :class:`~repro.coding.oracles.DecodeOracle` — Definition 1's oracles, with
   source tagging (Definition 4) for black-box storage accounting.
+* :func:`~repro.coding.gf256.gf_matmul` — the vectorised GF(2^8) batch
+  engine every scheme's ``encode_batch`` / ``decode_batch`` rides, and
+  :func:`~repro.coding.oracles.prime_encode_oracles` — one shared encode
+  pass for a burst of concurrent writes.
 """
 
-from repro.coding.oracles import BlockSource, CodeBlock, DecodeOracle, EncodeOracle
+from repro.coding.gf256 import gf_matmul
+from repro.coding.oracles import (
+    BlockSource,
+    CodeBlock,
+    DecodeOracle,
+    EncodeOracle,
+    prime_encode_oracles,
+)
 from repro.coding.padding import PaddedScheme, padded_size
 from repro.coding.rateless import RatelessXorCode
 from repro.coding.reed_solomon import ReedSolomonCode
@@ -33,7 +44,9 @@ __all__ = [
     "MDSCodingScheme",
     "PaddedScheme",
     "RatelessXorCode",
+    "gf_matmul",
     "padded_size",
+    "prime_encode_oracles",
     "ReedSolomonCode",
     "ReplicationCode",
     "XorParityCode",

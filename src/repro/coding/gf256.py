@@ -5,12 +5,16 @@ The field is realised as polynomials over GF(2) modulo the AES polynomial
 discrete log/antilog tables built once at import time from the generator
 ``0x03``, which is primitive for this modulus.
 
-Two interfaces are provided:
+Three interfaces are provided:
 
 * scalar helpers (:func:`gf_mul`, :func:`gf_div`, :func:`gf_inv`,
   :func:`gf_pow`) operating on Python ints in ``range(256)``;
 * vectorised helpers (:func:`gf_mul_bytes`, :func:`gf_addmul_bytes`)
-  operating on ``numpy`` ``uint8`` arrays, used by the Reed-Solomon hot path.
+  operating on ``numpy`` ``uint8`` arrays;
+* the batch engine (:func:`gf_matmul`), a full GF(2^8) matrix product
+  backed by a precomputed 256 x 256 multiplication table (64 KB), which
+  turns whole-codeword and batched encodes/decodes into a handful of
+  table gathers. This is the hot path under every coding scheme.
 
 Addition in GF(2^8) is XOR; no helper is needed beyond ``^`` /
 ``np.bitwise_xor``.
@@ -73,6 +77,45 @@ _EXP_NP = np.array(_EXP, dtype=np.uint8)
 _LOG_NP = np.array(_LOG, dtype=np.int32)
 
 
+def _build_mul_table() -> np.ndarray:
+    """Build the full 256 x 256 multiplication table ``T[a, b] = a * b``.
+
+    64 KB of uint8; row/column 0 stay zero. One gather in this table
+    replaces the log-add-antilog dance (two gathers, an int32 add, and a
+    zero mask) per multiplied element, and is what :func:`gf_matmul` rides.
+    """
+    table = np.zeros((ORDER, ORDER), dtype=np.uint8)
+    logs = _LOG_NP[1:]  # log of 1..255
+    table[1:, 1:] = _EXP_NP[logs[:, None] + logs[None, :]]
+    return table
+
+
+#: Full product table: ``_MUL_TABLE[a, b] == gf_mul(a, b)``.
+_MUL_TABLE = _build_mul_table()
+
+
+def _require_uint8(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate a GF(2^8) operand, returning it as an ndarray view.
+
+    Accepts read-only and non-contiguous arrays (all consumers gather from
+    tables and never write into their inputs). Rejects non-arrays and
+    non-``uint8`` dtypes with :class:`ParameterError` — silently accepting a
+    wider dtype would index outside the 256-entry tables or wrap values.
+    """
+    if not isinstance(array, np.ndarray):
+        raise ParameterError(
+            f"{name} must be a numpy array, got {type(array).__name__}"
+        )
+    if array.dtype != np.uint8:
+        raise ParameterError(f"{name} must have dtype uint8, got {array.dtype}")
+    return array
+
+
+def _check_scalar(scalar: int) -> None:
+    if not 0 <= scalar < ORDER:
+        raise ParameterError(f"GF(2^8) scalar {scalar} outside range(256)")
+
+
 def gf_add(a: int, b: int) -> int:
     """Return ``a + b`` in GF(2^8) (which is XOR)."""
     return a ^ b
@@ -118,28 +161,100 @@ def gf_div(a: int, b: int) -> int:
 def gf_mul_bytes(scalar: int, data: np.ndarray) -> np.ndarray:
     """Return ``scalar * data`` element-wise over GF(2^8).
 
-    ``data`` must be a ``uint8`` array; a new array is returned.
+    ``data`` must be a ``uint8`` array; read-only and non-contiguous views
+    (for example ``np.frombuffer`` results or strided slices) are accepted,
+    and a fresh C-contiguous array is always returned. Anything other than a
+    ``uint8`` ndarray raises :class:`ParameterError`.
     """
+    data = _require_uint8(data, "data")
+    _check_scalar(scalar)
     if scalar == 0:
-        return np.zeros_like(data)
+        return np.zeros(data.shape, dtype=np.uint8)
     if scalar == 1:
-        return data.copy()
-    log_scalar = int(_LOG_NP[scalar])
-    nonzero = data != 0
-    result = np.zeros_like(data)
-    logs = _LOG_NP[data[nonzero]] + log_scalar
-    result[nonzero] = _EXP_NP[logs]
-    return result
+        return np.array(data, dtype=np.uint8)
+    # Single gather in the scalar's table row; never writes into `data`.
+    return _MUL_TABLE[scalar][data]
 
 
 def gf_addmul_bytes(accumulator: np.ndarray, scalar: int, data: np.ndarray) -> None:
     """In-place ``accumulator ^= scalar * data`` over GF(2^8)."""
+    accumulator = _require_uint8(accumulator, "accumulator")
+    data = _require_uint8(data, "data")
+    _check_scalar(scalar)
     if scalar == 0:
         return
     if scalar == 1:
         np.bitwise_xor(accumulator, data, out=accumulator)
         return
-    np.bitwise_xor(accumulator, gf_mul_bytes(scalar, data), out=accumulator)
+    np.bitwise_xor(accumulator, _MUL_TABLE[scalar][data], out=accumulator)
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Return the matrix product ``a @ b`` over GF(2^8).
+
+    ``a`` is ``(m, k)`` and ``b`` is ``(k, w)``, both ``uint8``; the result
+    is a fresh ``(m, w)`` ``uint8`` array. With ``m`` = generator rows and
+    ``w`` = shard bytes (times the batch size), one call encodes a whole
+    codeword (or a whole batch of codewords).
+
+    Output rows are processed in groups of up to 8: for each group and each
+    inner index the 8 relevant table rows are packed side by side into a
+    256-entry ``uint64`` lookup table, so a *single* gather per data byte
+    multiplies it by all 8 group coefficients at once. Accumulation is
+    XOR-only, so the pack/unpack byte views are endian-agnostic. A
+    single-row product skips the packing and gathers straight from the
+    256-entry table row.
+
+    Inputs may be read-only or non-contiguous. Shape or dtype mismatches
+    raise :class:`ParameterError`.
+    """
+    a = _require_uint8(a, "a")
+    b = _require_uint8(b, "b")
+    if a.ndim != 2 or b.ndim != 2:
+        raise ParameterError(
+            f"gf_matmul operands must be 2-D, got {a.ndim}-D and {b.ndim}-D"
+        )
+    if a.shape[1] != b.shape[0]:
+        raise ParameterError(
+            f"shape mismatch: {a.shape[0]}x{a.shape[1]} @ "
+            f"{b.shape[0]}x{b.shape[1]}"
+        )
+    rows, inner = a.shape
+    width = b.shape[1]
+    b_rows = list(b)
+    if rows == 1:
+        result = np.zeros((1, width), dtype=np.uint8)
+        out_row = result[0]
+        scratch = np.empty(width, dtype=np.uint8)
+        for i, coefficient in enumerate(a[0].tolist()):
+            if coefficient == 0:
+                continue
+            if coefficient == 1:
+                np.bitwise_xor(out_row, b_rows[i], out=out_row)
+                continue
+            np.take(_MUL_TABLE[coefficient], b_rows[i], out=scratch)
+            np.bitwise_xor(out_row, scratch, out=out_row)
+        return result
+    result = np.empty((rows, width), dtype=np.uint8)
+    packed_acc = np.zeros(width, dtype=np.uint64)
+    scratch64 = np.empty(width, dtype=np.uint64)
+    lut_bytes = np.zeros((256, 8), dtype=np.uint8)
+    lut = lut_bytes.reshape(-1).view(np.uint64)
+    for group_start in range(0, rows, 8):
+        group_end = min(group_start + 8, rows)
+        group_size = group_end - group_start
+        packed_acc[:] = 0
+        for i in range(inner):
+            coefficients = a[group_start:group_end, i]
+            if not coefficients.any():
+                continue
+            # Pack the group's 8 table rows into one 256 x uint64 LUT.
+            lut_bytes[:, :group_size] = _MUL_TABLE[coefficients].T
+            np.take(lut, b_rows[i], out=scratch64)
+            np.bitwise_xor(packed_acc, scratch64, out=packed_acc)
+        lanes = packed_acc.view(np.uint8).reshape(width, 8)
+        result[group_start:group_end] = lanes[:, :group_size].T
+    return result
 
 
 def gf_poly_eval(coefficients: list[int], x: int) -> int:

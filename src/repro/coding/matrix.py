@@ -1,16 +1,43 @@
 """Dense linear algebra over GF(2^8).
 
-Matrices are plain lists of row lists of ints in ``range(256)``. Sizes in this
-package are small (k x n with k, n < 256), so clarity beats vectorisation
-here; the per-byte hot path lives in :mod:`repro.coding.gf256` instead.
+Matrices are plain lists of row lists of ints in ``range(256)`` — convenient
+to construct, inspect, and row-reduce. Products (:func:`mat_mul`,
+:func:`mat_vec`) convert to ``uint8`` arrays and run on
+:func:`~repro.coding.gf256.gf_matmul`, the table-gather batch engine; use
+:func:`to_array` / :func:`from_array` to cross the boundary yourself when a
+caller keeps matrices hot (the Reed-Solomon codec caches its generator and
+decode inverses as arrays and skips the conversion entirely).
+
+Elimination-style routines (:func:`mat_inv`, :func:`rank`,
+:func:`null_space_vector`) stay scalar: they run on k x k matrices with
+k < 256 where pivot search dominates, not arithmetic.
 """
 
 from __future__ import annotations
 
-from repro.coding.gf256 import gf_div, gf_inv, gf_mul, gf_pow
+import numpy as np
+
+from repro.coding.gf256 import gf_div, gf_inv, gf_matmul, gf_mul, gf_pow
 from repro.errors import ParameterError
 
 Matrix = list[list[int]]
+
+
+def to_array(matrix: Matrix) -> np.ndarray:
+    """Return ``matrix`` as a 2-D ``uint8`` array for :func:`gf_matmul`."""
+    if not matrix:
+        raise ParameterError("cannot convert an empty matrix")
+    cols = len(matrix[0])
+    if any(len(row) != cols for row in matrix):
+        raise ParameterError("ragged matrix rows")
+    return np.array(matrix, dtype=np.uint8)
+
+
+def from_array(array: np.ndarray) -> Matrix:
+    """Return a 2-D ``uint8`` array as a plain list-of-lists matrix."""
+    if array.ndim != 2:
+        raise ParameterError(f"expected a 2-D array, got {array.ndim}-D")
+    return array.tolist()
 
 
 def identity(size: int) -> Matrix:
@@ -38,35 +65,17 @@ def mat_mul(a: Matrix, b: Matrix) -> Matrix:
     """Return the matrix product ``a @ b`` over GF(2^8)."""
     if not a or not b:
         raise ParameterError("empty matrix operand")
-    inner = len(a[0])
-    if inner != len(b):
-        raise ParameterError(
-            f"shape mismatch: {len(a)}x{inner} @ {len(b)}x{len(b[0])}"
-        )
-    cols = len(b[0])
-    result = zeros(len(a), cols)
-    for i, row in enumerate(a):
-        out_row = result[i]
-        for k_index, coefficient in enumerate(row):
-            if coefficient == 0:
-                continue
-            b_row = b[k_index]
-            for j in range(cols):
-                out_row[j] ^= gf_mul(coefficient, b_row[j])
-    return result
+    return from_array(gf_matmul(to_array(a), to_array(b)))
 
 
 def mat_vec(a: Matrix, vector: list[int]) -> list[int]:
     """Return ``a @ vector`` over GF(2^8)."""
     if a and len(a[0]) != len(vector):
         raise ParameterError("shape mismatch in mat_vec")
-    result = []
-    for row in a:
-        acc = 0
-        for coefficient, element in zip(row, vector):
-            acc ^= gf_mul(coefficient, element)
-        result.append(acc)
-    return result
+    if not a:
+        return []
+    column = np.array(vector, dtype=np.uint8).reshape(-1, 1)
+    return [row[0] for row in gf_matmul(to_array(a), column).tolist()]
 
 
 def mat_inv(matrix: Matrix) -> Matrix:

@@ -14,6 +14,7 @@ sizes, or control flow.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.coding.scheme import CodingScheme
@@ -71,22 +72,74 @@ class EncodeOracle:
         block = self._blocks.get(index)
         if block is None:
             payload = self.scheme.encode_block(self._value, index)
-            block = CodeBlock(
-                payload=payload,
-                index=index,
-                source=BlockSource(self.op_uid, index),
-                size_bits=self.scheme.block_size_bits(index),
-            )
-            self._blocks[index] = block
+            block = self._wrap(index, payload)
         return block
 
-    def get_many(self, indices: list[int]) -> list[CodeBlock]:
-        """Return blocks for every index in ``indices`` (in order)."""
-        return [self.get(index) for index in indices]
+    def get_many(self, indices: Iterable[int]) -> list[CodeBlock]:
+        """Return blocks for every index in ``indices`` (in order).
+
+        Uncached indices are encoded together through the scheme's
+        :meth:`~repro.coding.scheme.CodingScheme.encode_many`, so a write
+        that sends pieces to all ``n`` base objects pays one vectorised
+        encode pass for the whole codeword instead of ``n`` scalar calls.
+        """
+        if self.expired:
+            raise ProtocolError("encode oracle used after its write completed")
+        index_list = list(indices)
+        missing = [i for i in index_list if i not in self._blocks]
+        if missing:
+            for index, payload in self.scheme.encode_many(
+                self._value, missing
+            ).items():
+                self._wrap(index, payload)
+        return [self._blocks[index] for index in index_list]
+
+    def _wrap(self, index: int, payload: bytes) -> CodeBlock:
+        """Tag a freshly encoded payload and cache it (idempotent sources)."""
+        block = CodeBlock(
+            payload=payload,
+            index=index,
+            source=BlockSource(self.op_uid, index),
+            size_bits=self.scheme.block_size_bits(index),
+        )
+        self._blocks[index] = block
+        return block
 
     def expire(self) -> None:
         """Invalidate the oracle (the write completed)."""
         self.expired = True
+
+
+def prime_encode_oracles(
+    oracles: "list[EncodeOracle]", indices: Iterable[int]
+) -> None:
+    """Pre-fill many writes' oracles with one shared vectorised encode pass.
+
+    Groups the oracles by scheme and routes each group's values through a
+    single :meth:`~repro.coding.scheme.CodingScheme.encode_batch` call, so a
+    burst of concurrent writes (a workload generator enqueueing a wave, a
+    sweep driving many writers) encodes every codeword in one stacked matrix
+    multiplication. Subsequent :meth:`EncodeOracle.get` calls hit the cache
+    and return the identical tagged blocks they would have produced lazily.
+    """
+    index_list = list(indices)
+    # Group by (scheme, still-missing indices) so a re-primed oracle is
+    # only encoded for the blocks it actually lacks.
+    groups: dict[tuple[int, tuple[int, ...]], list[EncodeOracle]] = {}
+    for oracle in oracles:
+        if oracle.expired:
+            raise ProtocolError("cannot prime an expired encode oracle")
+        pending = tuple(i for i in index_list if i not in oracle._blocks)
+        if not pending:
+            continue
+        groups.setdefault((id(oracle.scheme), pending), []).append(oracle)
+    for (_, pending), group in groups.items():
+        batch = group[0].scheme.encode_batch(
+            [oracle._value for oracle in group], pending
+        )
+        for oracle, blocks in zip(group, batch):
+            for index, payload in blocks.items():
+                oracle._wrap(index, payload)
 
 
 @dataclass

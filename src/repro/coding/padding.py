@@ -16,7 +16,7 @@ the padded block sizes — honest, since that is what would be stored.
 from __future__ import annotations
 
 import struct
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 from typing import Callable
 
 from repro.coding.scheme import CodingScheme
@@ -74,6 +74,10 @@ class PaddedScheme(CodingScheme):
     def encode_block(self, value: bytes, index: int) -> bytes:
         return self.inner.encode_block(self._pad(value), index)
 
+    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
+        """Pad once, then ride the inner scheme's whole-codeword pass."""
+        return self.inner.encode_many(self._pad(value), indices)
+
     def block_size_bits(self, index: int) -> int:
         return self.inner.block_size_bits(index)
 
@@ -85,6 +89,22 @@ class PaddedScheme(CodingScheme):
         if padded is None:
             return None
         return self._unpad(padded)
+
+    def encode_batch(
+        self, values: Sequence[bytes], indices: Iterable[int]
+    ) -> list[dict[int, bytes]]:
+        """Pad the batch, then ride the inner scheme's vectorised pass."""
+        return self.inner.encode_batch(
+            [self._pad(value) for value in values], indices
+        )
+
+    def decode_batch(
+        self, blocks_batch: Sequence[Mapping[int, bytes]]
+    ) -> list[bytes | None]:
+        return [
+            None if padded is None else self._unpad(padded)
+            for padded in self.inner.decode_batch(blocks_batch)
+        ]
 
     def collision_delta(self, indices: Iterable[int]) -> bytes | None:
         """Collisions transfer only when the delta stays inside the

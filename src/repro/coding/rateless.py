@@ -12,16 +12,30 @@ blocks suffice with probability ``prod_{j>=1} (1 - 2^-j) ~ 0.289`` and each
 extra block roughly halves the failure probability, which is the standard
 rateless trade-off. :meth:`RatelessXorCode.decode` returns ``None`` (the
 paper's bottom) when the received masks do not span.
+
+Payload arithmetic is vectorised: masks expand to 0/1 coefficient rows
+(:meth:`RatelessXorCode.coefficient_rows`) and encoding is one
+:func:`~repro.coding.gf256.gf_matmul` pass — a GF(2) subset-XOR is exactly a
+GF(2^8) matrix product with 0/1 coefficients. Decoding eliminates over the
+integer masks only (tracking which received blocks combine into each shard)
+and then applies the resulting selection matrix to all payloads in a single
+pass; no byte is touched until the combination is known.
 """
 
 from __future__ import annotations
 
 import hashlib
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.coding.scheme import CodingScheme
+from repro.coding.gf256 import gf_matmul
+from repro.coding.scheme import (
+    CodingScheme,
+    stack_group_payloads,
+    stack_values,
+    unstack_rows,
+)
 from repro.errors import DecodingError, ParameterError
 
 
@@ -63,58 +77,142 @@ class RatelessXorCode(CodingScheme):
     def min_blocks_to_decode(self) -> int:
         return self.k
 
-    def _shards(self, value: bytes) -> list[np.ndarray]:
+    def coefficient_rows(self, indices: Sequence[int]) -> np.ndarray:
+        """Return the ``(len(indices), k)`` 0/1 mask matrix for ``indices``."""
+        rows = np.zeros((len(indices), self.k), dtype=np.uint8)
+        for pos, index in enumerate(indices):
+            mask = self.mask(index)
+            for shard_index in range(self.k):
+                if mask & (1 << shard_index):
+                    rows[pos, shard_index] = 1
+        return rows
+
+    def _shard_matrix(self, value: bytes) -> np.ndarray:
         self.check_value(value)
-        flat = np.frombuffer(value, dtype=np.uint8)
-        return [
-            flat[i * self.shard_bytes: (i + 1) * self.shard_bytes]
-            for i in range(self.k)
-        ]
+        return np.frombuffer(value, dtype=np.uint8).reshape(
+            self.k, self.shard_bytes
+        )
 
     def encode_block(self, value: bytes, index: int) -> bytes:
-        shards = self._shards(value)
-        mask = self.mask(index)
-        accumulator = np.zeros(self.shard_bytes, dtype=np.uint8)
-        for shard_index in range(self.k):
-            if mask & (1 << shard_index):
-                np.bitwise_xor(accumulator, shards[shard_index], out=accumulator)
-        return accumulator.tobytes()
+        rows = self.coefficient_rows([index])
+        return gf_matmul(rows, self._shard_matrix(value)).tobytes()
 
-    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
-        for index, payload in blocks.items():
-            if len(payload) != self.shard_bytes:
-                raise DecodingError(
-                    f"block {index} is {len(payload)} bytes, "
-                    f"expected {self.shard_bytes}"
-                )
+    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
+        """Emit every requested block of one value in a single pass."""
+        index_list = list(dict.fromkeys(indices))
+        rows = self.coefficient_rows(index_list)
+        product = gf_matmul(rows, self._shard_matrix(value))
+        return {
+            index: product[pos].tobytes()
+            for pos, index in enumerate(index_list)
+        }
+
+    def encode_batch(
+        self, values: Sequence[bytes], indices: Iterable[int]
+    ) -> list[dict[int, bytes]]:
+        """Encode a batch of values with one stacked mask multiply."""
+        index_list = list(dict.fromkeys(indices))
+        for value in values:
+            self.check_value(value)
+        if not values:
+            return []
+        rows = self.coefficient_rows(index_list)
+        stacked = stack_values(values, self.k, self.shard_bytes)
+        cube = unstack_rows(
+            gf_matmul(rows, stacked), len(values), self.shard_bytes
+        )
+        return [
+            {
+                index: cube[pos, j].tobytes()
+                for pos, index in enumerate(index_list)
+            }
+            for j in range(len(values))
+        ]
+
+    def _selection_matrix(self, indices: Sequence[int]) -> np.ndarray | None:
+        """Return the ``(k, len(indices))`` 0/1 matrix mapping received
+        payloads to decoded shards, or ``None`` if the masks do not span.
+
+        Gauss-Jordan runs over the integer masks alone; ``combo`` bitmasks
+        record which received rows were folded into each pivot, so the whole
+        byte-level work collapses to one matrix product afterwards.
+        """
         # Forward GF(2) elimination keyed by each row's highest set bit.
-        basis: dict[int, tuple[int, np.ndarray]] = {}
-        for index in sorted(blocks):
+        basis: dict[int, tuple[int, int]] = {}
+        for row_pos, index in enumerate(indices):
             mask = self.mask(index)
-            payload = np.frombuffer(blocks[index], dtype=np.uint8).copy()
+            combo = 1 << row_pos
             while mask:
                 pivot = mask.bit_length() - 1
                 existing = basis.get(pivot)
                 if existing is None:
-                    basis[pivot] = (mask, payload)
+                    basis[pivot] = (mask, combo)
                     break
                 mask ^= existing[0]
-                payload = np.bitwise_xor(payload, existing[1])
+                combo ^= existing[1]
         if len(basis) < self.k:
             return None
         # Back-substitution, ascending: once rows for pivots < p are unit
         # vectors, clearing row p's lower bits makes it a unit vector too
         # (forward elimination guarantees row p has no bits above p).
         for pivot in sorted(basis):
-            mask, payload = basis[pivot]
+            mask, combo = basis[pivot]
             residual = mask ^ (1 << pivot)
             while residual:
                 bit = residual.bit_length() - 1
-                payload = np.bitwise_xor(payload, basis[bit][1])
+                combo ^= basis[bit][1]
                 residual ^= 1 << bit
-            basis[pivot] = (1 << pivot, payload)
-        shards = [basis[i][1].tobytes() for i in range(self.k)]
-        return b"".join(shards)
+            basis[pivot] = (1 << pivot, combo)
+        selection = np.zeros((self.k, len(indices)), dtype=np.uint8)
+        for pivot in range(self.k):
+            combo = basis[pivot][1]
+            for row_pos in range(len(indices)):
+                if combo & (1 << row_pos):
+                    selection[pivot, row_pos] = 1
+        return selection
+
+    def _check_payloads(self, blocks: Mapping[int, bytes]) -> None:
+        for index, payload in blocks.items():
+            if len(payload) != self.shard_bytes:
+                raise DecodingError(
+                    f"block {index} is {len(payload)} bytes, "
+                    f"expected {self.shard_bytes}"
+                )
+
+    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
+        self._check_payloads(blocks)
+        order = sorted(blocks)
+        selection = self._selection_matrix(order)
+        if selection is None:
+            return None
+        payload = np.stack(
+            [np.frombuffer(blocks[index], dtype=np.uint8) for index in order]
+        )
+        # Row i of the product is shard i; tobytes() is the value.
+        return gf_matmul(selection, payload).tobytes()
+
+    def decode_batch(
+        self, blocks_batch: Sequence[Mapping[int, bytes]]
+    ) -> list[bytes | None]:
+        """Decode a batch, one mask elimination + pass per index pattern."""
+        results: list[bytes | None] = [None] * len(blocks_batch)
+        grouped: dict[tuple[int, ...], list[int]] = {}
+        for j, blocks in enumerate(blocks_batch):
+            self._check_payloads(blocks)
+            grouped.setdefault(tuple(sorted(blocks)), []).append(j)
+        for order, members in grouped.items():
+            selection = self._selection_matrix(order)
+            if selection is None:
+                continue
+            payload = stack_group_payloads(
+                blocks_batch, members, order, self.shard_bytes
+            )
+            cube = unstack_rows(
+                gf_matmul(selection, payload), len(members), self.shard_bytes
+            )
+            for pos, j in enumerate(members):
+                results[j] = cube[:, pos].tobytes()
+        return results
 
     # ------------------------------------------------------------ collisions
 

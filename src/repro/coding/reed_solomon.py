@@ -10,17 +10,34 @@ Block ``i`` is the byte-wise GF(2^8) inner product of row ``G[i]`` with the
 ``k`` data shards; decoding inverts the ``k x k`` submatrix picked out by the
 available block indices. Encoding of systematic blocks (``index < k``) is a
 plain shard copy.
+
+All codec paths are expressed as :func:`~repro.coding.gf256.gf_matmul`
+products against a cached ``uint8`` generator:
+
+* :meth:`ReedSolomonCode.encode_many` emits every requested parity row of a
+  codeword in one matrix pass;
+* :meth:`ReedSolomonCode.encode_batch` stacks many values column-wise
+  (:meth:`~repro.coding.scheme.MDSCodingScheme.shard_stack`) and encodes the
+  whole batch in one pass;
+* :meth:`ReedSolomonCode.decode` multiplies the cached inverse against the
+  received payload matrix, with an all-systematic fast path;
+* :meth:`ReedSolomonCode.decode_batch` groups entries by erasure pattern and
+  runs one inverse multiplication per distinct pattern.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.coding import matrix as gfmat
-from repro.coding.gf256 import gf_addmul_bytes
-from repro.coding.scheme import MDSCodingScheme
+from repro.coding.gf256 import gf_matmul
+from repro.coding.scheme import (
+    MDSCodingScheme,
+    stack_group_payloads,
+    unstack_rows,
+)
 from repro.errors import ParameterError
 
 
@@ -36,8 +53,10 @@ class ReedSolomonCode(MDSCodingScheme):
         vander = gfmat.vandermonde(n, k)
         top_inverse = gfmat.mat_inv([row[:] for row in vander[:k]])
         self._generator = gfmat.mat_mul(vander, top_inverse)
+        #: ``uint8`` copy of the generator, the operand of every encode pass.
+        self._generator_np = gfmat.to_array(self._generator)
         # Cache of inverted decode submatrices keyed by the index tuple.
-        self._decode_cache: dict[tuple[int, ...], gfmat.Matrix] = {}
+        self._decode_cache: dict[tuple[int, ...], np.ndarray] = {}
 
     # ---------------------------------------------------------------- codec
 
@@ -48,38 +67,95 @@ class ReedSolomonCode(MDSCodingScheme):
 
     def encode_block(self, value: bytes, index: int) -> bytes:
         self.check_index(index)
-        shards = self.shards(value)
         if index < self.k:
-            return shards[index]
-        row = self._generator[index]
-        accumulator = np.zeros(self.shard_bytes, dtype=np.uint8)
-        for coefficient, shard in zip(row, shards):
-            gf_addmul_bytes(
-                accumulator, coefficient, np.frombuffer(shard, dtype=np.uint8)
+            return self.shards(value)[index]
+        product = gf_matmul(
+            self._generator_np[index: index + 1], self.shard_matrix(value)
+        )
+        return product.tobytes()
+
+    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
+        """Encode one whole codeword's worth of blocks in a single pass."""
+        return self.encode_batch([value], indices)[0]
+
+    def encode_batch(
+        self, values: Sequence[bytes], indices: Iterable[int]
+    ) -> list[dict[int, bytes]]:
+        """Encode a batch of values with one stacked generator multiply."""
+        index_list = list(indices)
+        for index in index_list:
+            self.check_index(index)
+        for value in values:
+            self.check_value(value)
+        if not values:
+            return []
+        parity = sorted({i for i in index_list if i >= self.k})
+        cube = None
+        if parity:
+            product = gf_matmul(
+                self._generator_np[parity], self.shard_stack(values)
             )
-        return accumulator.tobytes()
+            cube = unstack_rows(product, len(values), self.shard_bytes)
+        results: list[dict[int, bytes]] = []
+        size = self.shard_bytes
+        for j, value in enumerate(values):
+            blocks: dict[int, bytes] = {}
+            for index in index_list:
+                if index < self.k:
+                    blocks[index] = value[index * size: (index + 1) * size]
+            if cube is not None:
+                for pos, index in enumerate(parity):
+                    blocks[index] = cube[pos, j].tobytes()
+            results.append(blocks)
+        return results
+
+    def _decode_inverse(self, chosen: tuple[int, ...]) -> np.ndarray:
+        """Return (and cache) the inverse of the generator rows ``chosen``."""
+        inverse = self._decode_cache.get(chosen)
+        if inverse is None:
+            submatrix = [self._generator[index] for index in chosen]
+            inverse = gfmat.to_array(gfmat.mat_inv(submatrix))
+            self._decode_cache[chosen] = inverse
+        return inverse
 
     def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
         self.check_blocks(blocks)
         if len(blocks) < self.k:
             return None
-        chosen = sorted(blocks)[: self.k]
-        key = tuple(chosen)
-        inverse = self._decode_cache.get(key)
-        if inverse is None:
-            submatrix = [self._generator[index] for index in chosen]
-            inverse = gfmat.mat_inv(submatrix)
-            self._decode_cache[key] = inverse
-        payload_arrays = [
-            np.frombuffer(blocks[index], dtype=np.uint8) for index in chosen
-        ]
-        shards = []
-        for row in inverse:
-            accumulator = np.zeros(self.shard_bytes, dtype=np.uint8)
-            for coefficient, payload in zip(row, payload_arrays):
-                gf_addmul_bytes(accumulator, coefficient, payload)
-            shards.append(accumulator.tobytes())
-        return b"".join(shards)
+        chosen = tuple(sorted(blocks)[: self.k])
+        if chosen == tuple(range(self.k)):  # all-systematic fast path
+            return b"".join(blocks[index] for index in chosen)
+        payload = np.stack(
+            [np.frombuffer(blocks[index], dtype=np.uint8) for index in chosen]
+        )
+        # Rows of the product are the shards in order; tobytes() is the value.
+        return gf_matmul(self._decode_inverse(chosen), payload).tobytes()
+
+    def decode_batch(
+        self, blocks_batch: Sequence[Mapping[int, bytes]]
+    ) -> list[bytes | None]:
+        """Decode a batch, one matrix pass per distinct erasure pattern."""
+        results: list[bytes | None] = [None] * len(blocks_batch)
+        grouped: dict[tuple[int, ...], list[int]] = {}
+        systematic = tuple(range(self.k))
+        for j, blocks in enumerate(blocks_batch):
+            self.check_blocks(blocks)
+            if len(blocks) < self.k:
+                continue
+            chosen = tuple(sorted(blocks)[: self.k])
+            if chosen == systematic:
+                results[j] = b"".join(blocks[index] for index in chosen)
+            else:
+                grouped.setdefault(chosen, []).append(j)
+        for chosen, members in grouped.items():
+            payload = stack_group_payloads(
+                blocks_batch, members, chosen, self.shard_bytes
+            )
+            product = gf_matmul(self._decode_inverse(chosen), payload)
+            cube = unstack_rows(product, len(members), self.shard_bytes)
+            for pos, j in enumerate(members):
+                results[j] = cube[:, pos].tobytes()
+        return results
 
     # ------------------------------------------------------------ collisions
 

@@ -10,7 +10,7 @@ them for quorum-system use.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.coding.scheme import CodingScheme
 from repro.errors import DecodingError, ParameterError
@@ -38,6 +38,20 @@ class ReplicationCode(CodingScheme):
         self.check_value(value)
         self._check_index(index)
         return value
+
+    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
+        return self.encode_batch([value], indices)[0]
+
+    def encode_batch(
+        self, values: Sequence[bytes], indices: Iterable[int]
+    ) -> list[dict[int, bytes]]:
+        """Replication's batch encode is free: every block is the value."""
+        index_list = list(indices)
+        for index in index_list:
+            self._check_index(index)
+        for value in values:
+            self.check_value(value)
+        return [dict.fromkeys(index_list, value) for value in values]
 
     def block_size_bits(self, index: int) -> int:
         self._check_index(index)

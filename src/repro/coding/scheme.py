@@ -15,14 +15,74 @@ of indices whose total block size is below ``D`` bits, it returns a nonzero
 value-difference ``delta`` such that ``E(v, i) == E(v ^ delta, i)`` for every
 ``i`` in the set. Two values differing by ``delta`` are *I-colliding* in the
 paper's terminology.
+
+Besides the per-block ``E``/``D`` pair, every scheme offers a **batch API**:
+:meth:`CodingScheme.encode_batch` encodes many values into one index set and
+:meth:`CodingScheme.decode_batch` decodes many block maps, in one call. The
+base-class implementations just loop, so the batch API is always available;
+the concrete codes override them with single :func:`~repro.coding.gf256.
+gf_matmul` passes so that sweeps over many concurrent writes pay one table
+gather per generator coefficient instead of one Python call per block.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.errors import DecodingError, EncodingError, ParameterError
+
+
+def stack_values(values: Sequence[bytes], k: int, shard_bytes: int) -> np.ndarray:
+    """Stack ``m`` values into one ``(k, m * shard_bytes)`` ``uint8`` matrix.
+
+    Column layout groups each value's shard bytes contiguously: columns
+    ``[j * shard_bytes, (j + 1) * shard_bytes)`` hold value ``j``, row ``i``
+    holds shard ``i``. Encoding is column-wise independent, so multiplying a
+    generator matrix against this stack encodes the whole batch in one
+    :func:`~repro.coding.gf256.gf_matmul` call; :func:`unstack_rows` slices
+    the product back apart.
+    """
+    count = len(values)
+    if count == 1:  # zero-copy: a lone value is already shard-major
+        return np.frombuffer(values[0], dtype=np.uint8).reshape(k, shard_bytes)
+    flat = np.frombuffer(b"".join(values), dtype=np.uint8)
+    cube = flat.reshape(count, k, shard_bytes)
+    return np.ascontiguousarray(cube.transpose(1, 0, 2)).reshape(
+        k, count * shard_bytes
+    )
+
+
+def unstack_rows(product: np.ndarray, count: int, shard_bytes: int) -> np.ndarray:
+    """Reshape a ``(rows, count * shard_bytes)`` product to ``(rows, count,
+    shard_bytes)`` so ``result[r, j]`` is value ``j``'s block for row ``r``."""
+    rows = product.shape[0]
+    return product.reshape(rows, count, shard_bytes)
+
+
+def stack_group_payloads(
+    blocks_batch: Sequence[Mapping[int, bytes]],
+    members: Sequence[int],
+    indices: Sequence[int],
+    shard_bytes: int,
+) -> np.ndarray:
+    """Stack one erasure-pattern group's payloads for a single solve pass.
+
+    ``members`` are positions into ``blocks_batch`` that share the index
+    pattern ``indices``. The result is ``(len(indices), len(members) *
+    shard_bytes)``: row ``r`` holds block ``indices[r]`` of every member,
+    columns blocked per member — the layout :func:`unstack_rows` undoes
+    after multiplying by a decode matrix.
+    """
+    return np.stack(
+        [
+            np.frombuffer(blocks_batch[j][index], dtype=np.uint8)
+            for index in indices
+            for j in members
+        ]
+    ).reshape(len(indices), len(members) * shard_bytes)
 
 
 class CodingScheme(ABC):
@@ -83,8 +143,37 @@ class CodingScheme(ABC):
             )
 
     def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
-        """Encode ``value`` into every index in ``indices``."""
+        """Encode ``value`` into every index in ``indices``.
+
+        Equivalent to per-index :meth:`encode_block` calls; vectorised
+        schemes override this to emit the whole codeword in one matrix pass.
+        """
         return {index: self.encode_block(value, index) for index in indices}
+
+    def encode_batch(
+        self, values: Sequence[bytes], indices: Iterable[int]
+    ) -> list[dict[int, bytes]]:
+        """Encode every value in ``values`` into every index in ``indices``.
+
+        Returns one ``{index: payload}`` map per value, in order. This base
+        implementation loops over :meth:`encode_many`; linear schemes
+        override it with a single stacked matrix multiplication so a batch
+        of concurrent writes shares one vectorised encode pass.
+        """
+        index_list = list(indices)
+        return [self.encode_many(value, index_list) for value in values]
+
+    def decode_batch(
+        self, blocks_batch: Sequence[Mapping[int, bytes]]
+    ) -> list[bytes | None]:
+        """Decode every block map in ``blocks_batch``.
+
+        Returns one value (or ``None``, the paper's bottom) per entry, in
+        order. The base implementation loops over :meth:`decode`; vectorised
+        schemes group entries by erasure pattern and run one matrix pass per
+        distinct pattern.
+        """
+        return [self.decode(blocks) for blocks in blocks_batch]
 
     def total_bits(self, indices: Iterable[int]) -> int:
         """Return the summed block size of a set of *distinct* indices."""
@@ -134,6 +223,20 @@ class MDSCodingScheme(CodingScheme):
         self.check_value(value)
         size = self.shard_bytes
         return [value[i * size: (i + 1) * size] for i in range(self.k)]
+
+    def shard_matrix(self, value: bytes) -> np.ndarray:
+        """Return ``value`` as a ``(k, shard_bytes)`` ``uint8`` matrix."""
+        self.check_value(value)
+        return np.frombuffer(value, dtype=np.uint8).reshape(
+            self.k, self.shard_bytes
+        )
+
+    def shard_stack(self, values: Sequence[bytes]) -> np.ndarray:
+        """Return a batch of values as one ``(k, m * shard_bytes)`` matrix
+        (see :func:`stack_values` for the column layout)."""
+        for value in values:
+            self.check_value(value)
+        return stack_values(values, self.k, self.shard_bytes)
 
     def check_blocks(self, blocks: Mapping[int, bytes]) -> None:
         """Validate decode input payload sizes and index ranges."""

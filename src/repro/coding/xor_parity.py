@@ -8,12 +8,12 @@ blocks of ``D / k`` bits each with ``f = 1``.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 from functools import reduce
 
 import numpy as np
 
-from repro.coding.scheme import MDSCodingScheme
+from repro.coding.scheme import MDSCodingScheme, stack_group_payloads
 
 
 def _xor_payloads(payloads: list[bytes]) -> bytes:
@@ -36,15 +36,50 @@ class XorParityCode(MDSCodingScheme):
             return shards[index]
         return _xor_payloads(shards)
 
+    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
+        """One-value batch: the codeword falls out of one XOR reduction."""
+        return self.encode_batch([value], list(indices))[0]
+
+    def encode_batch(
+        self, values: Sequence[bytes], indices: Iterable[int]
+    ) -> list[dict[int, bytes]]:
+        """Encode a batch: all parities fall out of one XOR reduction."""
+        index_list = list(indices)
+        for index in index_list:
+            self.check_index(index)
+        for value in values:
+            self.check_value(value)
+        if not values:
+            return []
+        parities: np.ndarray | None = None
+        if any(index == self.k for index in index_list):
+            cube = np.frombuffer(b"".join(values), dtype=np.uint8).reshape(
+                len(values), self.k, self.shard_bytes
+            )
+            parities = np.bitwise_xor.reduce(cube, axis=1)
+        results: list[dict[int, bytes]] = []
+        size = self.shard_bytes
+        for j, value in enumerate(values):
+            blocks: dict[int, bytes] = {}
+            for index in index_list:
+                if index < self.k:
+                    blocks[index] = value[index * size: (index + 1) * size]
+                else:
+                    blocks[index] = parities[j].tobytes()
+            results.append(blocks)
+        return results
+
     def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
         self.check_blocks(blocks)
         if len(blocks) < self.k:
             return None
         if all(index < self.k for index in blocks):
             return b"".join(blocks[index] for index in range(self.k))
-        # Exactly one data shard is missing; rebuild it from the parity.
+        # At most one data shard is missing; rebuild it from the parity.
         present = [index for index in range(self.k) if index in blocks]
         missing = [index for index in range(self.k) if index not in blocks]
+        if not missing:  # parity present but redundant: all data on hand
+            return b"".join(blocks[index] for index in range(self.k))
         if len(missing) != 1 or self.k not in blocks:
             return None
         rebuilt = _xor_payloads([blocks[self.k]] + [blocks[i] for i in present])
@@ -52,6 +87,47 @@ class XorParityCode(MDSCodingScheme):
             blocks[index] if index in blocks else rebuilt for index in range(self.k)
         ]
         return b"".join(shards)
+
+    def decode_batch(
+        self, blocks_batch: Sequence[Mapping[int, bytes]]
+    ) -> list[bytes | None]:
+        """Decode a batch, one XOR reduction per distinct erasure pattern."""
+        results: list[bytes | None] = [None] * len(blocks_batch)
+        grouped: dict[tuple[int, ...], list[int]] = {}
+        for j, blocks in enumerate(blocks_batch):
+            self.check_blocks(blocks)
+            if len(blocks) < self.k:
+                continue
+            pattern = tuple(sorted(blocks))
+            if self.k not in pattern:  # all-systematic fast path
+                results[j] = b"".join(
+                    blocks[index] for index in range(self.k)
+                )
+            else:
+                grouped.setdefault(pattern, []).append(j)
+        for pattern, members in grouped.items():
+            missing = [i for i in range(self.k) if i not in pattern]
+            if not missing:  # parity redundant: all data on hand
+                for j in members:
+                    results[j] = b"".join(
+                        blocks_batch[j][index] for index in range(self.k)
+                    )
+                continue
+            if len(missing) != 1:
+                continue  # k blocks incl. parity but 2+ data gaps: undecodable
+            stacked = stack_group_payloads(
+                blocks_batch, members, pattern, self.shard_bytes
+            )
+            rebuilt = np.bitwise_xor.reduce(stacked, axis=0).reshape(
+                len(members), self.shard_bytes
+            )
+            for pos, j in enumerate(members):
+                blocks = blocks_batch[j]
+                results[j] = b"".join(
+                    blocks[index] if index in blocks else rebuilt[pos].tobytes()
+                    for index in range(self.k)
+                )
+        return results
 
     def collision_delta(self, indices: Iterable[int]) -> bytes | None:
         """Return a delta hidden from the given blocks, if one exists.

@@ -73,13 +73,12 @@ def compute_snapshot(
         if bo.bo_id not in frozen_so_far and meter.bo_bits(bo.bo_id) >= ell_bits:
             frozen_so_far.add(bo.bo_id)
     data_bits = sim.scheme.data_size_bits
-    contributions: dict[int, int] = {}
     c_minus, c_plus = set(), set()
-    for op_uid in outstanding_writes(sim):
-        contribution = meter.op_contribution_bits(
-            op_uid, bo_subset=None, include_channels=True
-        )
-        contributions[op_uid] = contribution
+    # One shared sweep of all states/channels covers every outstanding write.
+    contributions = meter.ops_contribution_bits(
+        outstanding_writes(sim), bo_subset=None, include_channels=True
+    )
+    for op_uid, contribution in sorted(contributions.items()):
         if contribution <= data_bits - ell_bits:
             c_minus.add(op_uid)
         else:

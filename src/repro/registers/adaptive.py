@@ -156,7 +156,10 @@ class AdaptiveRegister(RegisterProtocol):
         )  # line 6
         ts = Timestamp(max_num + 1, ctx.client.name)  # line 7
         # Round 2 (lines 8-10): update every base object, await a quorum.
-        replica = tuple(Chunk(ts, oracle.get(j)) for j in range(self.setup.k))
+        # One vectorised encode pass covers the replica (first k blocks)
+        # and every per-object piece.
+        pieces = oracle.get_many(range(self.n))
+        replica = tuple(Chunk(ts, pieces[j]) for j in range(self.setup.k))
         handles = [
             ctx.trigger(
                 bo_id,
@@ -164,7 +167,7 @@ class AdaptiveRegister(RegisterProtocol):
                 UpdateArgs(
                     ts=ts,
                     stored_ts=stored_ts,
-                    piece=Chunk(ts, oracle.get(bo_id)),
+                    piece=Chunk(ts, pieces[bo_id]),
                     replica=replica,
                     k=self.setup.k,
                 ),
@@ -179,7 +182,7 @@ class AdaptiveRegister(RegisterProtocol):
             ctx.trigger(
                 bo_id,
                 gc_rmw,
-                GCArgs(ts=ts, piece=Chunk(ts, oracle.get(bo_id))),
+                GCArgs(ts=ts, piece=Chunk(ts, pieces[bo_id])),
                 label="gc",
             )
             for bo_id in range(self.n)

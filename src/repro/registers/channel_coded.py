@@ -130,11 +130,13 @@ class ChannelCodedRegister(RegisterProtocol):
             max(r.stored_ts.num for r in responses),
         )
         ts = Timestamp(max_num + 1, ctx.client.name)
+        # One vectorised encode pass produces the whole codeword up front.
+        pieces = oracle.get_many(range(self.n))
         handles = [
             ctx.trigger(
                 bo_id,
                 update_rmw,
-                UpdateArgs(Chunk(ts, oracle.get(bo_id))),
+                UpdateArgs(Chunk(ts, pieces[bo_id])),
                 label="update",
             )
             for bo_id in range(self.n)

@@ -109,12 +109,14 @@ class CodedOnlyRegister(RegisterProtocol):
             stored_ts.num, max((chunk.ts.num for chunk in chunks), default=0)
         )
         ts = Timestamp(max_num + 1, ctx.client.name)
+        # One vectorised encode pass produces the whole codeword up front.
+        pieces = oracle.get_many(range(self.n))
         handles = [
             ctx.trigger(
                 bo_id,
                 update_rmw,
                 UpdateArgs(ts=ts, stored_ts=stored_ts,
-                           piece=Chunk(ts, oracle.get(bo_id))),
+                           piece=Chunk(ts, pieces[bo_id])),
                 label="update",
             )
             for bo_id in range(self.n)

@@ -79,11 +79,13 @@ class SafeCodedRegister(RegisterProtocol):
         chunks = yield from self._read_round(ctx)  # line 3
         max_num = max(chunk.ts.num for chunk in chunks)
         ts = Timestamp(max_num + 1, ctx.client.name)  # line 4
+        # One vectorised encode pass produces the whole codeword up front.
+        pieces = oracle.get_many(range(self.n))
         handles = [
             ctx.trigger(
                 bo_id,
                 update_rmw,
-                SafeUpdateArgs(Chunk(ts, oracle.get(bo_id))),
+                SafeUpdateArgs(Chunk(ts, pieces[bo_id])),
                 label="update",
             )
             for bo_id in range(self.n)  # lines 5-6

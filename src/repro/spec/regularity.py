@@ -11,7 +11,9 @@ Following Shao, Welch, Pierce & Lee [14] as adopted by the paper
   1. ``w`` was invoked before ``rd`` returned (``not rd < w``), and
   2. no completed write ``w''`` is *interposed*: ``w < w'' < rd``.
 
-  A read returning ``v0`` is valid iff no completed write precedes it.
+  A read returning ``v0`` may witness either the *virtual initial write*
+  (valid iff no completed write precedes the read) or any real write that
+  wrote ``v0`` again, subject to the same interposition rule.
 
 * **Strong regularity (MWRegWO)** — weak regularity plus: any two reads
   order their commonly-relevant writes consistently. We check the natural
@@ -73,20 +75,37 @@ def _witness_candidates(history: History, read: HOp) -> list[HOp]:
     return candidates
 
 
+def _initial_value_ok(history: History, read: HOp) -> bool:
+    """May ``read`` take the *initial* value as its witness?
+
+    Valid iff no completed write precedes the read (the virtual initial
+    write would otherwise have an interposed write).
+    """
+    return not any(
+        w.complete and w.precedes(read) for w in history.writes()
+    )
+
+
 def check_weak_regularity(history: History) -> CheckReport:
     """Check MWRegWeak over all completed reads."""
     violations = []
     for read in history.reads(completed_only=True):
         if read.result == history.v0:
-            blocking = [
-                w for w in history.writes() if w.complete and w.precedes(read)
-            ]
-            if blocking:
+            # Two legal witnesses for a v0 result: the virtual initial
+            # write, or any real write that wrote v0 again.
+            if not _initial_value_ok(history, read) and not _witness_candidates(
+                history, read
+            ):
+                blocking = [
+                    w
+                    for w in history.writes()
+                    if w.complete and w.precedes(read)
+                ]
                 violations.append(
                     Violation(
                         read.op_uid,
                         f"returned v0 but write {blocking[0].op_uid} "
-                        "completed before it",
+                        "completed before it (and no v0-write witness)",
                     )
                 )
             continue
@@ -159,11 +178,16 @@ def check_strong_regularity(
     candidate_lists: list[tuple[HOp, list[HOp | None]]] = []
     for read in reads:
         if read.result == history.v0:
-            # v0 reads need every write forced before them to not exist;
-            # weak check guaranteed that, and they impose the constraint
-            # that no write precedes them — already true. They add edges:
-            # every write following the read is unconstrained. Witness None.
-            candidate_lists.append((read, [None]))
+            # A v0 read may witness the virtual initial write (legal only
+            # when no completed write precedes it; ``None`` adds no edges —
+            # nothing can be ordered before the initial write) or any real
+            # write of v0, constrained like an ordinary witness.
+            candidates: list[HOp | None] = list(
+                _witness_candidates(history, read)
+            )
+            if _initial_value_ok(history, read):
+                candidates.insert(0, None)
+            candidate_lists.append((read, candidates))
         else:
             candidate_lists.append((read, list(_witness_candidates(history, read))))
 

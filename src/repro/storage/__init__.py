@@ -3,6 +3,7 @@
 from repro.storage.blockstore import (
     collect_blocks,
     distinct_source_bits,
+    distinct_source_bits_many,
     sources_present,
     total_bits,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "StorageMeter",
     "collect_blocks",
     "distinct_source_bits",
+    "distinct_source_bits_many",
     "sources_present",
     "total_bits",
 ]

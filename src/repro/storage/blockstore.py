@@ -15,7 +15,7 @@ stashing them in a new field.
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 from typing import Any
 
 from repro.coding.oracles import BlockSource, CodeBlock
@@ -61,11 +61,25 @@ def distinct_source_bits(obj: Any, op_uid: int) -> int:
     (storing the same block twice pins no extra information), and each
     distinct number ``i`` contributes ``size(i)`` bits.
     """
-    seen: dict[int, int] = {}
+    return distinct_source_bits_many(obj, [op_uid])[op_uid]
+
+
+def distinct_source_bits_many(
+    obj: Any, op_uids: Iterable[int]
+) -> dict[int, int]:
+    """Return Definition 6 sums for many operations in **one** traversal.
+
+    Equivalent to ``{uid: distinct_source_bits(obj, uid) for uid in
+    op_uids}`` but walks ``obj`` once, so per-decision-point accounting over
+    many concurrent writes (the adversary's ``C-``/``C+`` split) costs one
+    sweep instead of one sweep per outstanding operation.
+    """
+    seen: dict[int, dict[int, int]] = {uid: {} for uid in op_uids}
     for block in collect_blocks(obj):
-        if block.source.op_uid == op_uid:
-            seen[block.source.index] = block.size_bits
-    return sum(seen.values())
+        per_op = seen.get(block.source.op_uid)
+        if per_op is not None:
+            per_op[block.source.index] = block.size_bits
+    return {uid: sum(indexed.values()) for uid, indexed in seen.items()}
 
 
 def sources_present(obj: Any) -> set[BlockSource]:

@@ -118,32 +118,63 @@ class StorageMeter:
         ``include_channels`` is set, blocks riding in undelivered responses
         and in *other* clients' pending RMW parameters are counted too.
         """
+        return self.ops_contribution_bits(
+            [op_uid], bo_subset=bo_subset, include_channels=include_channels
+        )[op_uid]
+
+    def ops_contribution_bits(
+        self,
+        op_uids: Iterable[int],
+        bo_subset: Iterable[int] | None = None,
+        include_channels: bool = False,
+    ) -> dict[int, int]:
+        """``||S(t, w)||`` for many operations, in one state sweep.
+
+        Semantics match per-op :meth:`op_contribution_bits` calls, but base
+        object states and channels are traversed once for the whole uid set
+        — the adversary evaluates every outstanding write at each decision
+        point, which would otherwise rescan the system per write.
+        """
         chosen = (
             set(bo_subset)
             if bo_subset is not None
             else {bo.bo_id for bo in self.sim.base_objects}
         )
-        seen: dict[int, int] = {}
+        wanted = set(op_uids)
+        seen: dict[int, dict[int, int]] = {uid: {} for uid in wanted}
 
         def absorb(obj: object) -> None:
             for block in collect_blocks(obj):
-                if block.source.op_uid == op_uid:
-                    seen[block.source.index] = block.size_bits
+                per_op = seen.get(block.source.op_uid)
+                if per_op is not None:
+                    per_op[block.source.index] = block.size_bits
 
         for bo in self.sim.base_objects:
             if bo.crashed or bo.bo_id not in chosen:
                 continue
             absorb(bo.state)
         if include_channels:
-            owner = self.sim.trace.ops.get(op_uid)
-            owner_client = owner.client if owner is not None else None
             for rmw in self.sim.applied.values():
                 if rmw.bo_id in chosen:
                     absorb(rmw.response)
+            trace_ops = self.sim.trace.ops
+            owner_of = {
+                uid: trace_ops[uid].client
+                for uid in wanted
+                if uid in trace_ops
+            }
             for rmw in self.sim.pending.values():
-                if rmw.client_name != owner_client:
-                    absorb(rmw.args)
-        return sum(seen.values())
+                # An op's blocks in its *own* client's pending RMWs don't
+                # count (Definition 6 charges storage outside the writer).
+                for block in collect_blocks(rmw.args):
+                    uid = block.source.op_uid
+                    per_op = seen.get(uid)
+                    if per_op is None:
+                        continue
+                    if owner_of.get(uid) == rmw.client_name:
+                        continue
+                    per_op[block.source.index] = block.size_bits
+        return {uid: sum(indexed.values()) for uid, indexed in seen.items()}
 
 
 class PeakTracker:

@@ -1,0 +1,218 @@
+"""Batch-API tests: encode_batch/decode_batch agree with the scalar paths.
+
+The vectorized engine must be *indistinguishable* from per-block encoding:
+``encode_batch`` yields byte-identical blocks to ``encode_block``, and
+``decode_batch`` round-trips (or returns the same ``None``) under every
+erasure pattern up to ``f`` erased blocks.
+"""
+
+import itertools
+import os
+
+import pytest
+
+from repro.coding import (
+    EncodeOracle,
+    PaddedScheme,
+    RatelessXorCode,
+    ReedSolomonCode,
+    ReplicationCode,
+    XorParityCode,
+    prime_encode_oracles,
+)
+from repro.errors import ProtocolError
+
+
+def rs_scheme():
+    return ReedSolomonCode(k=3, n=7, data_size_bytes=24)
+
+
+def padded_scheme():
+    return PaddedScheme(
+        logical_size_bytes=29,
+        k=3,
+        inner_factory=lambda size: ReedSolomonCode(k=3, n=7, data_size_bytes=size),
+    )
+
+
+BATCHED_SCHEMES = [
+    rs_scheme(),
+    XorParityCode(k=4, data_size_bytes=32),
+    ReplicationCode(data_size_bytes=16, n=5),
+    RatelessXorCode(k=4, data_size_bytes=32, seed=1),
+    padded_scheme(),
+]
+
+
+def indices_for(scheme):
+    """A full 'codeword' worth of indices for any scheme shape."""
+    n = getattr(scheme, "n", None)
+    if n is None and hasattr(scheme, "inner"):
+        n = scheme.inner.n
+    if n is None:
+        n = scheme.k + 4  # rateless: k source-spanning blocks plus slack
+    return list(range(n))
+
+
+def values_for(scheme, count):
+    return [os.urandom(scheme.data_size_bytes) for _ in range(count)]
+
+
+class TestEncodeBatchAgreesWithScalar:
+    @pytest.mark.parametrize("scheme", BATCHED_SCHEMES, ids=lambda s: s.name)
+    def test_blocks_identical_to_encode_block(self, scheme):
+        values = values_for(scheme, 5)
+        indices = indices_for(scheme)
+        batch = scheme.encode_batch(values, indices)
+        assert len(batch) == len(values)
+        for value, blocks in zip(values, batch):
+            for index in indices:
+                assert blocks[index] == scheme.encode_block(value, index)
+
+    @pytest.mark.parametrize("scheme", BATCHED_SCHEMES, ids=lambda s: s.name)
+    def test_encode_many_identical_to_encode_block(self, scheme):
+        value = values_for(scheme, 1)[0]
+        indices = indices_for(scheme)
+        blocks = scheme.encode_many(value, indices)
+        assert set(blocks) == set(indices)
+        for index in indices:
+            assert blocks[index] == scheme.encode_block(value, index)
+
+    def test_empty_batch(self):
+        scheme = rs_scheme()
+        assert scheme.encode_batch([], range(scheme.n)) == []
+
+    def test_single_value_batch_matches_encode_many(self):
+        scheme = rs_scheme()
+        value = values_for(scheme, 1)[0]
+        [blocks] = scheme.encode_batch([value], range(scheme.n))
+        assert blocks == scheme.encode_many(value, range(scheme.n))
+
+
+class TestDecodeBatchRoundTrip:
+    def erasure_patterns(self, n, f):
+        """Every way of erasing up to ``f`` of the ``n`` blocks."""
+        for erased_count in range(f + 1):
+            for erased in itertools.combinations(range(n), erased_count):
+                yield frozenset(range(n)) - frozenset(erased)
+
+    @pytest.mark.parametrize(
+        "scheme,f",
+        [(rs_scheme(), 4), (XorParityCode(k=4, data_size_bytes=32), 1),
+         (ReplicationCode(data_size_bytes=16, n=5), 4), (padded_scheme(), 4)],
+        ids=["reed-solomon", "xor-parity", "replication", "padded-rs"],
+    )
+    def test_round_trip_under_every_erasure_pattern(self, scheme, f):
+        n = indices_for(scheme)[-1] + 1
+        values = values_for(scheme, 3)
+        encoded = scheme.encode_batch(values, range(n))
+        patterns = list(self.erasure_patterns(n, f))
+        # Each value cycles through every pattern; all in one batch call.
+        batch, expected = [], []
+        for pattern_index, pattern in enumerate(patterns):
+            value = values[pattern_index % len(values)]
+            blocks = encoded[pattern_index % len(values)]
+            batch.append({i: blocks[i] for i in pattern})
+            expected.append(value)
+        decoded = scheme.decode_batch(batch)
+        assert decoded == expected
+
+    def test_rs_undecodable_entries_return_none(self):
+        scheme = rs_scheme()
+        values = values_for(scheme, 2)
+        encoded = scheme.encode_batch(values, range(scheme.n))
+        batch = [
+            {i: encoded[0][i] for i in (0, 1)},       # < k blocks
+            {i: encoded[1][i] for i in (2, 4, 6)},    # decodable
+            {},                                        # nothing at all
+        ]
+        assert scheme.decode_batch(batch) == [None, values[1], None]
+
+    def test_rateless_batch_matches_sequential_decode(self):
+        scheme = RatelessXorCode(k=4, data_size_bytes=32, seed=3)
+        values = values_for(scheme, 4)
+        index_pool = list(range(12))
+        batch = []
+        for j, value in enumerate(values):
+            chosen = index_pool[j: j + 5]
+            batch.append(
+                {i: scheme.encode_block(value, i) for i in chosen}
+            )
+        batch.append({0: scheme.encode_block(values[0], 0)})  # rank-deficient
+        sequential = [scheme.decode(blocks) for blocks in batch]
+        assert scheme.decode_batch(batch) == sequential
+
+    def test_mixed_patterns_group_correctly(self):
+        # Several entries share a pattern, several don't; grouping must not
+        # leak payloads across entries.
+        scheme = rs_scheme()
+        values = values_for(scheme, 6)
+        encoded = scheme.encode_batch(values, range(scheme.n))
+        patterns = [(0, 1, 2), (4, 5, 6), (0, 1, 2), (1, 3, 5), (4, 5, 6),
+                    (0, 2, 4)]
+        batch = [
+            {i: encoded[j][i] for i in pattern}
+            for j, pattern in enumerate(patterns)
+        ]
+        assert scheme.decode_batch(batch) == values
+
+
+class TestOracleBatching:
+    def test_get_many_matches_get(self):
+        scheme = rs_scheme()
+        value = values_for(scheme, 1)[0]
+        batched = EncodeOracle(scheme, value, op_uid=1)
+        lazy = EncodeOracle(scheme, value, op_uid=1)
+        blocks = batched.get_many(range(scheme.n))
+        for index in range(scheme.n):
+            assert blocks[index].payload == lazy.get(index).payload
+            assert blocks[index].source == lazy.get(index).source
+
+    def test_get_many_caches_and_returns_identical_objects(self):
+        scheme = rs_scheme()
+        oracle = EncodeOracle(scheme, values_for(scheme, 1)[0], op_uid=9)
+        first = oracle.get_many([0, 5])
+        assert oracle.get(5) is first[1]
+        assert oracle.get_many([5, 0]) == [first[1], first[0]]
+
+    def test_get_many_after_expiry_raises(self):
+        scheme = rs_scheme()
+        oracle = EncodeOracle(scheme, values_for(scheme, 1)[0], op_uid=2)
+        oracle.expire()
+        with pytest.raises(ProtocolError):
+            oracle.get_many([0])
+
+    def test_prime_encode_oracles_shares_one_pass(self):
+        scheme = rs_scheme()
+        values = values_for(scheme, 4)
+        oracles = [
+            EncodeOracle(scheme, value, op_uid=uid)
+            for uid, value in enumerate(values)
+        ]
+        prime_encode_oracles(oracles, range(scheme.n))
+        for value, oracle in zip(values, oracles):
+            for index in range(scheme.n):
+                assert oracle.get(index).payload == scheme.encode_block(
+                    value, index
+                )
+
+    def test_prime_encode_oracles_mixed_schemes(self):
+        schemes = [rs_scheme(), XorParityCode(k=4, data_size_bytes=32)]
+        oracles = [
+            EncodeOracle(scheme, os.urandom(scheme.data_size_bytes), op_uid=i)
+            for i, scheme in enumerate(schemes)
+        ]
+        prime_encode_oracles(oracles, [0, 1, 2])
+        for scheme, oracle in zip(schemes, oracles):
+            for index in (0, 1, 2):
+                block = oracle.get(index)
+                assert block.payload == scheme.encode_block(
+                    oracle._value, index
+                )
+
+    def test_prime_expired_oracle_raises(self):
+        scheme = rs_scheme()
+        oracle = EncodeOracle(scheme, values_for(scheme, 1)[0], op_uid=0)
+        oracle.expire()
+        with pytest.raises(ProtocolError):
+            prime_encode_oracles([oracle], [0])

@@ -135,6 +135,125 @@ class TestVectorOps:
         assert data[0] == 1
 
 
+class TestMulTable:
+    def test_full_table_matches_scalar_mul(self):
+        table = gf256._MUL_TABLE
+        for a in range(256):
+            for b in range(0, 256, 7):
+                assert int(table[a, b]) == gf256.gf_mul(a, b)
+
+    def test_table_symmetry(self):
+        assert np.array_equal(gf256._MUL_TABLE, gf256._MUL_TABLE.T)
+
+    def test_zero_row_and_identity_row(self):
+        assert not gf256._MUL_TABLE[0].any()
+        assert list(gf256._MUL_TABLE[1]) == list(range(256))
+
+
+class TestInputValidation:
+    def test_mul_bytes_rejects_wrong_dtype(self):
+        with pytest.raises(ParameterError, match="uint8"):
+            gf256.gf_mul_bytes(3, np.array([1, 2], dtype=np.int64))
+
+    def test_mul_bytes_rejects_non_array(self):
+        with pytest.raises(ParameterError, match="numpy array"):
+            gf256.gf_mul_bytes(3, [1, 2, 3])
+
+    def test_mul_bytes_rejects_out_of_range_scalar(self):
+        data = np.array([1], dtype=np.uint8)
+        with pytest.raises(ParameterError):
+            gf256.gf_mul_bytes(256, data)
+        with pytest.raises(ParameterError):
+            gf256.gf_mul_bytes(-1, data)
+
+    def test_mul_bytes_accepts_readonly_input(self):
+        readonly = np.frombuffer(b"\x01\x02\x03", dtype=np.uint8)
+        assert not readonly.flags.writeable
+        for scalar in (0, 1, 7):
+            result = gf256.gf_mul_bytes(scalar, readonly)
+            assert result.flags.writeable
+            assert list(result) == [
+                gf256.gf_mul(scalar, byte) for byte in (1, 2, 3)
+            ]
+
+    def test_mul_bytes_accepts_non_contiguous_input(self):
+        data = np.arange(16, dtype=np.uint8)[::2]
+        assert not data.flags.c_contiguous
+        result = gf256.gf_mul_bytes(9, data)
+        assert list(result) == [gf256.gf_mul(9, int(v)) for v in data]
+
+    def test_addmul_bytes_rejects_wrong_accumulator_dtype(self):
+        with pytest.raises(ParameterError, match="accumulator"):
+            gf256.gf_addmul_bytes(
+                np.zeros(2, dtype=np.int32), 3, np.zeros(2, dtype=np.uint8)
+            )
+
+
+class TestMatmul:
+    @given(
+        st.integers(1, 6), st.integers(1, 6), st.integers(1, 6),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_scalar_inner_products(self, m, k, w, rnd):
+        a = np.array(
+            [[rnd.randrange(256) for _ in range(k)] for _ in range(m)],
+            dtype=np.uint8,
+        )
+        b = np.array(
+            [[rnd.randrange(256) for _ in range(w)] for _ in range(k)],
+            dtype=np.uint8,
+        )
+        product = gf256.gf_matmul(a, b)
+        assert product.shape == (m, w)
+        for i in range(m):
+            for j in range(w):
+                expected = 0
+                for t in range(k):
+                    expected ^= gf256.gf_mul(int(a[i, t]), int(b[t, j]))
+                assert int(product[i, j]) == expected
+
+    def test_wide_product_spans_multiple_lane_groups(self):
+        # 20 rows forces the packed kernel across three uint64 groups.
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 256, (20, 5), dtype=np.uint8)
+        b = rng.integers(0, 256, (5, 33), dtype=np.uint8)
+        product = gf256.gf_matmul(a, b)
+        for i in (0, 7, 8, 15, 16, 19):
+            row = gf256.gf_matmul(a[i: i + 1], b)
+            assert np.array_equal(product[i], row[0])
+
+    def test_identity_is_noop(self):
+        rng = np.random.default_rng(0)
+        b = rng.integers(0, 256, (4, 10), dtype=np.uint8)
+        identity = np.eye(4, dtype=np.uint8)
+        assert np.array_equal(gf256.gf_matmul(identity, b), b)
+
+    def test_accepts_readonly_and_non_contiguous_operands(self):
+        a = np.frombuffer(bytes(range(6)), dtype=np.uint8).reshape(2, 3)
+        b = np.arange(24, dtype=np.uint8).reshape(3, 8)[:, ::2]
+        product = gf256.gf_matmul(a, b)
+        assert product.shape == (2, 4)
+
+    def test_shape_mismatch_raises(self):
+        a = np.zeros((2, 3), dtype=np.uint8)
+        b = np.zeros((4, 5), dtype=np.uint8)
+        with pytest.raises(ParameterError, match="shape mismatch"):
+            gf256.gf_matmul(a, b)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ParameterError, match="2-D"):
+            gf256.gf_matmul(
+                np.zeros(3, dtype=np.uint8), np.zeros((3, 1), dtype=np.uint8)
+            )
+
+    def test_wrong_dtype_raises(self):
+        with pytest.raises(ParameterError, match="uint8"):
+            gf256.gf_matmul(
+                np.zeros((2, 2), dtype=np.int16),
+                np.zeros((2, 2), dtype=np.uint8),
+            )
+
+
 class TestPolyEval:
     def test_constant_polynomial(self):
         assert gf256.gf_poly_eval([42], 7) == 42

@@ -152,7 +152,7 @@ class TestRateless:
 
     def test_block_is_xor_of_masked_shards(self, code):
         value = os.urandom(32)
-        shards = code._shards(value)
+        shards = code._shard_matrix(value)
         for index in range(20):
             mask = code.mask(index)
             expected = bytearray(code.shard_bytes)

@@ -6,6 +6,7 @@ from repro.coding.oracles import BlockSource, CodeBlock
 from repro.storage import (
     collect_blocks,
     distinct_source_bits,
+    distinct_source_bits_many,
     sources_present,
     total_bits,
 )
@@ -89,3 +90,15 @@ class TestAccounting:
             BlockSource(1, 0),
             BlockSource(2, 5),
         }
+
+    def test_distinct_source_bits_many_matches_per_op_calls(self):
+        blocks = [block(1, 0), block(1, 0), block(2, 0), block(2, 1),
+                  block(3, 4, 32)]
+        uids = [1, 2, 3, 4]
+        batched = distinct_source_bits_many(blocks, uids)
+        assert batched == {
+            uid: distinct_source_bits(blocks, uid) for uid in uids
+        }
+
+    def test_distinct_source_bits_many_empty_uid_set(self):
+        assert distinct_source_bits_many([block(1, 0)], []) == {}
