@@ -19,7 +19,9 @@ The package builds the full system the paper reasons about:
 * :mod:`repro.spec` — consistency checkers (weak/strong regularity,
   atomicity, strong safety).
 * :mod:`repro.workloads` — workload generation and the experiment runner.
-* :mod:`repro.analysis` — table/series helpers for the benchmark harness.
+* :mod:`repro.analysis` — table/series helpers, the regime-sweep engine
+  (grids over register/f/k/c/D with literature overlay bounds), and the
+  markdown report generator.
 
 Quickstart::
 

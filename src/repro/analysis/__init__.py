@@ -1,5 +1,20 @@
-"""Benchmark-output helpers: tables, units, series shape checks."""
+"""Benchmark-output helpers: tables, units, sweeps, series shape checks."""
 
+from repro.analysis.sweeps import (
+    REGISTER_REGISTRY,
+    SweepGrid,
+    SweepPoint,
+    SweepRecord,
+    SweepResult,
+    adaptive_upper_bound_bits,
+    crossover_shape_violations,
+    disintegrated_bound_bits,
+    lrc_max_dimension,
+    lrc_storage_floor_bits,
+    register_uses_k,
+    run_sweep,
+    theorem1_bound_bits,
+)
 from repro.analysis.tables import (
     SeriesPoint,
     format_bits,
@@ -10,10 +25,23 @@ from repro.analysis.tables import (
 )
 
 __all__ = [
+    "REGISTER_REGISTRY",
     "SeriesPoint",
+    "SweepGrid",
+    "SweepPoint",
+    "SweepRecord",
+    "SweepResult",
+    "adaptive_upper_bound_bits",
+    "crossover_shape_violations",
+    "disintegrated_bound_bits",
     "format_bits",
     "format_ratio",
     "format_table",
     "linear_slope",
+    "lrc_max_dimension",
+    "lrc_storage_floor_bits",
     "monotone_nondecreasing",
+    "register_uses_k",
+    "run_sweep",
+    "theorem1_bound_bits",
 ]

@@ -1,0 +1,469 @@
+"""Regime-sweep engine: crossover curves over large (n, k, f, c, D) grids.
+
+The paper's headline result is a *shape*: adaptive storage follows
+``Theta(min(f, c) * D)`` (Section 5), linear in concurrency like a coded
+store before the crossover at ``c ~ k`` and flat like replication beyond
+it. One grid point is a single :func:`~repro.workloads.runner.
+run_register_workload` call; reproducing the shape needs *many* points —
+every register, many ``(f, k)`` regimes, a span of concurrency levels.
+This module is the engine for that:
+
+* :class:`SweepGrid` — declare the grid (cartesian or explicit) over
+  register class, ``f``, ``k``, ``c``, ``D``, and value seed;
+* :func:`run_sweep` — execute every point deterministically, batching each
+  point's concurrent-writer wave through the runner's
+  :class:`~repro.coding.oracles.BatchEncodePlan` (one stacked encode pass
+  per wave, the ``prime_encode_oracles`` machinery);
+* :class:`SweepResult` — the measured table: renderable via
+  :func:`~repro.analysis.tables.format_table`, serialisable to JSON
+  (``benchmarks/results/``), sliceable into per-curve series.
+
+Each record also carries closed-form **reference overlays** so measured
+curves can be plotted against the literature:
+
+* ``thm1_bits`` — this paper's Theorem 1 lower bound
+  ``min((f+1) D/2, c (D/2+1))``;
+* ``adaptive_bound_bits`` — the Section 5 upper bound
+  ``(min(f, c)+1) * (n/k) * D``;
+* ``disintegrated_bits`` — Berger–Keidar–Spiegelman's integrated bound for
+  disintegrated storage (arXiv:1805.06265), ``min(f+1, c) * D``, which
+  tightens Theorem 1's constant and drops its ``+1``-per-piece slack;
+* ``lrc_floor_bits`` — the per-value storage floor ``n * D / k_max`` of a
+  locally recoverable code at the same ``(n, f)`` under the
+  Cadambe–Mazumdar dimension bound (arXiv:1308.3200) for locality ``r``
+  (via the distance corollary ``d <= n - k - ceil(k/r) + 2``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.analysis.tables import format_table
+from repro.errors import ParameterError
+from repro.registers import (
+    ABDRegister,
+    AdaptiveRegister,
+    CASRegister,
+    CodedOnlyRegister,
+    RegisterSetup,
+    SafeCodedRegister,
+    replication_setup,
+)
+from repro.workloads import WorkloadSpec, run_register_workload
+
+# --------------------------------------------------------------- overlays
+
+
+def theorem1_bound_bits(f: int, c: int, data_bits: int) -> int:
+    """Theorem 1 (this paper): storage >= ``min((f+1) D/2, c (D/2+1))``."""
+    return min((f + 1) * data_bits // 2, c * (data_bits // 2 + 1))
+
+
+def adaptive_upper_bound_bits(f: int, k: int, c: int, data_bits: int) -> int:
+    """Section 5 upper bound: ``(min(f, c) + 1) * (n/k) * D``, ``n = 2f+k``."""
+    n = 2 * f + k
+    return (min(f, c) + 1) * n * data_bits // k
+
+
+def disintegrated_bound_bits(f: int, c: int, data_bits: int) -> int:
+    """Berger–Keidar–Spiegelman (arXiv:1805.06265): ``min(f+1, c) * D``.
+
+    Their integrated bound covers *disintegrated* storage — algorithms
+    whose reads reassemble values from pieces (coded or Byzantine
+    non-authenticated) — and strengthens Theorem 1 by a factor ~2.
+    """
+    return min(f + 1, c) * data_bits
+
+
+def lrc_max_dimension(n: int, f: int, locality: int) -> int:
+    """Largest LRC dimension ``k`` at length ``n`` tolerating ``f`` erasures.
+
+    Uses the Cadambe–Mazumdar bound (arXiv:1308.3200) through its distance
+    corollary ``d <= n - k - ceil(k/r) + 2``: tolerating ``f`` erasures
+    needs ``d >= f + 1``, so ``k + ceil(k / locality) <= n - f + 1``.
+    """
+    if n < 1 or f < 0 or locality < 1:
+        raise ParameterError("need n >= 1, f >= 0, locality >= 1")
+    best = 0
+    for k in range(1, n + 1):
+        if k + -(-k // locality) <= n - f + 1:
+            best = k
+    return best
+
+
+def lrc_storage_floor_bits(
+    n: int, f: int, data_bits: int, locality: int = 2
+) -> int:
+    """Per-value storage floor ``ceil(n * D / k_max)`` of an (n, f) LRC.
+
+    The concurrency-independent cost of *one* codeword under the best
+    locality-``locality`` code the Cadambe–Mazumdar bound admits — the
+    flat line coded crossover curves are measured against.
+    """
+    k_max = lrc_max_dimension(n, f, locality)
+    if k_max == 0:
+        return n * data_bits  # no LRC exists; replication is the floor
+    return -(-n * data_bits // k_max)
+
+
+# --------------------------------------------------------------- registry
+
+
+@dataclass(frozen=True)
+class RegisterEntry:
+    """One sweepable register: protocol class, setup builder, k-use flag.
+
+    ``uses_k = False`` marks replication-based registers whose setup
+    ignores the grid's code dimension (ABD: ``k = 1``, ``n = 2f + 1``);
+    the grid canonicalises their points to ``k = 1`` so a cartesian
+    product does not re-run byte-identical simulations once per k value.
+    """
+
+    cls: type
+    build_setup: Callable[["SweepPoint"], RegisterSetup]
+    uses_k: bool = True
+
+
+def _coded_setup(point: "SweepPoint") -> RegisterSetup:
+    return RegisterSetup(
+        f=point.f, k=point.k, data_size_bytes=point.data_size_bytes
+    )
+
+
+#: Register classes the sweep engine can drive, by table name. ABD is the
+#: ``k = 1`` (replication) point of the code space; every other register
+#: uses the coded ``n = 2f + k`` setup.
+REGISTER_REGISTRY: dict[str, RegisterEntry] = {
+    "abd": RegisterEntry(
+        ABDRegister,
+        lambda p: replication_setup(f=p.f, data_size_bytes=p.data_size_bytes),
+        uses_k=False,
+    ),
+    "coded-only": RegisterEntry(CodedOnlyRegister, _coded_setup),
+    "cas": RegisterEntry(CASRegister, _coded_setup),
+    "adaptive": RegisterEntry(AdaptiveRegister, _coded_setup),
+    "safe": RegisterEntry(SafeCodedRegister, _coded_setup),
+}
+
+
+def register_uses_k(name: str) -> bool:
+    """True when register ``name``'s setup honours the grid's ``k``."""
+    if name not in REGISTER_REGISTRY:
+        raise ParameterError(
+            f"unknown register {name!r}; known: {sorted(REGISTER_REGISTRY)}"
+        )
+    return REGISTER_REGISTRY[name].uses_k
+
+
+# ------------------------------------------------------------------- grid
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: a register run at fixed ``(f, k, c, D, seed)``.
+
+    ``register`` names an entry of :data:`REGISTER_REGISTRY`; ``c`` is the
+    paper's write-concurrency (the number of concurrent writer clients);
+    ``data_size_bytes`` is ``D / 8``. The register's ``n`` is derived from
+    its setup (``2f + k`` coded, ``2f + 1`` for ABD).
+    """
+
+    register: str
+    f: int
+    k: int
+    c: int
+    data_size_bytes: int
+    seed: int = 0
+
+    def setup(self) -> RegisterSetup:
+        """Build (and thereby validate) this point's register setup."""
+        if self.register not in REGISTER_REGISTRY:
+            raise ParameterError(
+                f"unknown register {self.register!r}; known: "
+                f"{sorted(REGISTER_REGISTRY)}"
+            )
+        if self.c < 1:
+            raise ParameterError("concurrency c must be >= 1")
+        return REGISTER_REGISTRY[self.register].build_setup(self)
+
+    @property
+    def n(self) -> int:
+        return self.setup().n
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """An ordered set of sweep points (duplicates collapsed, order kept)."""
+
+    points: tuple[SweepPoint, ...]
+
+    @classmethod
+    def explicit(cls, points: Iterable[SweepPoint]) -> "SweepGrid":
+        """Build a grid from explicit points, validating each.
+
+        Points of registers that ignore ``k`` (see
+        :func:`register_uses_k`) are canonicalised to ``k = 1`` before
+        deduplication, so an ABD point appears — and runs — once per
+        ``(f, c, D, seed)`` no matter how many k values the grid spans.
+        """
+        canonical = (
+            point if register_uses_k(point.register) else replace(point, k=1)
+            for point in points
+        )
+        unique = tuple(dict.fromkeys(canonical))
+        for point in unique:
+            point.setup()
+        return cls(unique)
+
+    @classmethod
+    def cartesian(
+        cls,
+        *,
+        registers: Sequence[str],
+        fs: Sequence[int],
+        ks: Sequence[int],
+        cs: Sequence[int],
+        data_sizes: Sequence[int],
+        seed: int = 0,
+        where: Callable[[SweepPoint], bool] | None = None,
+    ) -> "SweepGrid":
+        """Cartesian product grid, optionally filtered by ``where``.
+
+        ``data_sizes`` entries must be divisible by every ``k`` they meet
+        (pick a multiple of ``lcm(ks)``), or use ``where`` to skip the
+        offending combinations; invalid surviving points raise
+        :class:`~repro.errors.ParameterError` at grid-build time, not
+        mid-sweep.
+        """
+        points = []
+        for register, f, k, data, c in itertools.product(
+            registers, fs, ks, data_sizes, cs
+        ):
+            point = SweepPoint(
+                register=register, f=f, k=k, c=c,
+                data_size_bytes=data, seed=seed,
+            )
+            if where is not None and not where(point):
+                continue
+            points.append(point)
+        return cls.explicit(points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    def nk_points(self) -> list[tuple[int, int]]:
+        """Distinct ``(n, k)`` pairs the grid covers, sorted."""
+        return sorted({(point.n, point.k) for point in self.points})
+
+
+# ---------------------------------------------------------------- results
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One executed grid point: parameters, measurements, overlays."""
+
+    register: str
+    f: int
+    k: int
+    n: int
+    c: int
+    data_bits: int
+    seed: int
+    peak_bo_state_bits: int
+    peak_storage_bits: int
+    final_bo_state_bits: int
+    completed_writes: int
+    steps: int
+    thm1_bits: int
+    adaptive_bound_bits: int
+    disintegrated_bits: int
+    lrc_floor_bits: int
+
+
+#: Default columns of :meth:`SweepResult.table`.
+TABLE_COLUMNS = (
+    "register", "f", "k", "n", "c", "data_bits",
+    "peak_bo_state_bits", "thm1_bits", "disintegrated_bits",
+    "adaptive_bound_bits", "lrc_floor_bits",
+)
+
+
+@dataclass
+class SweepResult:
+    """The measured sweep: a flat record table plus rendering/IO helpers."""
+
+    records: list[SweepRecord]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------ slicing
+
+    def select(self, **filters: object) -> list[SweepRecord]:
+        """Records whose fields equal every ``filters`` entry, grid order."""
+        return [
+            record
+            for record in self.records
+            if all(getattr(record, key) == value for key, value in filters.items())
+        ]
+
+    def series(
+        self, y: str = "peak_bo_state_bits", x: str = "c", **filters: object
+    ) -> list[tuple[int, int]]:
+        """One curve: sorted ``(x, y)`` samples of the matching records."""
+        return sorted(
+            (getattr(record, x), getattr(record, y))
+            for record in self.select(**filters)
+        )
+
+    def nk_points(self) -> list[tuple[int, int]]:
+        """Distinct ``(n, k)`` pairs measured, sorted."""
+        return sorted({(record.n, record.k) for record in self.records})
+
+    # ---------------------------------------------------------- rendering
+
+    def table(self, columns: Sequence[str] = TABLE_COLUMNS) -> str:
+        """Render the records as an aligned monospace table."""
+        rows = [
+            [getattr(record, column) for column in columns]
+            for record in self.records
+        ]
+        return format_table(list(columns), rows)
+
+    # ----------------------------------------------------------------- IO
+
+    def to_json(self) -> str:
+        """Serialise to a stable, versioned JSON document."""
+        return json.dumps(
+            {
+                "version": 1,
+                "record_fields": [field.name for field in fields(SweepRecord)],
+                "records": [asdict(record) for record in self.records],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        document = json.loads(text)
+        if document.get("version") != 1:
+            raise ParameterError(
+                f"unsupported sweep result version {document.get('version')!r}"
+            )
+        return cls([SweepRecord(**record) for record in document["records"]])
+
+    def save(self, path: str | Path) -> Path:
+        """Write the JSON document to ``path`` (parents created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepResult":
+        return cls.from_json(Path(path).read_text())
+
+
+def crossover_shape_violations(result: SweepResult) -> list[str]:
+    """Check the paper's cross-regime curve shapes; return violations.
+
+    The two shape facts every crossover sweep must reproduce: ABD
+    (replication) storage is flat in ``c`` at every ``f``, and coded-only
+    storage is monotone nondecreasing in ``c`` at every ``(f, k)``.
+    Registers absent from ``result`` are skipped. An empty list means the
+    shapes hold — the single criterion shared by ``repro report``, the
+    crossover benchmark CLI, and its pytest smoke test.
+    """
+    violations: list[str] = []
+    regimes = sorted(
+        {(r.f, r.k) for r in result.records if register_uses_k(r.register)}
+    )
+    for f, k in regimes:
+        abd = [y for _, y in result.series(f=f, register="abd")]
+        if abd and len(set(abd)) != 1:
+            violations.append(f"ABD not flat in c at f={f}: {abd}")
+        coded = [y for _, y in result.series(f=f, k=k, register="coded-only")]
+        if coded != sorted(coded):
+            violations.append(
+                f"coded-only not monotone in c at f={f}, k={k}: {coded}"
+            )
+    return violations
+
+
+# ----------------------------------------------------------------- engine
+
+
+def run_sweep(
+    grid: SweepGrid,
+    *,
+    writes_per_writer: int = 1,
+    readers: int = 0,
+    max_steps: int = 400_000,
+    lrc_locality: int = 2,
+    progress: Callable[[int, int, SweepPoint], None] | None = None,
+) -> SweepResult:
+    """Execute every grid point and return the measured :class:`SweepResult`.
+
+    Each point runs :func:`~repro.workloads.runner.run_register_workload`
+    with ``c`` concurrent writers under the deterministic fair scheduler, so
+    the whole sweep is reproducible from the grid alone (same grid, same
+    result — byte-identical JSON). Every point's writer wave is pre-encoded
+    in one stacked :class:`~repro.coding.oracles.BatchEncodePlan` pass, so
+    a 500-writer point costs one ``encode_batch`` call, not 500 encodes.
+
+    ``progress`` (if given) is called as ``progress(done, total, point)``
+    after each point — the hook CLI front-ends print from.
+    """
+    records: list[SweepRecord] = []
+    total = len(grid)
+    for position, point in enumerate(grid):
+        protocol_cls = REGISTER_REGISTRY[point.register].cls
+        setup = point.setup()
+        spec = WorkloadSpec(
+            writers=point.c,
+            writes_per_writer=writes_per_writer,
+            readers=readers,
+            seed=point.seed,
+        )
+        outcome = run_register_workload(
+            protocol_cls, setup, spec, max_steps=max_steps
+        )
+        data_bits = setup.data_size_bits
+        records.append(
+            SweepRecord(
+                register=point.register,
+                f=point.f,
+                k=point.k,
+                n=setup.n,
+                c=point.c,
+                data_bits=data_bits,
+                seed=point.seed,
+                peak_bo_state_bits=outcome.peak_bo_state_bits,
+                peak_storage_bits=outcome.peak_storage_bits,
+                final_bo_state_bits=outcome.final_bo_state_bits,
+                completed_writes=outcome.completed_writes,
+                steps=outcome.run.steps,
+                thm1_bits=theorem1_bound_bits(point.f, point.c, data_bits),
+                adaptive_bound_bits=adaptive_upper_bound_bits(
+                    point.f, point.k, point.c, data_bits
+                ),
+                disintegrated_bits=disintegrated_bound_bits(
+                    point.f, point.c, data_bits
+                ),
+                lrc_floor_bits=lrc_storage_floor_bits(
+                    setup.n, point.f, data_bits, lrc_locality
+                ),
+            )
+        )
+        if progress is not None:
+            progress(position + 1, total, point)
+    return SweepResult(records)

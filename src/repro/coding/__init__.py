@@ -15,13 +15,16 @@ Public surface:
   :class:`~repro.coding.oracles.DecodeOracle` — Definition 1's oracles, with
   source tagging (Definition 4) for black-box storage accounting.
 * :func:`~repro.coding.gf256.gf_matmul` — the vectorised GF(2^8) batch
-  engine every scheme's ``encode_batch`` / ``decode_batch`` rides, and
+  engine every scheme's ``encode_batch`` / ``decode_batch`` rides;
   :func:`~repro.coding.oracles.prime_encode_oracles` — one shared encode
-  pass for a burst of concurrent writes.
+  pass for a burst of live oracles — and its runner-side twin
+  :class:`~repro.coding.oracles.BatchEncodePlan`, which pre-encodes a
+  write wave before any oracle exists.
 """
 
 from repro.coding.gf256 import gf_matmul
 from repro.coding.oracles import (
+    BatchEncodePlan,
     BlockSource,
     CodeBlock,
     DecodeOracle,
@@ -36,6 +39,7 @@ from repro.coding.scheme import CodingScheme, MDSCodingScheme
 from repro.coding.xor_parity import XorParityCode
 
 __all__ = [
+    "BatchEncodePlan",
     "BlockSource",
     "CodeBlock",
     "CodingScheme",

@@ -78,10 +78,15 @@ class EncodeOracle:
     def get_many(self, indices: Iterable[int]) -> list[CodeBlock]:
         """Return blocks for every index in ``indices`` (in order).
 
-        Uncached indices are encoded together through the scheme's
+        Semantically ``[oracleE.get(i) for i in indices]`` — Definition 1's
+        oracle queried once per block number, every block tagged with this
+        write's ``(op_uid, index)`` source (Definition 4) — but uncached
+        indices are encoded together through the scheme's
         :meth:`~repro.coding.scheme.CodingScheme.encode_many`, so a write
         that sends pieces to all ``n`` base objects pays one vectorised
         encode pass for the whole codeword instead of ``n`` scalar calls.
+        Caching keeps sources idempotent: repeated queries for one index
+        return the identical :class:`CodeBlock` object.
         """
         if self.expired:
             raise ProtocolError("encode oracle used after its write completed")
@@ -140,6 +145,58 @@ def prime_encode_oracles(
         for oracle, blocks in zip(group, batch):
             for index, payload in blocks.items():
                 oracle._wrap(index, payload)
+
+
+class BatchEncodePlan:
+    """One stacked encode pass covering a wave of writes known in advance.
+
+    :func:`prime_encode_oracles` batches across oracles that already exist;
+    a workload runner, however, knows every write value *before* the
+    simulation creates a single oracle (oracles are born lazily, inside
+    ``write_gen``, one per invoked write). The plan closes that gap: it runs
+    the same stacked :meth:`~repro.coding.scheme.CodingScheme.encode_batch`
+    pass up front, keyed by value, and :meth:`prime` transplants the cached
+    payloads into each oracle the moment it is created — re-tagged with
+    *that oracle's* ``op_uid``, so the source function (Definition 4) is
+    byte-for-byte identical to what lazy encoding would have produced.
+
+    Priming is a pure cache warm-up: block payloads, tags, sizes, control
+    flow, and therefore every storage measurement are unchanged; only the
+    number of matrix passes drops (one per wave instead of one per write).
+    """
+
+    def __init__(
+        self,
+        scheme: CodingScheme,
+        values: Iterable[bytes],
+        indices: Iterable[int],
+    ) -> None:
+        self.scheme = scheme
+        self.indices = list(indices)
+        unique = list(dict.fromkeys(values))
+        encoded = scheme.encode_batch(unique, self.indices)
+        self._payloads: dict[bytes, dict[int, bytes]] = dict(
+            zip(unique, encoded)
+        )
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def prime(self, oracle: EncodeOracle) -> bool:
+        """Warm ``oracle`` from the plan; return ``True`` when it applied.
+
+        A plan only primes oracles of the scheme it encoded for, and only
+        values it has seen; anything else is left to encode lazily.
+        """
+        if oracle.scheme is not self.scheme:
+            return False
+        payloads = self._payloads.get(oracle._value)
+        if payloads is None:
+            return False
+        for index, payload in payloads.items():
+            if index not in oracle._blocks:
+                oracle._wrap(index, payload)
+        return True
 
 
 @dataclass

@@ -27,6 +27,7 @@ products against a cached ``uint8`` generator:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -46,6 +47,13 @@ class ReedSolomonCode(MDSCodingScheme):
 
     name = "reed-solomon"
 
+    #: Maximum number of cached decode inverses (erasure patterns). Each
+    #: entry is a ``k x k`` uint8 matrix; at the cap the cache tops out
+    #: around ``256 * k^2`` bytes. Large-(n, k) sweeps visit far more than
+    #: 256 distinct patterns, so eviction (LRU) is required for the cache
+    #: not to grow with the number of patterns seen.
+    DECODE_CACHE_LIMIT = 256
+
     def __init__(self, k: int, n: int, data_size_bytes: int) -> None:
         super().__init__(k, n, data_size_bytes)
         if n > 256:
@@ -55,8 +63,11 @@ class ReedSolomonCode(MDSCodingScheme):
         self._generator = gfmat.mat_mul(vander, top_inverse)
         #: ``uint8`` copy of the generator, the operand of every encode pass.
         self._generator_np = gfmat.to_array(self._generator)
-        # Cache of inverted decode submatrices keyed by the index tuple.
-        self._decode_cache: dict[tuple[int, ...], np.ndarray] = {}
+        # LRU cache of inverted decode submatrices keyed by the index tuple;
+        # bounded by DECODE_CACHE_LIMIT, least-recently-used pattern evicted.
+        self._decode_cache: OrderedDict[tuple[int, ...], np.ndarray] = (
+            OrderedDict()
+        )
 
     # ---------------------------------------------------------------- codec
 
@@ -110,12 +121,21 @@ class ReedSolomonCode(MDSCodingScheme):
         return results
 
     def _decode_inverse(self, chosen: tuple[int, ...]) -> np.ndarray:
-        """Return (and cache) the inverse of the generator rows ``chosen``."""
+        """Return (and LRU-cache) the inverse of the generator rows ``chosen``.
+
+        A hit refreshes the pattern's recency; a miss inverts the submatrix,
+        inserts it, and evicts the least-recently-used pattern once more than
+        :data:`DECODE_CACHE_LIMIT` patterns are held.
+        """
         inverse = self._decode_cache.get(chosen)
-        if inverse is None:
-            submatrix = [self._generator[index] for index in chosen]
-            inverse = gfmat.to_array(gfmat.mat_inv(submatrix))
-            self._decode_cache[chosen] = inverse
+        if inverse is not None:
+            self._decode_cache.move_to_end(chosen)
+            return inverse
+        submatrix = [self._generator[index] for index in chosen]
+        inverse = gfmat.to_array(gfmat.mat_inv(submatrix))
+        self._decode_cache[chosen] = inverse
+        while len(self._decode_cache) > self.DECODE_CACHE_LIMIT:
+            self._decode_cache.popitem(last=False)
         return inverse
 
     def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:

@@ -155,10 +155,15 @@ class CodingScheme(ABC):
     ) -> list[dict[int, bytes]]:
         """Encode every value in ``values`` into every index in ``indices``.
 
-        Returns one ``{index: payload}`` map per value, in order. This base
-        implementation loops over :meth:`encode_many`; linear schemes
+        The batched form of the paper's encoder ``E : V x N -> E``
+        (Section 3.1): entry ``j`` of the result is ``{i: E(values[j], i)
+        for i in indices}``, exactly what per-value :meth:`encode_many`
+        calls would produce — batching is an execution strategy, never a
+        semantic change. This base implementation loops; linear schemes
         override it with a single stacked matrix multiplication so a batch
-        of concurrent writes shares one vectorised encode pass.
+        of concurrent writes (a sweep's writer wave, a
+        :class:`~repro.coding.oracles.BatchEncodePlan`) shares one
+        vectorised encode pass.
         """
         index_list = list(indices)
         return [self.encode_many(value, index_list) for value in values]
@@ -168,10 +173,13 @@ class CodingScheme(ABC):
     ) -> list[bytes | None]:
         """Decode every block map in ``blocks_batch``.
 
-        Returns one value (or ``None``, the paper's bottom) per entry, in
-        order. The base implementation loops over :meth:`decode`; vectorised
-        schemes group entries by erasure pattern and run one matrix pass per
-        distinct pattern.
+        The batched form of the paper's decoder ``D : 2^E -> V u {bottom}``
+        (Section 3.1): returns one value (or ``None``, the paper's bottom,
+        when the blocks are insufficient) per entry, in order — identical
+        to per-entry :meth:`decode` calls. The base implementation loops;
+        vectorised schemes group entries by erasure pattern and run one
+        matrix pass per distinct pattern, so a read storm pays one
+        inverse multiplication per pattern instead of one per read.
         """
         return [self.decode(blocks) for blocks in blocks_batch]
 

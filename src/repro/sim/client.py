@@ -68,10 +68,18 @@ class OperationContext:
     # -------------------------------------------------------------- oracles
 
     def new_encode_oracle(self) -> EncodeOracle:
-        """Create ``oracleE(client, w)`` for this (write) operation."""
+        """Create ``oracleE(client, w)`` for this (write) operation.
+
+        When the kernel carries a :class:`~repro.coding.oracles.
+        BatchEncodePlan` (a workload runner pre-encoded the write wave), the
+        fresh oracle is warmed from the plan's shared stacked pass; its
+        blocks are identical to what lazy encoding would produce.
+        """
         if self.kind is not OpKind.WRITE or self.value is None:
             raise ProtocolError("encode oracle requested by a non-write operation")
         oracle = EncodeOracle(self.kernel.scheme, self.value, self.op_uid)
+        if self.kernel.encode_plan is not None:
+            self.kernel.encode_plan.prime(oracle)
         self._encode_oracles.append(oracle)
         return oracle
 

@@ -82,6 +82,12 @@ class Simulation:
         self.applied: dict[int, AppliedRMW] = {}
         self._next_rmw_id = 0
         self._next_op_uid = 0
+        #: Optional :class:`~repro.coding.oracles.BatchEncodePlan`: when set
+        #: (by a workload runner that knows the write wave up front), every
+        #: freshly created encode oracle is warmed from its one stacked
+        #: encode pass instead of encoding lazily. Purely a cache warm-up —
+        #: payloads, tags, and measurements are identical either way.
+        self.encode_plan = None
 
     # ------------------------------------------------------------- clients
 

@@ -31,13 +31,19 @@ def make_value(setup: RegisterSetup, tag: str, seed: int = 0) -> bytes:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Shape of a register workload.
+    """Shape of a register workload — the experiment's free variables.
 
     ``writers`` concurrent writer clients each issue ``writes_per_writer``
     writes back-to-back; ``readers`` reader clients each issue
     ``reads_per_reader`` reads. With a fair or random scheduler all clients
     run concurrently, so the write-concurrency level ``c`` equals
-    ``writers`` (each client has at most one outstanding op).
+    ``writers`` (each client keeps at most one operation outstanding —
+    the well-formedness condition of Appendix A). This is the paper's
+    *point contention*: the ``c`` of Theorem 1's ``Omega(min(f, c) D)``
+    lower bound and of the adaptive algorithm's
+    ``O((min(f, c) + 1) (n/k) D)`` storage, which is why sweeps drive it
+    as their x-axis. ``seed`` determines every written value
+    (:func:`make_value`), making runs bit-reproducible.
     """
 
     writers: int = 2

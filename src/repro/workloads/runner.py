@@ -5,6 +5,16 @@ examples, the tests, and every benchmark: it builds the simulation, enqueues
 the workload, runs to quiescence (or budget), and returns a
 :class:`WorkloadResult` bundling the trace, the storage measurements, and
 the checker-ready history.
+
+Because the runner knows every write value before the simulation starts, it
+pre-encodes the whole wave through one
+:class:`~repro.coding.oracles.BatchEncodePlan` — the runner-side twin of
+:func:`~repro.coding.oracles.prime_encode_oracles` — so a sweep with
+hundreds of concurrent writers pays a single stacked
+:meth:`~repro.coding.scheme.CodingScheme.encode_batch` pass instead of one
+matrix multiplication per writer. Priming never changes payloads, source
+tags, or storage measurements; ``prime_encodes=False`` restores fully lazy
+encoding (useful when benchmarking the encode path itself).
 """
 
 from __future__ import annotations
@@ -12,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Type
 
+from repro.coding.oracles import BatchEncodePlan
+from repro.coding.scheme import MDSCodingScheme
 from repro.errors import SchedulerExhausted
 from repro.registers.base import RegisterProtocol, RegisterSetup
 from repro.sim.kernel import RunResult, Simulation
@@ -23,7 +35,24 @@ from repro.workloads.generators import WorkloadSpec, reader_name, writer_name
 
 @dataclass
 class WorkloadResult:
-    """Everything an experiment wants to know about one run."""
+    """Everything an experiment wants to know about one run.
+
+    The storage fields are the paper's two cost notions, measured at every
+    scheduler action over the run:
+
+    * ``peak_storage_bits`` — the Definition 2 cost: base-object states
+      *plus* everything parked in the channels (pending RMW arguments and
+      undelivered responses). This is the quantity Theorem 1 lower-bounds
+      and the reason channel-parking (Section 3.2) cannot evade it.
+    * ``peak_bo_state_bits`` — base-object state only, the quantity the
+      paper's upper-bound analyses (Section 5) count; ``final_bo_state_bits``
+      is the same measure after quiescence (i.e. after garbage collection
+      has settled).
+
+    ``series`` (when requested via ``keep_series``) holds ``(time, bits)``
+    samples of the Definition 2 cost; ``history`` rebuilds the
+    invoke/return operation history the Appendix A checkers consume.
+    """
 
     sim: Simulation
     run: RunResult
@@ -57,6 +86,24 @@ class WorkloadResult:
         return sum(bo.applied_count for bo in self.sim.base_objects)
 
 
+def _build_encode_plan(
+    sim: Simulation, values: dict[str, list[bytes]]
+) -> BatchEncodePlan | None:
+    """Pre-encode the write wave, when a stacked pass actually saves work.
+
+    Only MDS matrix codes (bounded block domain, ``encode_batch`` as one
+    stacked multiplication) benefit; replication's "encode" is a copy and
+    rateless schemes have no fixed codeword to pre-encode, so those setups
+    keep lazy per-oracle encoding (identical measurements either way).
+    """
+    wave = [value for per_writer in values.values() for value in per_writer]
+    if len(wave) < 2:
+        return None  # nothing to share a pass across
+    if not isinstance(sim.scheme, MDSCodingScheme):
+        return None
+    return BatchEncodePlan(sim.scheme, wave, range(sim.scheme.n))
+
+
 def run_register_workload(
     protocol_cls: Type[RegisterProtocol],
     setup: RegisterSetup,
@@ -67,14 +114,26 @@ def run_register_workload(
     keep_events: bool = True,
     require_quiescence: bool = True,
     configure: Callable[[Simulation, Scheduler], Scheduler] | None = None,
+    prime_encodes: bool = True,
 ) -> WorkloadResult:
     """Run ``spec`` against a fresh register and measure storage.
+
+    This is the experiment primitive behind every benchmark and sweep: it
+    instantiates ``protocol_cls`` over ``setup``'s ``n = 2f + k`` simulated
+    base objects, enqueues ``spec``'s writers and readers (the paper's
+    concurrency parameter ``c`` equals ``spec.writers`` — each client keeps
+    at most one write outstanding), drives the scheduler to quiescence, and
+    returns a :class:`WorkloadResult` with the Definition 2 / Definition 6
+    storage measurements tracked at every action.
 
     ``configure`` may wrap the scheduler (e.g. in a
     :class:`~repro.sim.failures.FailurePlan`) after clients are set up.
     ``require_quiescence`` raises :class:`SchedulerExhausted` if the budget
     runs out first — which, for fair schedulers and FW-terminating
     registers, indicates a liveness bug worth failing loudly on.
+    ``prime_encodes`` (default on) batches the whole write wave through one
+    :class:`~repro.coding.oracles.BatchEncodePlan` stacked encode pass; it
+    is an optimisation only and never changes any measurement.
     """
     spec = spec or WorkloadSpec()
     scheduler = scheduler or FairScheduler()
@@ -82,6 +141,8 @@ def run_register_workload(
     sim = Simulation(protocol, keep_events=keep_events)
 
     values = spec.write_values(setup)
+    if prime_encodes:
+        sim.encode_plan = _build_encode_plan(sim, values)
     for index in range(spec.writers):
         client = sim.add_client(writer_name(index))
         for value in values[writer_name(index)]:

@@ -1,0 +1,182 @@
+"""Tests for the regime-sweep engine and its reference overlays."""
+
+import pytest
+
+from repro.analysis import (
+    SweepGrid,
+    SweepPoint,
+    SweepResult,
+    adaptive_upper_bound_bits,
+    disintegrated_bound_bits,
+    lrc_max_dimension,
+    lrc_storage_floor_bits,
+    run_sweep,
+    theorem1_bound_bits,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    grid = SweepGrid.cartesian(
+        registers=("abd", "coded-only", "adaptive"),
+        fs=(1, 2),
+        ks=(2,),
+        cs=(1, 2, 4),
+        data_sizes=(48,),
+        seed=5,
+    )
+    return run_sweep(grid)
+
+
+class TestBounds:
+    def test_theorem1_min_of_two_arms(self):
+        # f-arm: (f+1) D/2; c-arm: c (D/2 + 1).
+        assert theorem1_bound_bits(f=3, c=100, data_bits=384) == 4 * 192
+        assert theorem1_bound_bits(f=100, c=2, data_bits=384) == 2 * 193
+
+    def test_disintegrated_strengthens_theorem1(self):
+        for f in range(1, 8):
+            for c in range(1, 16):
+                assert disintegrated_bound_bits(f, c, 384) >= \
+                    theorem1_bound_bits(f, c, 384)
+
+    def test_adaptive_bound_matches_paper_formula(self):
+        # (min(f, c) + 1) * (n / k) * D with n = 2f + k.
+        assert adaptive_upper_bound_bits(f=3, k=3, c=8, data_bits=384) == \
+            4 * 9 * 384 // 3
+
+    def test_lrc_max_dimension_distance_corollary(self):
+        # n=10, f=2, r=2: largest k with k + ceil(k/2) <= 9 is k = 6.
+        assert lrc_max_dimension(n=10, f=2, locality=2) == 6
+        # Unbounded locality recovers the Singleton bound k = n - f.
+        assert lrc_max_dimension(n=10, f=2, locality=100) == 8
+
+    def test_lrc_floor_between_mds_and_replication(self):
+        for n, f in ((5, 1), (9, 3), (14, 5)):
+            floor = lrc_storage_floor_bits(n, f, 384, locality=2)
+            assert -(-n * 384 // (n - f)) <= floor <= n * 384
+
+    def test_lrc_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            lrc_max_dimension(n=0, f=1, locality=2)
+
+
+class TestGrid:
+    def test_cartesian_size_and_order(self):
+        grid = SweepGrid.cartesian(
+            registers=("abd", "adaptive"), fs=(1, 2), ks=(2,),
+            cs=(1, 3), data_sizes=(48,),
+        )
+        assert len(grid) == 8
+        assert grid.points[0].register == "abd"
+
+    def test_where_filters_points(self):
+        grid = SweepGrid.cartesian(
+            registers=("adaptive",), fs=(1, 2, 3), ks=(2,), cs=(1, 2),
+            data_sizes=(48,), where=lambda p: p.c <= p.f,
+        )
+        assert all(point.c <= point.f for point in grid)
+        assert len(grid) == 5
+
+    def test_explicit_deduplicates_preserving_order(self):
+        point = SweepPoint("adaptive", f=1, k=2, c=1, data_size_bytes=48)
+        other = SweepPoint("coded-only", f=1, k=2, c=1, data_size_bytes=48)
+        grid = SweepGrid.explicit([point, other, point])
+        assert grid.points == (point, other)
+
+    def test_abd_canonicalised_to_k1_and_deduplicated(self):
+        # ABD's setup ignores k: one run per (f, c), not one per grid k.
+        grid = SweepGrid.cartesian(
+            registers=("abd", "adaptive"), fs=(2,), ks=(2, 3, 4), cs=(1,),
+            data_sizes=(48,),
+        )
+        abd_points = [p for p in grid if p.register == "abd"]
+        assert abd_points == [
+            SweepPoint("abd", f=2, k=1, c=1, data_size_bytes=48)
+        ]
+        assert len([p for p in grid if p.register == "adaptive"]) == 3
+
+    def test_unknown_register_rejected_at_build_time(self):
+        with pytest.raises(ParameterError, match="unknown register"):
+            SweepGrid.explicit(
+                [SweepPoint("paxos", f=1, k=2, c=1, data_size_bytes=48)]
+            )
+
+    def test_indivisible_data_size_rejected_at_build_time(self):
+        with pytest.raises(ParameterError):
+            SweepGrid.cartesian(
+                registers=("adaptive",), fs=(1,), ks=(5,), cs=(1,),
+                data_sizes=(48,),
+            )
+
+    def test_nk_points_derived_from_setups(self):
+        grid = SweepGrid.cartesian(
+            registers=("adaptive",), fs=(1, 3), ks=(2, 4), cs=(1,),
+            data_sizes=(48,),
+        )
+        assert grid.nk_points() == [(4, 2), (6, 4), (8, 2), (10, 4)]
+
+
+class TestRunSweep:
+    def test_one_record_per_point_in_grid_order(self, small_result):
+        assert len(small_result) == 18
+        assert [r.register for r in small_result.records[:3]] == ["abd"] * 3
+
+    def test_deterministic_given_fixed_seed(self, small_result):
+        grid = SweepGrid.cartesian(
+            registers=("abd", "coded-only", "adaptive"),
+            fs=(1, 2), ks=(2,), cs=(1, 2, 4), data_sizes=(48,), seed=5,
+        )
+        again = run_sweep(grid)
+        assert again.to_json() == small_result.to_json()
+
+    def test_measured_curves_have_paper_shapes(self, small_result):
+        for f in (1, 2):
+            abd = [y for _, y in small_result.series(f=f, register="abd")]
+            coded = [
+                y for _, y in small_result.series(f=f, register="coded-only")
+            ]
+            assert len(set(abd)) == 1
+            assert coded == sorted(coded)
+
+    def test_records_sit_above_lower_bound_overlays(self, small_result):
+        for record in small_result.records:
+            if record.register in ("coded-only", "adaptive"):
+                assert record.peak_bo_state_bits >= record.thm1_bits
+
+    def test_progress_callback_sees_every_point(self):
+        grid = SweepGrid.cartesian(
+            registers=("abd",), fs=(1,), ks=(2,), cs=(1, 2),
+            data_sizes=(48,),
+        )
+        seen = []
+        run_sweep(grid, progress=lambda done, total, point: seen.append(
+            (done, total, point.c)
+        ))
+        assert seen == [(1, 2, 1), (2, 2, 2)]
+
+
+class TestSweepResultIO:
+    def test_json_roundtrip(self, small_result):
+        assert SweepResult.from_json(small_result.to_json()).records == \
+            small_result.records
+
+    def test_save_and_load(self, small_result, tmp_path):
+        path = small_result.save(tmp_path / "nested" / "sweep.json")
+        assert SweepResult.load(path).records == small_result.records
+
+    def test_version_guard(self):
+        with pytest.raises(ParameterError, match="version"):
+            SweepResult.from_json('{"version": 99, "records": []}')
+
+    def test_table_renders_all_records(self, small_result):
+        table = small_result.table()
+        assert table.count("\n") == len(small_result) + 1
+        assert "disintegrated_bits" in table
+
+    def test_select_and_series(self, small_result):
+        rows = small_result.select(register="adaptive", f=2)
+        assert {row.c for row in rows} == {1, 2, 4}
+        series = small_result.series(register="adaptive", f=2)
+        assert [x for x, _ in series] == [1, 2, 4]

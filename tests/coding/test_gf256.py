@@ -253,6 +253,65 @@ class TestMatmul:
                 np.zeros((2, 2), dtype=np.uint8),
             )
 
+    def test_zero_width_operand(self):
+        a = np.ones((3, 2), dtype=np.uint8)
+        b = np.zeros((2, 0), dtype=np.uint8)
+        assert gf256.gf_matmul(a, b).shape == (3, 0)
+
+    def test_all_zero_row_group(self):
+        # A group of >= 8 all-zero output rows must short-circuit to zeros.
+        a = np.zeros((10, 3), dtype=np.uint8)
+        a[9, 0] = 5
+        b = np.arange(9, dtype=np.uint8).reshape(3, 3)
+        product = gf256.gf_matmul(a, b)
+        assert not product[:8].any()
+        assert product[9].any()
+
+
+class TestMatmulTiling:
+    """The column-tiled kernel must be bit-identical to the untiled one.
+
+    ``tile_columns >= width`` degenerates to a single tile (the untiled
+    reference); every smaller positive tile must reproduce it exactly,
+    including tiles that do not divide the width.
+    """
+
+    @pytest.mark.parametrize("batch", [1, 2, 3, 7, 8, 16, 31, 64, 100, 128])
+    def test_batch_sizes_match_untiled(self, batch):
+        # Stacked-codeword layout: width = batch * shard_bytes, as produced
+        # by encode_batch; shard size 48 makes widths non-multiples of the
+        # test tiles below.
+        rng = np.random.default_rng(batch)
+        shard_bytes = 48
+        a = rng.integers(0, 256, (12, 5), dtype=np.uint8)
+        b = rng.integers(0, 256, (5, batch * shard_bytes), dtype=np.uint8)
+        untiled = gf256.gf_matmul(a, b, tile_columns=b.shape[1])
+        for tile in (1, 7, 64, 1000):
+            tiled = gf256.gf_matmul(a, b, tile_columns=tile)
+            assert np.array_equal(tiled, untiled), (batch, tile)
+
+    @pytest.mark.parametrize("tile", [1, 3, 17, 100])
+    def test_single_row_path_matches_untiled(self, tile):
+        rng = np.random.default_rng(tile)
+        a = rng.integers(0, 256, (1, 6), dtype=np.uint8)
+        b = rng.integers(0, 256, (6, 131), dtype=np.uint8)
+        untiled = gf256.gf_matmul(a, b, tile_columns=131)
+        assert np.array_equal(gf256.gf_matmul(a, b, tile_columns=tile), untiled)
+
+    def test_default_tile_matches_explicit_untiled(self):
+        # Width beyond TILE_COLUMNS exercises the default multi-tile path.
+        rng = np.random.default_rng(3)
+        width = gf256.TILE_COLUMNS + 13
+        a = rng.integers(0, 256, (9, 4), dtype=np.uint8)
+        b = rng.integers(0, 256, (4, width), dtype=np.uint8)
+        untiled = gf256.gf_matmul(a, b, tile_columns=width)
+        assert np.array_equal(gf256.gf_matmul(a, b), untiled)
+
+    def test_non_positive_tile_raises(self):
+        a = np.ones((2, 2), dtype=np.uint8)
+        with pytest.raises(ParameterError, match="tile_columns"):
+            gf256.gf_matmul(a, a, tile_columns=0)
+
 
 class TestPolyEval:
     def test_constant_polynomial(self):

@@ -5,6 +5,7 @@ import os
 import pytest
 
 from repro.coding import (
+    BatchEncodePlan,
     CodeBlock,
     DecodeOracle,
     EncodeOracle,
@@ -62,6 +63,50 @@ class TestEncodeOracle:
         oracle = EncodeOracle(scheme, value, op_uid=5)
         for index in range(3):
             assert oracle.get(index).payload == scheme.encode_block(value, index)
+
+
+class TestBatchEncodePlan:
+    def test_primed_blocks_identical_to_lazy_encoding(self):
+        scheme = ReedSolomonCode(k=2, n=6, data_size_bytes=8)
+        values = [os.urandom(8) for _ in range(5)]
+        plan = BatchEncodePlan(scheme, values, range(6))
+        for uid, value in enumerate(values):
+            primed = EncodeOracle(scheme, value, op_uid=uid)
+            assert plan.prime(primed)
+            lazy = EncodeOracle(scheme, value, op_uid=uid)
+            assert primed.get_many(range(6)) == lazy.get_many(range(6))
+
+    def test_primed_blocks_carry_each_oracles_uid(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        value = os.urandom(8)
+        plan = BatchEncodePlan(scheme, [value, value], range(4))
+        first = EncodeOracle(scheme, value, op_uid=1)
+        second = EncodeOracle(scheme, value, op_uid=2)
+        plan.prime(first)
+        plan.prime(second)
+        assert first.get(3).payload == second.get(3).payload
+        assert first.get(3).source.op_uid == 1
+        assert second.get(3).source.op_uid == 2
+
+    def test_unknown_value_left_lazy(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        plan = BatchEncodePlan(scheme, [os.urandom(8)], range(4))
+        oracle = EncodeOracle(scheme, os.urandom(8), op_uid=0)
+        assert not plan.prime(oracle)
+        assert oracle._blocks == {}
+
+    def test_foreign_scheme_left_lazy(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        twin = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        value = os.urandom(8)
+        plan = BatchEncodePlan(scheme, [value], range(4))
+        assert not plan.prime(EncodeOracle(twin, value, op_uid=0))
+
+    def test_duplicate_values_encoded_once(self):
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        value = os.urandom(8)
+        plan = BatchEncodePlan(scheme, [value] * 10, range(4))
+        assert len(plan) == 1
 
 
 class TestDecodeOracle:

@@ -159,3 +159,42 @@ class TestDecodeCache:
         assert rs.decode(blocks) == value
         assert (1, 2, 4) in rs._decode_cache
         assert rs.decode(blocks) == value
+
+    def test_cache_bounded_by_limit(self, rs):
+        value = os.urandom(24)
+        patterns = list(itertools.combinations(range(1, rs.n), rs.k))
+        rs.DECODE_CACHE_LIMIT = 4
+        assert len(patterns) > rs.DECODE_CACHE_LIMIT  # sanity
+        for pattern in patterns:
+            blocks = rs.encode_many(value, pattern)
+            assert rs.decode(blocks) == value
+            assert len(rs._decode_cache) <= 4
+
+    def test_least_recently_used_pattern_evicted(self, rs):
+        value = os.urandom(24)
+        rs.DECODE_CACHE_LIMIT = 2
+        first, second, third = (1, 2, 4), (2, 3, 5), (3, 4, 6)
+        rs.decode(rs.encode_many(value, first))
+        rs.decode(rs.encode_many(value, second))
+        # Touch `first` so `second` becomes the least recently used...
+        rs.decode(rs.encode_many(value, first))
+        rs.decode(rs.encode_many(value, third))  # ...and is evicted here.
+        assert set(rs._decode_cache) == {first, third}
+
+    def test_eviction_does_not_change_decodes(self, rs):
+        value = os.urandom(24)
+        rs.DECODE_CACHE_LIMIT = 1
+        for pattern in itertools.combinations(range(rs.n), rs.k):
+            assert rs.decode(rs.encode_many(value, pattern)) == value
+
+    def test_batch_decode_respects_limit(self, rs):
+        values = [os.urandom(24) for _ in range(6)]
+        rs.DECODE_CACHE_LIMIT = 2
+        batch = [
+            rs.encode_many(value, pattern)
+            for value, pattern in zip(
+                values, itertools.cycle([(1, 2, 4), (2, 3, 5), (3, 4, 6)])
+            )
+        ]
+        assert rs.decode_batch(batch) == values
+        assert len(rs._decode_cache) <= 2

@@ -3,7 +3,15 @@
 import pytest
 
 from repro.errors import SchedulerExhausted
-from repro.registers import AdaptiveRegister, RegisterSetup
+from repro.registers import (
+    ABDRegister,
+    AdaptiveRegister,
+    CASRegister,
+    CodedOnlyRegister,
+    RegisterSetup,
+    SafeCodedRegister,
+    replication_setup,
+)
 from repro.sim import FairScheduler, RandomScheduler
 from repro.workloads import (
     WorkloadSpec,
@@ -116,3 +124,63 @@ class TestRunner:
         result = run_register_workload(AdaptiveRegister, SETUP, spec)
         assert result.run.quiescent
         assert result.run.steps == 0
+
+
+class TestEncodePriming:
+    """The batched write-wave encode must be measurement-invisible."""
+
+    def _measurements(self, result):
+        return (
+            result.peak_storage_bits,
+            result.peak_bo_state_bits,
+            result.final_bo_state_bits,
+            result.run.steps,
+            result.completed_writes,
+            result.completed_reads,
+        )
+
+    @pytest.mark.parametrize(
+        "register_cls, setup",
+        [
+            (AdaptiveRegister, SETUP),
+            (CodedOnlyRegister, SETUP),
+            (CASRegister, SETUP),
+            (SafeCodedRegister, SETUP),
+            (ABDRegister, replication_setup(f=1, data_size_bytes=16)),
+        ],
+    )
+    def test_priming_changes_no_measurement(self, register_cls, setup):
+        spec = WorkloadSpec(writers=6, writes_per_writer=2, readers=2,
+                            reads_per_reader=1, seed=3)
+        primed = run_register_workload(register_cls, setup, spec)
+        lazy = run_register_workload(
+            register_cls, setup, spec, prime_encodes=False
+        )
+        assert self._measurements(primed) == self._measurements(lazy)
+
+    def test_replication_scheme_skips_the_plan(self):
+        # ABD's "encode" is a copy: no stacked pass to share, no plan.
+        spec = WorkloadSpec(writers=4, writes_per_writer=1, readers=0, seed=3)
+        result = run_register_workload(
+            ABDRegister, replication_setup(f=1, data_size_bytes=16), spec
+        )
+        assert result.sim.encode_plan is None
+
+    def test_wave_shares_one_stacked_encode_pass(self):
+        spec = WorkloadSpec(writers=8, writes_per_writer=1, readers=0, seed=3)
+        result = run_register_workload(AdaptiveRegister, SETUP, spec)
+        plan = result.sim.encode_plan
+        assert plan is not None
+        assert len(plan) == 8  # one cached codeword per distinct value
+
+    def test_single_write_skips_the_plan(self):
+        spec = WorkloadSpec(writers=1, writes_per_writer=1, readers=0, seed=3)
+        result = run_register_workload(AdaptiveRegister, SETUP, spec)
+        assert result.sim.encode_plan is None
+
+    def test_plan_disabled_on_request(self):
+        spec = WorkloadSpec(writers=4, writes_per_writer=1, readers=0, seed=3)
+        result = run_register_workload(
+            AdaptiveRegister, SETUP, spec, prime_encodes=False
+        )
+        assert result.sim.encode_plan is None
