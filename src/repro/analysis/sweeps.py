@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import time
 from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
@@ -268,7 +269,15 @@ class SweepGrid:
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """One executed grid point: parameters, measurements, overlays."""
+    """One executed grid point: parameters, measurements, overlays.
+
+    ``wall_clock_s`` is the measured wall-clock of the point's simulation
+    run (the quantity ``bench_sim_throughput.py`` tracks across PRs). It
+    defaults to ``0.0`` so pre-timing JSON documents still load, and it is
+    *metadata*, not measurement: :meth:`SweepResult.to_json` can exclude it
+    to obtain the deterministic byte-identical document two identical
+    sweeps agree on.
+    """
 
     register: str
     f: int
@@ -286,6 +295,7 @@ class SweepRecord:
     adaptive_bound_bits: int
     disintegrated_bits: int
     lrc_floor_bits: int
+    wall_clock_s: float = 0.0
 
 
 #: Default columns of :meth:`SweepResult.table`.
@@ -340,13 +350,25 @@ class SweepResult:
 
     # ----------------------------------------------------------------- IO
 
-    def to_json(self) -> str:
-        """Serialise to a stable, versioned JSON document."""
+    def to_json(self, include_timing: bool = True) -> str:
+        """Serialise to a stable, versioned JSON document.
+
+        ``include_timing=False`` drops the per-record ``wall_clock_s``
+        metadata, yielding the deterministic document two runs of the same
+        grid agree on byte-for-byte (every *measured* field is
+        deterministic; wall-clock is not).
+        """
+        records = [asdict(record) for record in self.records]
+        record_fields = [field.name for field in fields(SweepRecord)]
+        if not include_timing:
+            record_fields.remove("wall_clock_s")
+            for record in records:
+                del record["wall_clock_s"]
         return json.dumps(
             {
                 "version": 1,
-                "record_fields": [field.name for field in fields(SweepRecord)],
-                "records": [asdict(record) for record in self.records],
+                "record_fields": record_fields,
+                "records": records,
             },
             indent=2,
             sort_keys=True,
@@ -416,7 +438,9 @@ def run_sweep(
     Each point runs :func:`~repro.workloads.runner.run_register_workload`
     with ``c`` concurrent writers under the deterministic fair scheduler, so
     the whole sweep is reproducible from the grid alone (same grid, same
-    result — byte-identical JSON). Every point's writer wave is pre-encoded
+    result — byte-identical ``to_json(include_timing=False)`` documents;
+    each record additionally carries its measured ``wall_clock_s``, which
+    is not deterministic). Every point's writer wave is pre-encoded
     in one stacked :class:`~repro.coding.oracles.BatchEncodePlan` pass, so
     a 500-writer point costs one ``encode_batch`` call, not 500 encodes.
 
@@ -434,9 +458,11 @@ def run_sweep(
             readers=readers,
             seed=point.seed,
         )
+        started = time.perf_counter()
         outcome = run_register_workload(
             protocol_cls, setup, spec, max_steps=max_steps
         )
+        wall_clock_s = round(time.perf_counter() - started, 6)
         data_bits = setup.data_size_bits
         records.append(
             SweepRecord(
@@ -462,6 +488,7 @@ def run_sweep(
                 lrc_floor_bits=lrc_storage_floor_bits(
                     setup.n, point.f, data_bits, lrc_locality
                 ),
+                wall_clock_s=wall_clock_s,
             )
         )
         if progress is not None:

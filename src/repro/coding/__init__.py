@@ -28,6 +28,7 @@ from repro.coding.oracles import (
     BlockSource,
     CodeBlock,
     DecodeOracle,
+    DecodeShareCache,
     EncodeOracle,
     prime_encode_oracles,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "CodeBlock",
     "CodingScheme",
     "DecodeOracle",
+    "DecodeShareCache",
     "EncodeOracle",
     "MDSCodingScheme",
     "PaddedScheme",

@@ -1,0 +1,54 @@
+"""A tiny recency-ordered bounded map shared by the coding-layer caches.
+
+Both :class:`~repro.coding.reed_solomon.ReedSolomonCode`'s decode-inverse
+cache and :class:`~repro.coding.oracles.DecodeShareCache` need the same
+idiom — hit refreshes recency, miss inserts, eviction drops the
+least-recently-used entries beyond a bound — so it lives once, here.
+Stored values may legitimately be ``None`` (an undecodable block set), so
+lookups take an explicit miss ``default`` instead of treating ``None`` as
+absent.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Least-recently-used map; the owner supplies the bound per store.
+
+    The bound is a ``store`` argument rather than constructor state so
+    owners whose limit is a (test-adjustable) attribute — e.g.
+    ``ReedSolomonCode.DECODE_CACHE_LIMIT`` — always evict against the
+    current value.
+    """
+
+    def __init__(self) -> None:
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._entries)
+
+    def lookup(self, key: Any, default: Any = None) -> Any:
+        """Return the stored value (refreshing recency) or ``default``."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._entries.move_to_end(key)
+        return value
+
+    def store(self, key: Any, value: Any, max_entries: int) -> None:
+        """Insert ``key`` as most recent; evict down to ``max_entries``."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > max_entries:
+            self._entries.popitem(last=False)

@@ -14,11 +14,12 @@ sizes, or control flow.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
+from repro.coding.lru import LRUCache
 from repro.coding.scheme import CodingScheme
-from repro.errors import ProtocolError
+from repro.errors import ParameterError, ProtocolError
 
 
 @dataclass(frozen=True)
@@ -199,6 +200,49 @@ class BatchEncodePlan:
         return True
 
 
+class DecodeShareCache:
+    """One stacked decode pass shared by readers assembling the same blocks.
+
+    The read-side twin of :class:`BatchEncodePlan`: a workload with many
+    readers typically has them all reassemble the *same* codeword (the
+    latest write's blocks), yet each reader's
+    :meth:`DecodeOracle.done` would run its own matrix pass. The cache keys
+    on the exact ``(index, payload)`` set a reader assembled; the first
+    reader pays one :meth:`~repro.coding.scheme.CodingScheme.decode_batch`
+    pass (the vectorised path) and every subsequent reader with the same
+    set reuses the decoded value.
+
+    Decoding is a pure function of the block set, so sharing is
+    measurement-invisible: returned values — including ``None`` for
+    undecodable sets — are byte-identical to per-read decoding (the parity
+    suite asserts this across every register). Entries are LRU-bounded so
+    long churn workloads cannot accrete unbounded decoded values.
+    """
+
+    _MISS = object()
+
+    def __init__(self, scheme: CodingScheme, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ParameterError("DecodeShareCache needs max_entries >= 1")
+        self.scheme = scheme
+        self.max_entries = max_entries
+        self._cache = LRUCache()
+        self.hits = 0
+        self.misses = 0
+
+    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
+        """Decode ``blocks``, sharing the pass with identical block sets."""
+        key = tuple(sorted(blocks.items()))
+        cached = self._cache.lookup(key, self._MISS)
+        if cached is not self._MISS:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        [value] = self.scheme.decode_batch([dict(blocks)])
+        self._cache.store(key, value, self.max_entries)
+        return value
+
+
 @dataclass
 class DecodeOracle:
     """``oracleD(c_i, r)`` — accumulates blocks and decodes on ``done``.
@@ -206,12 +250,15 @@ class DecodeOracle:
     The paper indexes pushes by an attempt number ``i`` so a reader can run
     several decode attempts; we keep that: ``push(block, attempt)`` files the
     block under ``attempt`` and ``done(attempt)`` decodes that attempt's
-    blocks.
+    blocks. When a :class:`DecodeShareCache` is attached (the workload
+    runner installs one per simulation), the decode pass is shared across
+    oracles that assembled identical block sets.
     """
 
     scheme: CodingScheme
     _attempts: dict[int, dict[int, bytes]] = field(default_factory=dict)
     expired: bool = False
+    share_cache: DecodeShareCache | None = None
 
     def push(self, block: CodeBlock, attempt: int = 0) -> None:
         """File ``block`` under decode attempt ``attempt``."""
@@ -229,16 +276,20 @@ class DecodeOracle:
         """Return how many distinct blocks attempt ``attempt`` holds."""
         return len(self._attempts.get(attempt, {}))
 
+    def _decode(self, blocks: dict[int, bytes]) -> bytes | None:
+        if self.share_cache is not None:
+            return self.share_cache.decode(blocks)
+        return self.scheme.decode(blocks)
+
     def done(self, attempt: int = 0) -> bytes | None:
         """Decode attempt ``attempt`` and expire the oracle.
 
         Returns the reconstructed value, or ``None`` if undecodable.
         """
-        blocks = self._attempts.get(attempt, {})
-        value = self.scheme.decode(blocks)
+        value = self._decode(self._attempts.get(attempt, {}))
         self.expired = True
         return value
 
     def peek(self, attempt: int = 0) -> bytes | None:
         """Decode without expiring (used by retrying readers)."""
-        return self.scheme.decode(self._attempts.get(attempt, {}))
+        return self._decode(self._attempts.get(attempt, {}))

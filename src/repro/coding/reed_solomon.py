@@ -27,13 +27,13 @@ products against a cached ``uint8`` generator:
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.coding import matrix as gfmat
 from repro.coding.gf256 import gf_matmul
+from repro.coding.lru import LRUCache
 from repro.coding.scheme import (
     MDSCodingScheme,
     stack_group_payloads,
@@ -65,9 +65,7 @@ class ReedSolomonCode(MDSCodingScheme):
         self._generator_np = gfmat.to_array(self._generator)
         # LRU cache of inverted decode submatrices keyed by the index tuple;
         # bounded by DECODE_CACHE_LIMIT, least-recently-used pattern evicted.
-        self._decode_cache: OrderedDict[tuple[int, ...], np.ndarray] = (
-            OrderedDict()
-        )
+        self._decode_cache = LRUCache()
 
     # ---------------------------------------------------------------- codec
 
@@ -127,15 +125,12 @@ class ReedSolomonCode(MDSCodingScheme):
         inserts it, and evicts the least-recently-used pattern once more than
         :data:`DECODE_CACHE_LIMIT` patterns are held.
         """
-        inverse = self._decode_cache.get(chosen)
+        inverse = self._decode_cache.lookup(chosen)
         if inverse is not None:
-            self._decode_cache.move_to_end(chosen)
             return inverse
         submatrix = [self._generator[index] for index in chosen]
         inverse = gfmat.to_array(gfmat.mat_inv(submatrix))
-        self._decode_cache[chosen] = inverse
-        while len(self._decode_cache) > self.DECODE_CACHE_LIMIT:
-            self._decode_cache.popitem(last=False)
+        self._decode_cache.store(chosen, inverse, self.DECODE_CACHE_LIMIT)
         return inverse
 
     def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:

@@ -44,6 +44,10 @@ class ObjectCrashed(SimulationError):
     """An RMW was applied to a crashed base object (kernel bug guard)."""
 
 
+class MeasurementError(SimulationError):
+    """The incremental storage ledger diverged from the full-walk meter."""
+
+
 class SpecError(ReproError):
     """Base class for consistency-checker failures."""
 

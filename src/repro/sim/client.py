@@ -84,8 +84,16 @@ class OperationContext:
         return oracle
 
     def new_decode_oracle(self) -> DecodeOracle:
-        """Create ``oracleD(client, r)`` for this (read) operation."""
-        oracle = DecodeOracle(self.kernel.scheme)
+        """Create ``oracleD(client, r)`` for this (read) operation.
+
+        When the kernel carries a :class:`~repro.coding.oracles.
+        DecodeShareCache` (installed by a workload runner), readers that
+        assemble the same block set share one stacked decode pass; decoded
+        values are identical to per-read decoding.
+        """
+        oracle = DecodeOracle(
+            self.kernel.scheme, share_cache=self.kernel.decode_cache
+        )
         self._decode_oracles.append(oracle)
         return oracle
 

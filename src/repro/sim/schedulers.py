@@ -19,7 +19,9 @@ live here; the paper's freezing adversary Ad (Definition 7) lives in
 from __future__ import annotations
 
 import random
+import weakref
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.sim.actions import Action, ActionKind
@@ -48,10 +50,25 @@ class FairScheduler(Scheduler):
 
     def __init__(self) -> None:
         self._rotation = 0
-        self._client_rotation: dict[str, int] = {}
-        self._step_counter = 0
+        # Rotation deques replace the old per-step sort over all runnable
+        # clients: never-stepped clients first (in arrival order), then
+        # stepped clients least-recently-stepped first. Picking scans past
+        # blocked clients without reordering them — identical schedules to
+        # the sort, O(skipped + 1) per pick instead of O(clients log
+        # clients). The deques are per-simulation state, reset when the
+        # scheduler is pointed at a different simulation (a weak sentinel,
+        # so a reusable scheduler does not pin finished runs in memory).
+        self._sim_ref: "weakref.ref[Simulation] | None" = None
+        self._fresh: deque[str] = deque()
+        self._stepped: deque[str] = deque()
+        self._known: set[str] = set()
 
     def next_action(self, sim: "Simulation") -> Action | None:
+        if self._sim_ref is None or self._sim_ref() is not sim:
+            self._sim_ref = weakref.ref(sim)
+            self._fresh.clear()
+            self._stepped.clear()
+            self._known.clear()
         for offset in range(len(self._CATEGORIES)):
             category = self._CATEGORIES[
                 (self._rotation + offset) % len(self._CATEGORIES)
@@ -66,37 +83,76 @@ class FairScheduler(Scheduler):
 
     def _pick(self, sim: "Simulation", category: ActionKind) -> Action | None:
         if category is ActionKind.APPLY:
-            pending = sim.appliable_rmws()
-            if pending:
-                return Action(ActionKind.APPLY, pending[0].rmw_id)
+            rmw = sim.first_appliable()
+            if rmw is not None:
+                return Action(ActionKind.APPLY, rmw.rmw_id)
             return None
         if category is ActionKind.DELIVER:
-            applied = sim.deliverable_responses()
-            if applied:
-                return Action(ActionKind.DELIVER, applied[0].rmw_id)
+            rmw = sim.first_deliverable()
+            if rmw is not None:
+                return Action(ActionKind.DELIVER, rmw.rmw_id)
             return None
-        runnable = sim.runnable_clients()
-        if not runnable:
-            return None
-        # Least-recently-stepped first, so every runnable client recurs.
-        runnable.sort(key=lambda c: self._client_rotation.get(c.name, -1))
-        chosen = runnable[0]
-        self._step_counter += 1
-        self._client_rotation[chosen.name] = self._step_counter
-        return Action(ActionKind.STEP_CLIENT, chosen.name)
+        if len(self._known) != len(sim.clients):
+            for name in sim.clients:
+                if name not in self._known:
+                    self._known.add(name)
+                    self._fresh.append(name)
+        for queue in (self._fresh, self._stepped):
+            crashed: list[str] = []
+            chosen: str | None = None
+            for name in queue:
+                client = sim.clients[name]
+                if client.crashed:
+                    crashed.append(name)
+                    continue
+                if client.runnable():
+                    chosen = name
+                    break
+            # Crashes are final, so crashed clients leave the rotation for
+            # good (they stay in _known, which only guards re-admission).
+            for name in crashed:
+                queue.remove(name)
+            if chosen is not None:
+                queue.remove(chosen)
+                self._stepped.append(chosen)
+                return Action(ActionKind.STEP_CLIENT, chosen)
+        return None
 
 
 class RandomScheduler(Scheduler):
-    """Uniformly random enabled action from a seeded RNG."""
+    """Uniformly random enabled action from a seeded RNG.
+
+    Samples over category *counts* — runnable clients, appliable RMWs
+    (``len(pending)``), deliverable responses — and indexes into the
+    kernel's swap-remove arrays, so a draw costs O(clients) instead of
+    materialising (and then discarding) the full enabled-action list with
+    its two sorts. The distribution is unchanged: every enabled action is
+    equally likely. The draw *sequence* for a given seed differs from the
+    pre-indexed implementation (one ``randrange`` over the total instead of
+    a ``choice`` over a sorted list), so runs are reproducible per seed but
+    not against traces recorded before the indexed queues existed.
+    """
 
     def __init__(self, seed: int = 0) -> None:
         self.rng = random.Random(seed)
 
     def next_action(self, sim: "Simulation") -> Action | None:
-        actions = sim.enabled_actions()
-        if not actions:
+        runnable = sim.runnable_clients()
+        steps = len(runnable)
+        applies = sim.appliable_count()
+        delivers = sim.deliverable_count()
+        total = steps + applies + delivers
+        if total == 0:
             return None
-        return self.rng.choice(actions)
+        draw = self.rng.randrange(total)
+        if draw < steps:
+            return Action(ActionKind.STEP_CLIENT, runnable[draw].name)
+        draw -= steps
+        if draw < applies:
+            return Action(ActionKind.APPLY, sim.appliable_nth(draw).rmw_id)
+        return Action(
+            ActionKind.DELIVER, sim.deliverable_nth(draw - applies).rmw_id
+        )
 
 
 class ScriptedScheduler(Scheduler):
@@ -137,12 +193,14 @@ class SoloClientScheduler(Scheduler):
         self.client_name = client_name
 
     def next_action(self, sim: "Simulation") -> Action | None:
-        for rmw in sim.appliable_rmws():
-            if rmw.client_name == self.client_name:
-                return Action(ActionKind.APPLY, rmw.rmw_id)
-        for rmw in sim.deliverable_responses():
-            if rmw.client_name == self.client_name:
-                return Action(ActionKind.DELIVER, rmw.rmw_id)
+        # Per-client kernel indices: O(own work), independent of how many
+        # other clients' RMWs the adversary left frozen in the queues.
+        rmw = sim.first_appliable_for(self.client_name)
+        if rmw is not None:
+            return Action(ActionKind.APPLY, rmw.rmw_id)
+        applied = sim.first_deliverable_for(self.client_name)
+        if applied is not None:
+            return Action(ActionKind.DELIVER, applied.rmw_id)
         client = sim.clients.get(self.client_name)
         if client is not None and client.runnable():
             return Action(ActionKind.STEP_CLIENT, self.client_name)
@@ -157,28 +215,43 @@ class SequentialScheduler(Scheduler):
     next local step so each round completes synchronously.
     """
 
+    def __init__(self) -> None:
+        self._sim_ref: "weakref.ref[Simulation] | None" = None
+        self._sorted_names: list[str] = []
+
     def next_action(self, sim: "Simulation") -> Action | None:
+        # Clients are only ever added (never renamed or removed), so the
+        # sorted-name cache refreshes on growth — or on a new simulation
+        # (weak sentinel: reuse must not pin the previous run in memory).
+        if (
+            self._sim_ref is None
+            or self._sim_ref() is not sim
+            or len(self._sorted_names) != len(sim.clients)
+        ):
+            self._sim_ref = weakref.ref(sim)
+            self._sorted_names = sorted(sim.clients)
         active = next(
             (
                 client
-                for client in sorted(sim.clients.values(), key=lambda c: c.name)
+                for client in map(sim.clients.__getitem__, self._sorted_names)
                 if client.current is not None and not client.crashed
             ),
             None,
         )
         if active is None:
             # Start the next queued op, if any client has one.
-            for client in sorted(sim.clients.values(), key=lambda c: c.name):
-                if client.runnable():
-                    return Action(ActionKind.STEP_CLIENT, client.name)
+            for name in self._sorted_names:
+                if sim.clients[name].runnable():
+                    return Action(ActionKind.STEP_CLIENT, name)
             return None
-        # Serve the active client's memory actions first, FIFO.
-        for rmw in sim.appliable_rmws():
-            if rmw.client_name == active.name:
-                return Action(ActionKind.APPLY, rmw.rmw_id)
-        for rmw in sim.deliverable_responses():
-            if rmw.client_name == active.name:
-                return Action(ActionKind.DELIVER, rmw.rmw_id)
+        # Serve the active client's memory actions first, FIFO — per-client
+        # kernel indices make each probe O(own work).
+        rmw = sim.first_appliable_for(active.name)
+        if rmw is not None:
+            return Action(ActionKind.APPLY, rmw.rmw_id)
+        applied = sim.first_deliverable_for(active.name)
+        if applied is not None:
+            return Action(ActionKind.DELIVER, applied.rmw_id)
         if active.runnable():
             return Action(ActionKind.STEP_CLIENT, active.name)
         return None  # active client blocked with nothing in flight: deadlock

@@ -7,11 +7,19 @@ from repro.storage.blockstore import (
     sources_present,
     total_bits,
 )
-from repro.storage.cost import CostBreakdown, PeakTracker, StorageMeter
+from repro.storage.cost import (
+    CostBreakdown,
+    PeakTracker,
+    ReferenceStorageMeter,
+    StorageLedger,
+    StorageMeter,
+)
 
 __all__ = [
     "CostBreakdown",
     "PeakTracker",
+    "ReferenceStorageMeter",
+    "StorageLedger",
     "StorageMeter",
     "collect_blocks",
     "distinct_source_bits",

@@ -20,33 +20,57 @@ from typing import Any
 
 from repro.coding.oracles import BlockSource, CodeBlock
 
+#: ``dataclasses.fields`` resolves descriptors on every call; protocol states
+#: are a handful of dataclass types walked millions of times per run, so the
+#: field-name tuples are resolved once per class.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+#: Leaf types that can never contain a block.
+_ATOMIC_LEAVES = (str, bytes, bytearray, int, float, bool)
+
+
+def _field_names(cls: type) -> tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(field.name for field in dataclasses.fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
 
 def collect_blocks(obj: Any) -> Iterator[CodeBlock]:
     """Yield every :class:`CodeBlock` reachable inside ``obj``.
 
-    Traverses mappings (values only), sequences, sets, and dataclasses.
-    Strings/bytes are treated as leaves. Cycles are not expected in protocol
-    state (it is built from immutable-ish rounds), so no visited-set is kept;
-    a cycle would be a protocol bug and recursion would surface it.
+    Traverses mappings (values only), sequences, sets, and dataclasses, in
+    depth-first pre-order. Strings/bytes are treated as leaves. The walk is
+    iterative (an explicit stack), so deep protocol state — a GC-free
+    register accreting one wrapper per write, say — cannot hit Python's
+    recursion limit, and cycles are not expected in protocol state (it is
+    built from immutable-ish rounds), so no visited-set is kept.
     """
-    if isinstance(obj, CodeBlock):
-        yield obj
-        return
-    if obj is None or isinstance(obj, (str, bytes, bytearray, int, float, bool)):
-        return
-    if isinstance(obj, Mapping):
-        for value in obj.values():
-            yield from collect_blocks(value)
-        return
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        for item in obj:
-            yield from collect_blocks(item)
-        return
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        for field in dataclasses.fields(obj):
-            yield from collect_blocks(getattr(obj, field.name))
-        return
-    # Opaque leaf (e.g. a timestamp class): contributes no blocks.
+    stack = [obj]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, CodeBlock):
+            yield node
+            continue
+        if node is None or isinstance(node, _ATOMIC_LEAVES):
+            continue
+        if isinstance(node, Mapping):
+            stack.extend(reversed(list(node.values())))
+            continue
+        if isinstance(node, (list, tuple)):
+            stack.extend(reversed(node))
+            continue
+        if isinstance(node, (set, frozenset)):
+            stack.extend(node)
+            continue
+        if dataclasses.is_dataclass(node) and not isinstance(node, type):
+            names = _field_names(type(node))
+            stack.extend(
+                getattr(node, name) for name in reversed(names)
+            )
+            continue
+        # Opaque leaf (e.g. a timestamp class): contributes no blocks.
 
 
 def total_bits(obj: Any) -> int:

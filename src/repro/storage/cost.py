@@ -20,6 +20,22 @@ Definition 6's ``||S(t, w)||`` — the bits operation ``w`` contributes in
 :meth:`StorageMeter.op_contribution_bits`, with an optional base-object
 restriction used by the adversary's ``C-(t)`` bookkeeping (Lemma 2 applies
 it to ``B \\ F(t)``).
+
+Two implementations measure the same quantity:
+
+* :class:`ReferenceStorageMeter` re-walks every base-object state, applied
+  response, and pending RMW at every query — the executable definition,
+  O(system state) per query;
+* :class:`StorageLedger` maintains the same sums as a **delta ledger**
+  updated at the kernel's four mutation points (trigger / apply / deliver /
+  crash) via :class:`~repro.sim.kernel.KernelListener` hooks, making every
+  query O(1). The Definition 2 cost only changes at those transitions, so
+  the ledger is exact, not approximate; :meth:`StorageLedger.audit` (and
+  :class:`PeakTracker`'s ``audit_every``) asserts ledger == full walk.
+
+:class:`StorageMeter` — the class every caller uses — reads the ledger for
+Definition 2 queries and falls back to traversal only for the per-operation
+Definition 6 accounting.
 """
 
 from __future__ import annotations
@@ -27,8 +43,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
-from repro.sim.actions import Action
-from repro.storage.blockstore import collect_blocks
+from repro.errors import MeasurementError, ParameterError
+from repro.sim.actions import Action, AppliedRMW, PendingRMW
+from repro.sim.kernel import KernelListener
+from repro.storage.blockstore import collect_blocks, total_bits
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.sim.kernel import Simulation
@@ -51,8 +69,14 @@ class CostBreakdown:
         )
 
 
-class StorageMeter:
-    """Measures storage cost of a running simulation."""
+class ReferenceStorageMeter:
+    """The executable Definition 2: a full state walk per query.
+
+    This is the reference implementation the incremental ledger is audited
+    against — O(system state) per call, with no cached state of its own, so
+    it is correct even for simulations whose state was mutated behind the
+    kernel's back (as some whitebox tests do).
+    """
 
     def __init__(self, sim: "Simulation") -> None:
         self.sim = sim
@@ -177,20 +201,198 @@ class StorageMeter:
         return {uid: sum(indexed.values()) for uid, indexed in seen.items()}
 
 
+class StorageLedger(KernelListener):
+    """Incremental Definition 2 accounting: O(1) per query, exact.
+
+    The ledger caches, per base object, the block bits of its state and of
+    its applied-but-undelivered responses, and per pending RMW the bits of
+    its parameters. Each cache entry changes at exactly one kernel
+    transition, where the attached :class:`~repro.sim.kernel.KernelListener`
+    hook applies the delta:
+
+    * ``on_trigger`` adds the new RMW's parameter bits;
+    * ``on_apply`` retires those parameter bits, adds the response bits,
+      and re-walks *one* object's state (the only state that changed);
+    * ``on_deliver`` retires the response bits (delivered or dropped);
+    * ``on_bo_crash`` zeroes the crashed object's state and response bits
+      and retires its dropped pending parameters;
+    * ``on_client_crash`` is a no-op — a crashed client's pending
+      parameters and applied responses remain in storage under Definition 2.
+
+    The per-action cost is therefore O(bits that changed), not O(system
+    state); a :class:`PeakTracker` sampling every action goes from
+    O(actions x state) to O(total state churn).
+
+    One sharp edge: the ledger trusts the kernel to be the only mutator.
+    Code that rewrites ``base_object.state`` directly (whitebox tests)
+    must call :meth:`resync` — or use :class:`ReferenceStorageMeter`.
+    :meth:`audit` asserts ledger == full walk and names the first
+    discrepancy.
+    """
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        self._bo_state_bits = [0] * len(sim.base_objects)
+        self._bo_response_bits = [0] * len(sim.base_objects)
+        self._args_bits: dict[int, int] = {}
+        self._response_bits: dict[int, int] = {}
+        self.bo_state_total = 0
+        self.undelivered_total = 0
+        self.pending_args_total = 0
+        self.resync()
+
+    def resync(self) -> None:
+        """Reseed every cache from the current state (one full walk)."""
+        self.bo_state_total = 0
+        self.undelivered_total = 0
+        self.pending_args_total = 0
+        self._args_bits.clear()
+        self._response_bits.clear()
+        for bo in self.sim.base_objects:
+            bits = 0 if bo.crashed else total_bits(bo.state)
+            self._bo_state_bits[bo.bo_id] = bits
+            self._bo_response_bits[bo.bo_id] = 0
+            self.bo_state_total += bits
+        for rmw in self.sim.pending.values():
+            bits = total_bits(rmw.args)
+            self._args_bits[rmw.rmw_id] = bits
+            self.pending_args_total += bits
+        for rmw in self.sim.applied.values():
+            # Crashed objects never hold applied entries (crashes drop them).
+            bits = total_bits(rmw.response)
+            self._response_bits[rmw.rmw_id] = bits
+            self._bo_response_bits[rmw.bo_id] += bits
+            self.undelivered_total += bits
+
+    # ------------------------------------------------------- kernel hooks
+
+    def on_trigger(self, rmw: PendingRMW) -> None:
+        bits = total_bits(rmw.args)
+        self._args_bits[rmw.rmw_id] = bits
+        self.pending_args_total += bits
+
+    def on_apply(self, rmw: AppliedRMW) -> None:
+        self.pending_args_total -= self._args_bits.pop(rmw.rmw_id, 0)
+        response_bits = total_bits(rmw.response)
+        self._response_bits[rmw.rmw_id] = response_bits
+        self._bo_response_bits[rmw.bo_id] += response_bits
+        self.undelivered_total += response_bits
+        new_state_bits = total_bits(self.sim.base_objects[rmw.bo_id].state)
+        self.bo_state_total += new_state_bits - self._bo_state_bits[rmw.bo_id]
+        self._bo_state_bits[rmw.bo_id] = new_state_bits
+
+    def on_deliver(self, rmw: AppliedRMW) -> None:
+        response_bits = self._response_bits.pop(rmw.rmw_id, 0)
+        self._bo_response_bits[rmw.bo_id] -= response_bits
+        self.undelivered_total -= response_bits
+
+    def on_bo_crash(
+        self,
+        bo_id: int,
+        dropped_pending: list[PendingRMW],
+        dropped_applied: list[AppliedRMW],
+    ) -> None:
+        for rmw in dropped_pending:
+            self.pending_args_total -= self._args_bits.pop(rmw.rmw_id, 0)
+        for rmw in dropped_applied:
+            self.undelivered_total -= self._response_bits.pop(rmw.rmw_id, 0)
+        self._bo_response_bits[bo_id] = 0
+        self.bo_state_total -= self._bo_state_bits[bo_id]
+        self._bo_state_bits[bo_id] = 0
+
+    # ------------------------------------------------------------ queries
+
+    def breakdown(self) -> CostBreakdown:
+        return CostBreakdown(
+            self.bo_state_total, self.undelivered_total, self.pending_args_total
+        )
+
+    def bo_bits(self, bo_id: int) -> int:
+        if self.sim.base_objects[bo_id].crashed:
+            return 0
+        return self._bo_state_bits[bo_id] + self._bo_response_bits[bo_id]
+
+    # -------------------------------------------------------------- audit
+
+    def audit(self) -> None:
+        """Assert ledger == reference full walk; raise on any divergence."""
+        reference = ReferenceStorageMeter(self.sim)
+        expected = reference.breakdown()
+        actual = self.breakdown()
+        if expected != actual:
+            raise MeasurementError(
+                f"storage ledger diverged from full walk: ledger={actual}, "
+                f"reference={expected}"
+            )
+        for bo in self.sim.base_objects:
+            if self.bo_bits(bo.bo_id) != reference.bo_bits(bo.bo_id):
+                raise MeasurementError(
+                    f"storage ledger diverged at base object {bo.bo_id}: "
+                    f"ledger={self.bo_bits(bo.bo_id)}, "
+                    f"reference={reference.bo_bits(bo.bo_id)}"
+                )
+
+
+class StorageMeter(ReferenceStorageMeter):
+    """Measures storage cost of a running simulation — ledger-backed.
+
+    Drop-in equal to :class:`ReferenceStorageMeter` (the randomized ledger
+    parity suite asserts bit-identical results at every action), but
+    Definition 2 queries read the simulation's shared
+    :class:`StorageLedger` in O(1) instead of re-walking the system state.
+    Definition 6 queries (:meth:`op_contribution_bits` and friends) still
+    traverse — they need per-source block identities, not sums.
+    """
+
+    def __init__(self, sim: "Simulation") -> None:
+        super().__init__(sim)
+        self.ledger = sim.storage_ledger
+
+    def bo_bits(self, bo_id: int) -> int:
+        return self.ledger.bo_bits(bo_id)
+
+    def breakdown(self) -> CostBreakdown:
+        return self.ledger.breakdown()
+
+    def audit(self) -> None:
+        """Assert the backing ledger matches a reference full walk."""
+        self.ledger.audit()
+
+
 class PeakTracker:
     """Records the worst-case (and optionally the full series of) storage.
 
     Register it as ``on_action`` in :meth:`Simulation.run`; the paper's
     "storage cost of an algorithm" is the max over all times of all runs,
-    which this tracker realises for one run.
+    which this tracker realises for one run. With a ledger-backed
+    :class:`StorageMeter` each sample is O(1), so per-action tracking no
+    longer dominates simulation wall-clock.
+
+    ``audit_every = N`` cross-checks the incremental ledger against the
+    full-walk reference every ``N`` actions (and raises
+    :class:`~repro.errors.MeasurementError` on divergence) — the paranoid
+    mode CI smoke runs use.
     """
 
-    def __init__(self, meter: StorageMeter, keep_series: bool = False) -> None:
+    def __init__(
+        self,
+        meter: StorageMeter,
+        keep_series: bool = False,
+        audit_every: int = 0,
+    ) -> None:
+        if audit_every and not hasattr(meter, "audit"):
+            # Fail loudly: a requested audit must never be a silent no-op.
+            raise ParameterError(
+                f"audit_every={audit_every} needs a meter with an audit() "
+                f"method; {type(meter).__name__} has none"
+            )
         self.meter = meter
         self.keep_series = keep_series
+        self.audit_every = audit_every
         self.peak_bits = meter.cost_bits()
         self.peak_bo_only_bits = meter.bo_only_cost_bits()
         self.series: list[tuple[int, int]] = []
+        self.actions_seen = 0
 
     def __call__(self, sim: "Simulation", action: Action) -> None:
         breakdown = self.meter.breakdown()
@@ -201,3 +403,6 @@ class PeakTracker:
             self.peak_bo_only_bits = breakdown.bo_state_bits
         if self.keep_series:
             self.series.append((sim.time, total))
+        self.actions_seen += 1
+        if self.audit_every and self.actions_seen % self.audit_every == 0:
+            self.meter.audit()

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Type
 
-from repro.coding.oracles import BatchEncodePlan
+from repro.coding.oracles import BatchEncodePlan, DecodeShareCache
 from repro.coding.scheme import MDSCodingScheme
 from repro.errors import SchedulerExhausted
 from repro.registers.base import RegisterProtocol, RegisterSetup
@@ -59,7 +59,7 @@ class WorkloadResult:
     peak_storage_bits: int
     peak_bo_state_bits: int
     final_bo_state_bits: int
-    spec: WorkloadSpec = field(default=None)  # type: ignore[assignment]
+    spec: WorkloadSpec | None = None
     series: list[tuple[int, int]] = field(default_factory=list)
 
     @property
@@ -115,6 +115,8 @@ def run_register_workload(
     require_quiescence: bool = True,
     configure: Callable[[Simulation, Scheduler], Scheduler] | None = None,
     prime_encodes: bool = True,
+    share_decodes: bool = True,
+    audit_storage_every: int = 0,
 ) -> WorkloadResult:
     """Run ``spec`` against a fresh register and measure storage.
 
@@ -132,8 +134,13 @@ def run_register_workload(
     runs out first — which, for fair schedulers and FW-terminating
     registers, indicates a liveness bug worth failing loudly on.
     ``prime_encodes`` (default on) batches the whole write wave through one
-    :class:`~repro.coding.oracles.BatchEncodePlan` stacked encode pass; it
-    is an optimisation only and never changes any measurement.
+    :class:`~repro.coding.oracles.BatchEncodePlan` stacked encode pass;
+    ``share_decodes`` (default on) lets readers assembling the same block
+    set share one stacked decode pass through a
+    :class:`~repro.coding.oracles.DecodeShareCache`. Both are optimisations
+    only and never change any measurement. ``audit_storage_every = N``
+    cross-checks the incremental storage ledger against the full-walk
+    reference meter every ``N`` actions (CI smoke runs use this).
     """
     spec = spec or WorkloadSpec()
     scheduler = scheduler or FairScheduler()
@@ -143,6 +150,8 @@ def run_register_workload(
     values = spec.write_values(setup)
     if prime_encodes:
         sim.encode_plan = _build_encode_plan(sim, values)
+    if share_decodes:
+        sim.decode_cache = DecodeShareCache(sim.scheme)
     for index in range(spec.writers):
         client = sim.add_client(writer_name(index))
         for value in values[writer_name(index)]:
@@ -156,7 +165,9 @@ def run_register_workload(
         scheduler = configure(sim, scheduler)
 
     meter = StorageMeter(sim)
-    tracker = PeakTracker(meter, keep_series=keep_series)
+    tracker = PeakTracker(
+        meter, keep_series=keep_series, audit_every=audit_storage_every
+    )
     run = sim.run(scheduler, max_steps=max_steps, on_action=tracker)
     if require_quiescence and run.exhausted:
         raise SchedulerExhausted(

@@ -192,3 +192,35 @@ class TestSymmetry:
     def test_total_bits_deduplicates(self, scheme):
         single = scheme.total_bits([0])
         assert scheme.total_bits([0, 0, 0]) == single
+
+
+class TestDecodeShareCache:
+    def test_rejects_non_positive_bound(self):
+        import pytest
+
+        from repro.coding import DecodeShareCache, ReedSolomonCode
+        from repro.errors import ParameterError
+
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        with pytest.raises(ParameterError):
+            DecodeShareCache(scheme, max_entries=0)
+
+    def test_caches_undecodable_none_results(self):
+        from repro.coding import DecodeShareCache, ReedSolomonCode
+
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        cache = DecodeShareCache(scheme)
+        blocks = dict(list(scheme.encode_many(bytes(8), [0]).items()))
+        assert cache.decode(blocks) is None  # < k blocks: undecodable
+        assert cache.decode(blocks) is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_bounds_entries(self):
+        from repro.coding import DecodeShareCache, ReedSolomonCode
+
+        scheme = ReedSolomonCode(k=2, n=4, data_size_bytes=8)
+        cache = DecodeShareCache(scheme, max_entries=2)
+        for byte in range(4):
+            value = bytes([byte]) * 8
+            cache.decode(scheme.encode_many(value, [0, 1]))
+        assert len(cache._cache) <= 2

@@ -119,3 +119,37 @@ class TestSequentialScheduler:
                 last_written = op.written
             else:
                 assert op.result == (last_written or setup.v0())
+
+
+class TestSchedulerReuse:
+    """Schedulers hold per-simulation state; reuse must reset it."""
+
+    def test_fair_scheduler_reusable_across_simulations(self):
+        scheduler = FairScheduler()
+        first = counter_sim()
+        client = first.add_client("w0")
+        client.enqueue_write(bytes(8))
+        first.crash_client("w0")
+        assert first.run(scheduler).quiescent
+        # Same client name, fresh simulation: the crashed-w0 bookkeeping
+        # from the first run must not starve the second run's w0.
+        second = counter_sim()
+        client = second.add_client("w0")
+        client.enqueue_write(bytes(8))
+        result = second.run(scheduler)
+        assert result.quiescent
+        assert client.completed_ops == 1
+
+    def test_sequential_scheduler_reusable_across_simulations(self):
+        scheduler = SequentialScheduler()
+        first = counter_sim()
+        client = first.add_client("w0")
+        client.enqueue_write(bytes(8))
+        assert first.run(scheduler).quiescent
+        # Different client name, same client count.
+        second = counter_sim()
+        client = second.add_client("other")
+        client.enqueue_write(bytes(8))
+        result = second.run(scheduler)
+        assert result.quiescent
+        assert client.completed_ops == 1

@@ -102,3 +102,28 @@ class TestAccounting:
 
     def test_distinct_source_bits_many_empty_uid_set(self):
         assert distinct_source_bits_many([block(1, 0)], []) == {}
+
+
+class TestIterativeWalk:
+    def test_deep_nesting_does_not_hit_recursion_limit(self):
+        """A GC-free register accreting one wrapper per write must still be
+        meterable: the walk is an explicit stack, not recursion."""
+        leaf = block(7, 0)
+        nested: object = leaf
+        for _ in range(10_000):
+            nested = [nested]
+        assert [b.source.op_uid for b in collect_blocks(nested)] == [7]
+        assert total_bits(nested) == leaf.size_bits
+
+    def test_preorder_matches_construction_order(self):
+        """The iterative walk preserves the recursive DFS pre-order."""
+        first, second, third = block(1, 0), block(1, 1), block(1, 2)
+        structure = {
+            "a": [first, (second,)],
+            "b": Holder("h", third),
+        }
+        assert list(collect_blocks(structure)) == [first, second, third]
+
+    def test_dataclass_field_cache_survives_many_instances(self):
+        holders = [Holder(str(i), block(i, 0)) for i in range(50)]
+        assert len(list(collect_blocks(holders))) == 50

@@ -184,3 +184,54 @@ class TestEncodePriming:
             AdaptiveRegister, SETUP, spec, prime_encodes=False
         )
         assert result.sim.encode_plan is None
+
+
+class TestDecodeSharing:
+    """The shared read-side decode pass must be measurement-invisible."""
+
+    def _observables(self, result):
+        return (
+            result.peak_storage_bits,
+            result.peak_bo_state_bits,
+            result.final_bo_state_bits,
+            result.run.steps,
+            result.completed_writes,
+            result.completed_reads,
+            [(op.op_uid, op.kind, op.result, op.invoke_time, op.return_time)
+             for op in result.trace.ops.values()],
+        )
+
+    @pytest.mark.parametrize(
+        "register_cls, setup",
+        [
+            (AdaptiveRegister, SETUP),
+            (CodedOnlyRegister, SETUP),
+            (CASRegister, SETUP),
+            (SafeCodedRegister, SETUP),
+            (ABDRegister, replication_setup(f=1, data_size_bytes=16)),
+        ],
+    )
+    def test_sharing_changes_no_observable(self, register_cls, setup):
+        spec = WorkloadSpec(writers=3, writes_per_writer=1, readers=4,
+                            reads_per_reader=2, seed=5)
+        shared = run_register_workload(register_cls, setup, spec)
+        unshared = run_register_workload(
+            register_cls, setup, spec, share_decodes=False
+        )
+        assert self._observables(shared) == self._observables(unshared)
+
+    def test_read_storm_hits_the_shared_pass(self):
+        """Readers of one quiescent codeword share a single decode."""
+        spec = WorkloadSpec(writers=1, writes_per_writer=1, readers=6,
+                            reads_per_reader=2, seed=1)
+        result = run_register_workload(AdaptiveRegister, SETUP, spec)
+        cache = result.sim.decode_cache
+        assert cache is not None
+        assert cache.hits > 0
+
+    def test_sharing_disabled_on_request(self):
+        spec = WorkloadSpec(writers=1, writes_per_writer=1, readers=1)
+        result = run_register_workload(
+            AdaptiveRegister, SETUP, spec, share_decodes=False
+        )
+        assert result.sim.decode_cache is None
