@@ -6,11 +6,17 @@ so its curve is the lower envelope's *shape* — flat-after-crossover like
 replication, linear-before like coding. The crossover sits at c ~ k.
 
 Since PR 2 this experiment is driven by the regime-sweep engine
-(:mod:`repro.analysis.sweeps`): one :class:`SweepGrid` covers 20+ (n, k)
-points per run (f in 1..5, k in {2, 3, 4, 6}, c up to 12), every
-concurrent-writer wave shares one stacked encode pass, and the result is
-serialised to ``benchmarks/results/e9_crossover_sweep.json``. Each curve
-is rendered next to the literature overlays:
+(:mod:`repro.analysis.sweeps`); since the scenario axis landed, the engine
+is scenario-aware and this benchmark sweeps its grid under the crash-free
+uniform writer wave by default — pass ``--with-crashes`` to add the
+churn-with-crashes scenario (1 base object + 1 client killed per cell on a
+seed-derived schedule) and render a second block of curves per regime.
+The full scenario x D-axis matrix lives in ``bench_scenario_sweep.py``.
+One :class:`SweepGrid` covers 20+ (n, k) points per run (f in 1..5, k in
+{2, 3, 4, 6}, c up to 12), every concurrent-writer wave shares one stacked
+encode pass, and the result is serialised to
+``benchmarks/results/e9_crossover_sweep.json``. Each curve is rendered
+next to the literature overlays:
 
 * ``thm1`` — this paper's Theorem 1 bound ``min((f+1)D/2, c(D/2+1))``;
 * ``bks18`` — the Berger–Keidar–Spiegelman integrated bound for
@@ -22,9 +28,9 @@ Two entry points:
 
 * ``pytest benchmarks/bench_crossover.py`` — shape assertions on the
   classic (f=3, k=3) curve plus a quick multi-regime sweep;
-* ``python benchmarks/bench_crossover.py [--quick]`` — the full 20-point
-  sweep (``--quick`` trims to 6 points for CI smoke runs), printing the
-  overlay curves and writing the JSON result.
+* ``python benchmarks/bench_crossover.py [--quick] [--with-crashes]`` —
+  the full 20-point sweep (``--quick`` trims to 6 points for CI smoke
+  runs), printing the overlay curves and writing the JSON result.
 """
 
 from __future__ import annotations
@@ -33,12 +39,13 @@ import argparse
 import pathlib
 
 from repro.analysis import (
+    Scenario,
     SweepGrid,
     SweepResult,
     crossover_shape_violations,
-    format_table,
     linear_slope,
     register_uses_k,
+    render_crossover_blocks,
     run_sweep,
 )
 
@@ -46,6 +53,12 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 DATA = 48  # D = 384 bits: divisible by every k in the grid
 SEED = 9
+
+#: The crash companion of the default uniform wave (``--with-crashes``).
+CRASH_SCENARIO = Scenario(
+    "churn+crash", pattern="churn", ops_per_client=2,
+    bo_crashes=1, client_crashes=1,
+)
 
 #: The full regime grid: 20 (n, k) points (5 f-values x 4 k-values).
 FULL_GRID = dict(
@@ -91,49 +104,29 @@ def coded_regimes(result: SweepResult) -> list[tuple[int, int]]:
 
 
 def render_crossover(result: SweepResult, cs: tuple[int, ...]) -> str:
-    """Render one measured-vs-overlay block per coded (f, k) regime."""
-    registers = list(dict.fromkeys(r.register for r in result.records))
-    blocks = []
-    for f, k in coded_regimes(result):
-        sample = result.select(f=f, k=k, register="coded-only") or result.select(
-            f=f, k=k
-        )
-        n = sample[0].n
-        rows = []
-        for register in registers:
-            # k-ignoring registers (ABD) contribute their per-f curve.
-            filters = dict(f=f, k=k) if register_uses_k(register) else dict(f=f)
-            series = dict(result.series(register=register, **filters))
-            rows.append([register] + [series.get(c, "-") for c in cs])
-        by_c = {r.c: r for r in sample}
-        for label, field in (
-            ("~thm1 (lower bd)", "thm1_bits"),
-            ("~bks18 (disint.)", "disintegrated_bits"),
-            ("~lrc floor (r=2)", "lrc_floor_bits"),
-        ):
-            rows.append(
-                [label]
-                + [getattr(by_c[c], field) if c in by_c else "-" for c in cs]
-            )
-        table = format_table(
-            [f"f={f} k={k} n={n}"] + [f"c={c}" for c in cs], rows
-        )
-        blocks.append(table)
-    return "\n\n".join(blocks)
+    """One measured-vs-overlay block per scenario x coded regime (the
+    shared :func:`~repro.analysis.sweeps.render_crossover_blocks`)."""
+    return render_crossover_blocks(result, cs)
 
 
-def run(quick: bool, echo=lambda line: None) -> tuple[SweepResult, str]:
+def run(
+    quick: bool, with_crashes: bool = False, echo=lambda line: None
+) -> tuple[SweepResult, str]:
     """Run the sweep, write results, return (result, rendered text)."""
     spec = QUICK_GRID if quick else FULL_GRID
     grid = build_grid(spec)
+    scenarios = [Scenario("uniform")]
+    if with_crashes:
+        scenarios.append(CRASH_SCENARIO)
     coded = {(p.n, p.k) for p in grid if register_uses_k(p.register)}
     echo(
-        f"regime sweep: {len(grid)} runs over {len(coded)} coded (n, k) "
-        f"points (+{len(grid.nk_points()) - len(coded)} replication), "
-        f"D={DATA * 8} bits"
+        f"regime sweep: {len(grid) * len(scenarios)} runs over {len(coded)} "
+        f"coded (n, k) points (+{len(grid.nk_points()) - len(coded)} "
+        f"replication) x {len(scenarios)} scenario(s), D={DATA * 8} bits"
     )
     result = run_sweep(
         grid,
+        scenarios=scenarios,
         progress=lambda done, total, point: echo(
             f"  [{done}/{total}] {point.register} f={point.f} "
             f"k={point.k} c={point.c}"
@@ -156,12 +149,19 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="6 (n, k) points instead of 20 (CI smoke run)",
     )
+    parser.add_argument(
+        "--with-crashes", action="store_true",
+        help="also sweep the churn-with-crashes scenario per regime",
+    )
     args = parser.parse_args(argv)
-    result, text = run(quick=args.quick, echo=print)
+    result, text = run(
+        quick=args.quick, with_crashes=args.with_crashes, echo=print
+    )
     print()
     print(text)
-    # Cross-regime sanity: ABD flat in c everywhere, coded-only growing.
-    # Explicit (not assert) so the smoke run fails even under python -O.
+    # Cross-regime sanity: ABD flat in c everywhere, coded-only growing
+    # (failure-adapted slack applies in crash scenarios). Explicit (not
+    # assert) so the smoke run fails even under python -O.
     violations = crossover_shape_violations(result)
     if violations:
         for violation in violations:

@@ -1,15 +1,19 @@
-"""Sweep the adaptive-vs-coded-only-vs-ABD crossover across two regimes.
+"""Sweep the adaptive-vs-coded-only-vs-ABD crossover across two regimes,
+with and without crashes.
 
 The paper's Section 5 claim is a curve *shape*: adaptive storage grows
 like a coded store while c < k, then saturates like replication. One
-SweepGrid declares the whole experiment — registers x (f, k) regimes x
-concurrency levels — and run_sweep executes it deterministically, batching
-each point's writer wave through one stacked encode pass.
+SweepGrid declares the parameter space — registers x (f, k) regimes x
+concurrency levels — and a pair of Scenarios declares the workloads: the
+crash-free uniform wave, and churn waves losing one base object and one
+client mid-run on a seed-derived deterministic schedule. run_sweep
+executes every scenario x point cell, batching each cell's writer wave
+through one stacked encode pass.
 
 Run with:  PYTHONPATH=src python examples/regime_sweep.py
 """
 
-from repro.analysis import SweepGrid, format_table, run_sweep
+from repro.analysis import Scenario, SweepGrid, format_table, run_sweep
 
 # Two (f, k) regimes, concurrency swept through the crossover at c ~ k.
 grid = SweepGrid.cartesian(
@@ -21,33 +25,53 @@ grid = SweepGrid.cartesian(
     seed=7,
 )
 
-print(f"running {len(grid)} workload points over {grid.nk_points()} ...\n")
-result = run_sweep(grid)
+# The workload axis: the paper's burst, then the same grid under churn
+# with crashes — the bounds are adversarial, so shapes must survive both.
+scenarios = (
+    Scenario("uniform"),
+    Scenario("churn+crash", pattern="churn", ops_per_client=2,
+             bo_crashes=1, client_crashes=1),
+)
+
+print(f"running {len(grid)} points x {len(scenarios)} scenarios "
+      f"over {grid.nk_points()} ...\n")
+result = run_sweep(grid, scenarios=scenarios)
 
 # ABD ignores k (it is the k = 1 replication point), so its curve is
 # selected per-f and reused in every k block.
 regimes = sorted({(r.f, r.k) for r in result.records if r.register != "abd"})
-for f, k in regimes:
-    n = result.select(f=f, k=k, register="coded-only")[0].n
-    cs = [c for c, _ in result.series(f=f, register="abd")]
-    rows = [["abd"] + [y for _, y in result.series(f=f, register="abd")]]
-    rows += [
-        [register] + [y for _, y in result.series(f=f, k=k, register=register)]
-        for register in ("coded-only", "adaptive")
-    ]
-    # Closed-form overlays from the literature ride along in each record.
-    reference = {r.c: r for r in result.select(f=f, k=k, register="adaptive")}
-    rows.append(["thm1 bound"] + [reference[c].thm1_bits for c in cs])
-    rows.append(["bks18 bound"] + [reference[c].disintegrated_bits for c in cs])
-    rows.append(["lrc floor"] + [reference[c].lrc_floor_bits for c in cs])
-    print(format_table(
-        [f"f={f} k={k} n={n}"] + [f"c={c}" for c in cs], rows
-    ))
-    print()
+for scenario in result.scenarios():
+    sub = result.select(scenario=scenario)
+    for f, k in regimes:
+        pick = lambda **kw: result.series(scenario=scenario, f=f, **kw)
+        n = [r for r in sub if r.f == f and r.k == k][0].n
+        cs = [c for c, _ in pick(register="abd")]
+        rows = [["abd"] + [y for _, y in pick(register="abd")]]
+        rows += [
+            [register] + [y for _, y in pick(k=k, register=register)]
+            for register in ("coded-only", "adaptive")
+        ]
+        # Closed-form overlays from the literature ride along per record.
+        reference = {
+            r.c: r for r in sub if r.f == f and r.k == k
+            and r.register == "adaptive"
+        }
+        rows.append(["thm1 bound"] + [reference[c].thm1_bits for c in cs])
+        rows.append(["bks18 bound"]
+                    + [reference[c].disintegrated_bits for c in cs])
+        rows.append(["lrc floor"] + [reference[c].lrc_floor_bits for c in cs])
+        print(format_table(
+            [f"{scenario} f={f} k={k} n={n}"] + [f"c={c}" for c in cs], rows
+        ))
+        print()
 
-# The crossover in one sentence: past c ~ k, adaptive stops growing.
-for f, k in regimes:
-    curve = result.series(f=f, k=k, register="adaptive")
-    saturated = {y for c, y in curve if c > k}
-    print(f"f={f} k={k}: adaptive saturates at {min(saturated)} bits "
-          f"past c = {k} (flat: {len(saturated) == 1})")
+# The crossover in one sentence: past c ~ k, adaptive stops growing —
+# with or without crashes.
+for scenario in result.scenarios():
+    for f, k in regimes:
+        curve = result.series(scenario=scenario, f=f, k=k,
+                              register="adaptive")
+        saturated = {y for c, y in curve if c > k}
+        print(f"{scenario} f={f} k={k}: adaptive saturates at "
+              f"{min(saturated)} bits past c = {k} "
+              f"(flat: {len(saturated) == 1})")

@@ -1,19 +1,24 @@
-"""Regime-sweep engine: crossover curves over large (n, k, f, c, D) grids.
+"""Regime-sweep engine: crossover curves over (scenario, n, k, f, c, D) grids.
 
 The paper's headline result is a *shape*: adaptive storage follows
 ``Theta(min(f, c) * D)`` (Section 5), linear in concurrency like a coded
 store before the crossover at ``c ~ k`` and flat like replication beyond
-it. One grid point is a single :func:`~repro.workloads.runner.
-run_register_workload` call; reproducing the shape needs *many* points —
-every register, many ``(f, k)`` regimes, a span of concurrency levels.
-This module is the engine for that:
+it. One grid point is a single workload run; reproducing the shape needs
+*many* points — every register, many ``(f, k)`` regimes, a span of
+concurrency levels, several value sizes, and (because the bounds are
+adversarial) workloads with crashes and shaped load, not just crash-free
+uniform writer waves. This module is the engine for that:
 
 * :class:`SweepGrid` — declare the grid (cartesian or explicit) over
-  register class, ``f``, ``k``, ``c``, ``D``, and value seed;
-* :func:`run_sweep` — execute every point deterministically, batching each
-  point's concurrent-writer wave through the runner's
-  :class:`~repro.coding.oracles.BatchEncodePlan` (one stacked encode pass
-  per wave, the ``prime_encode_oracles`` machinery);
+  register class, ``f``, ``k``, ``c``, ``D`` (optionally padded to expose
+  the :class:`~repro.coding.padding.PaddedScheme` constants), and seed;
+* :class:`Scenario` — the workload axis: a shape (uniform wave or one of
+  the :mod:`~repro.workloads.patterns` generators) bound to an optional
+  seed-derived deterministic crash plan
+  (:func:`~repro.sim.failures.seeded_crash_schedule`);
+* :func:`run_sweep` — execute every ``scenario x point`` cell
+  deterministically, batching each cell's write wave through the runner's
+  :class:`~repro.coding.oracles.BatchEncodePlan` stacked encode pass;
 * :class:`SweepResult` — the measured table: renderable via
   :func:`~repro.analysis.tables.format_table`, serialisable to JSON
   (``benchmarks/results/``), sliceable into per-curve series.
@@ -32,6 +37,12 @@ curves can be plotted against the literature:
   locally recoverable code at the same ``(n, f)`` under the
   Cadambe–Mazumdar dimension bound (arXiv:1308.3200) for locality ``r``
   (via the distance corollary ``d <= n - k - ceil(k/r) + 2``).
+
+The bounds are linear in ``D``, so sweeping ``D`` down to a few bytes
+(with ``pad=True`` for sizes no code dimension divides) exposes the
+additive terms the asymptotic curves hide: the 4-byte length prefix and
+per-block rounding of :class:`~repro.coding.padding.PaddedScheme`, and the
+per-block constants of small codewords.
 """
 
 from __future__ import annotations
@@ -43,8 +54,14 @@ from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.analysis.tables import format_table
-from repro.errors import ParameterError
+from repro.analysis.tables import (
+    flat_within,
+    format_table,
+    monotone_nondecreasing,
+)
+from repro.coding.padding import PaddedScheme
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.errors import ParameterError, SchedulerExhausted
 from repro.registers import (
     ABDRegister,
     AdaptiveRegister,
@@ -54,7 +71,15 @@ from repro.registers import (
     SafeCodedRegister,
     replication_setup,
 )
-from repro.workloads import WorkloadSpec, run_register_workload
+from repro.sim.failures import CrashSchedule, seeded_crash_schedule
+from repro.workloads import (
+    WorkloadSpec,
+    churn,
+    read_heavy,
+    run_register_workload,
+    staggered_writers,
+    writer_name,
+)
 
 # --------------------------------------------------------------- overlays
 
@@ -129,7 +154,21 @@ class RegisterEntry:
     uses_k: bool = True
 
 
+def _padded_scheme_factory(setup: RegisterSetup) -> PaddedScheme:
+    """Length-prefix-and-pad RS codec for D values no ``k`` divides."""
+    return PaddedScheme(
+        setup.data_size_bytes,
+        setup.k,
+        lambda padded_bytes: ReedSolomonCode(setup.k, setup.n, padded_bytes),
+    )
+
+
 def _coded_setup(point: "SweepPoint") -> RegisterSetup:
+    if point.padded:
+        return RegisterSetup(
+            f=point.f, k=point.k, data_size_bytes=point.data_size_bytes,
+            scheme_factory=_padded_scheme_factory,
+        )
     return RegisterSetup(
         f=point.f, k=point.k, data_size_bytes=point.data_size_bytes
     )
@@ -160,6 +199,111 @@ def register_uses_k(name: str) -> bool:
     return REGISTER_REGISTRY[name].uses_k
 
 
+# -------------------------------------------------------------- scenarios
+
+
+#: Workload shapes a :class:`Scenario` can bind. ``uniform`` is the paper's
+#: c-burst via :func:`~repro.workloads.runner.run_register_workload`; the
+#: rest are the :mod:`~repro.workloads.patterns` generators.
+SCENARIO_PATTERNS = ("uniform", "staggered", "read-heavy", "churn")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One workload shape plus an optional deterministic failure plan.
+
+    A scenario turns a grid point's ``(register, f, k, c, D, seed)`` into a
+    concrete run. ``pattern`` picks the shape; ``c`` always drives the
+    writer pool (uniform/staggered writers, read-heavy's writer side,
+    churn's clients per wave), so the c-axis keeps meaning *write
+    concurrency* across scenarios:
+
+    * ``uniform`` — the classic burst: ``c`` writers x ``ops_per_client``
+      writes, plus ``readers`` reader clients;
+    * ``staggered`` — ``c`` writers pipelining ``ops_per_client`` writes
+      back-to-back (sustained-load GC shape);
+    * ``read-heavy`` — ``c`` writers against a fixed pool of ``readers``
+      repeat readers (``reads_per_reader`` each, FW-termination stress);
+    * ``churn`` — ``ops_per_client`` waves of ``c`` write-then-read
+      clients (client-turnover shape).
+
+    ``bo_crashes``/``client_crashes`` attach a seed-derived deterministic
+    :class:`~repro.sim.failures.CrashSchedule`: base-object kills are
+    clamped to the point's ``f`` budget, client kills to the first-created
+    client cohort, and both fire at seed-jittered times starting at
+    ``crash_start``. Same seed, same crash victims, same firing order —
+    byte-identical sweep JSON extends to crash runs.
+    """
+
+    name: str
+    pattern: str = "uniform"
+    ops_per_client: int = 1
+    readers: int = 0
+    reads_per_reader: int = 1
+    bo_crashes: int = 0
+    client_crashes: int = 0
+    crash_start: int = 15
+    crash_spacing: int = 13
+
+    def __post_init__(self) -> None:
+        if self.pattern not in SCENARIO_PATTERNS:
+            raise ParameterError(
+                f"unknown scenario pattern {self.pattern!r}; known: "
+                f"{SCENARIO_PATTERNS}"
+            )
+        if self.ops_per_client < 1:
+            raise ParameterError("ops_per_client must be >= 1")
+        if min(self.readers, self.reads_per_reader, self.bo_crashes,
+               self.client_crashes) < 0:
+            raise ParameterError("scenario counts must be >= 0")
+        if self.crash_start < 0 or self.crash_spacing < 1:
+            raise ParameterError(
+                "need crash_start >= 0 and crash_spacing >= 1"
+            )
+        if self.pattern == "read-heavy" and self.readers < 1:
+            raise ParameterError("read-heavy scenarios need readers >= 1")
+
+    @property
+    def has_crashes(self) -> bool:
+        return bool(self.bo_crashes or self.client_crashes)
+
+    def client_cohort(self, c: int) -> tuple[str, ...]:
+        """The first-created client names of a run at concurrency ``c`` —
+        the pool client crashes are drawn from (these clients exist from
+        the first scheduled action, so every derived kill can fire)."""
+        if self.pattern == "uniform":
+            return tuple(writer_name(i) for i in range(c))
+        if self.pattern == "staggered":
+            return tuple(f"sw{i}" for i in range(c))
+        if self.pattern == "read-heavy":
+            return tuple(f"rw{i}" for i in range(c))
+        return tuple(f"c0-{i}" for i in range(c))  # churn wave 0
+
+    def crash_schedule(self, point: "SweepPoint", n: int) -> CrashSchedule:
+        """The point's deterministic crash plan (empty when crash-free).
+
+        Base-object kills are clamped to ``f`` (the model's budget) and
+        client kills to the cohort size, so a scenario written for large
+        grids degrades gracefully on small regimes instead of raising.
+        """
+        if not self.has_crashes:
+            return CrashSchedule()
+        cohort = self.client_cohort(point.c)
+        return seeded_crash_schedule(
+            point.seed,
+            bo_count=n,
+            bo_crashes=min(self.bo_crashes, point.f),
+            client_names=cohort,
+            client_crashes=min(self.client_crashes, len(cohort)),
+            start=self.crash_start,
+            spacing=self.crash_spacing,
+        )
+
+
+#: The default scenario: the paper's crash-free uniform writer wave.
+UNIFORM_SCENARIO = Scenario("uniform")
+
+
 # ------------------------------------------------------------------- grid
 
 
@@ -170,7 +314,10 @@ class SweepPoint:
     ``register`` names an entry of :data:`REGISTER_REGISTRY`; ``c`` is the
     paper's write-concurrency (the number of concurrent writer clients);
     ``data_size_bytes`` is ``D / 8``. The register's ``n`` is derived from
-    its setup (``2f + k`` coded, ``2f + 1`` for ABD).
+    its setup (``2f + k`` coded, ``2f + 1`` for ABD). ``padded`` codes the
+    value through a :class:`~repro.coding.padding.PaddedScheme` (length
+    prefix + zero pad), lifting the ``k | D`` divisibility requirement —
+    the D-axis device for exposing small-D additive constants.
     """
 
     register: str
@@ -179,6 +326,7 @@ class SweepPoint:
     c: int
     data_size_bytes: int
     seed: int = 0
+    padded: bool = False
 
     def setup(self) -> RegisterSetup:
         """Build (and thereby validate) this point's register setup."""
@@ -207,12 +355,16 @@ class SweepGrid:
         """Build a grid from explicit points, validating each.
 
         Points of registers that ignore ``k`` (see
-        :func:`register_uses_k`) are canonicalised to ``k = 1`` before
-        deduplication, so an ABD point appears — and runs — once per
-        ``(f, c, D, seed)`` no matter how many k values the grid spans.
+        :func:`register_uses_k`) are canonicalised to ``k = 1`` (and
+        ``padded = False`` — replication shards nothing, so there is
+        nothing to pad) before deduplication, so an ABD point appears —
+        and runs — once per ``(f, c, D, seed)`` no matter how many k
+        values the grid spans.
         """
         canonical = (
-            point if register_uses_k(point.register) else replace(point, k=1)
+            point
+            if register_uses_k(point.register)
+            else replace(point, k=1, padded=False)
             for point in points
         )
         unique = tuple(dict.fromkeys(canonical))
@@ -230,15 +382,18 @@ class SweepGrid:
         cs: Sequence[int],
         data_sizes: Sequence[int],
         seed: int = 0,
+        pad: bool = False,
         where: Callable[[SweepPoint], bool] | None = None,
     ) -> "SweepGrid":
         """Cartesian product grid, optionally filtered by ``where``.
 
-        ``data_sizes`` entries must be divisible by every ``k`` they meet
-        (pick a multiple of ``lcm(ks)``), or use ``where`` to skip the
-        offending combinations; invalid surviving points raise
+        Without ``pad``, ``data_sizes`` entries must be divisible by every
+        ``k`` they meet (pick a multiple of ``lcm(ks)``), or use ``where``
+        to skip the offending combinations; invalid surviving points raise
         :class:`~repro.errors.ParameterError` at grid-build time, not
-        mid-sweep.
+        mid-sweep. With ``pad=True`` every coded point routes through a
+        :class:`~repro.coding.padding.PaddedScheme`, which accepts any
+        value size — the D-axis mode.
         """
         points = []
         for register, f, k, data, c in itertools.product(
@@ -246,7 +401,7 @@ class SweepGrid:
         ):
             point = SweepPoint(
                 register=register, f=f, k=k, c=c,
-                data_size_bytes=data, seed=seed,
+                data_size_bytes=data, seed=seed, padded=pad,
             )
             if where is not None and not where(point):
                 continue
@@ -269,14 +424,17 @@ class SweepGrid:
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """One executed grid point: parameters, measurements, overlays.
+    """One executed ``scenario x grid-point`` cell: parameters,
+    measurements, overlays.
 
-    ``wall_clock_s`` is the measured wall-clock of the point's simulation
-    run (the quantity ``bench_sim_throughput.py`` tracks across PRs). It
-    defaults to ``0.0`` so pre-timing JSON documents still load, and it is
-    *metadata*, not measurement: :meth:`SweepResult.to_json` can exclude it
-    to obtain the deterministic byte-identical document two identical
-    sweeps agree on.
+    ``scenario`` names the :class:`Scenario` that shaped the run;
+    ``bo_crashes``/``client_crashes`` count the crashes that actually
+    *fired* (deterministic per seed — a scheduled kill may never fire if
+    the run drains first). ``wall_clock_s`` is the measured wall-clock of
+    the cell's simulation run. It defaults to ``0.0`` so pre-timing JSON
+    documents still load, and it is *metadata*, not measurement:
+    :meth:`SweepResult.to_json` can exclude it to obtain the deterministic
+    byte-identical document two identical sweeps agree on.
     """
 
     register: str
@@ -295,15 +453,26 @@ class SweepRecord:
     adaptive_bound_bits: int
     disintegrated_bits: int
     lrc_floor_bits: int
+    scenario: str = "uniform"
+    padded: bool = False
+    completed_reads: int = 0
+    bo_crashes: int = 0
+    client_crashes: int = 0
     wall_clock_s: float = 0.0
 
 
 #: Default columns of :meth:`SweepResult.table`.
 TABLE_COLUMNS = (
-    "register", "f", "k", "n", "c", "data_bits",
+    "scenario", "register", "f", "k", "n", "c", "data_bits",
     "peak_bo_state_bits", "thm1_bits", "disintegrated_bits",
     "adaptive_bound_bits", "lrc_floor_bits",
 )
+
+#: JSON document version written by :meth:`SweepResult.to_json`. Version 1
+#: predates the scenario axis; its records load with scenario "uniform",
+#: no padding, and zero crash counts — exactly what those sweeps ran.
+SCHEMA_VERSION = 2
+_SUPPORTED_VERSIONS = (1, SCHEMA_VERSION)
 
 
 @dataclass
@@ -338,6 +507,10 @@ class SweepResult:
         """Distinct ``(n, k)`` pairs measured, sorted."""
         return sorted({(record.n, record.k) for record in self.records})
 
+    def scenarios(self) -> list[str]:
+        """Scenario names present, in record (sweep execution) order."""
+        return list(dict.fromkeys(record.scenario for record in self.records))
+
     # ---------------------------------------------------------- rendering
 
     def table(self, columns: Sequence[str] = TABLE_COLUMNS) -> str:
@@ -356,7 +529,8 @@ class SweepResult:
         ``include_timing=False`` drops the per-record ``wall_clock_s``
         metadata, yielding the deterministic document two runs of the same
         grid agree on byte-for-byte (every *measured* field is
-        deterministic; wall-clock is not).
+        deterministic — crash victims and firing order included, since
+        crash plans are seed-derived; wall-clock is not).
         """
         records = [asdict(record) for record in self.records]
         record_fields = [field.name for field in fields(SweepRecord)]
@@ -366,7 +540,7 @@ class SweepResult:
                 del record["wall_clock_s"]
         return json.dumps(
             {
-                "version": 1,
+                "version": SCHEMA_VERSION,
                 "record_fields": record_fields,
                 "records": records,
             },
@@ -377,7 +551,7 @@ class SweepResult:
     @classmethod
     def from_json(cls, text: str) -> "SweepResult":
         document = json.loads(text)
-        if document.get("version") != 1:
+        if document.get("version") not in _SUPPORTED_VERSIONS:
             raise ParameterError(
                 f"unsupported sweep result version {document.get('version')!r}"
             )
@@ -395,102 +569,281 @@ class SweepResult:
         return cls.from_json(Path(path).read_text())
 
 
+def render_crossover_blocks(
+    result: SweepResult, cs: Sequence[int]
+) -> str:
+    """Render one measured-vs-overlay table per scenario x coded regime.
+
+    The shared renderer behind ``bench_crossover.py`` and
+    ``bench_scenario_sweep.py``: rows are the measured per-register curves
+    over ``cs`` (k-ignoring registers contribute their per-f curve),
+    followed by the Theorem 1 / BKS'18 / LRC overlay rows. The caller
+    pre-filters ``result`` to one ``(D, padded)`` slice; scenarios render
+    as separate blocks.
+    """
+    blocks = []
+    for scenario in result.scenarios():
+        sub = SweepResult(result.select(scenario=scenario))
+        registers = list(dict.fromkeys(r.register for r in sub.records))
+        regimes = sorted(
+            {(r.f, r.k) for r in sub.records if register_uses_k(r.register)}
+        )
+        for f, k in regimes:
+            sample = sub.select(f=f, k=k, register="coded-only") or \
+                sub.select(f=f, k=k)
+            n = sample[0].n
+            rows = []
+            for register in registers:
+                filters = (
+                    dict(f=f, k=k) if register_uses_k(register) else dict(f=f)
+                )
+                series = dict(sub.series(register=register, **filters))
+                rows.append([register] + [series.get(c, "-") for c in cs])
+            by_c = {r.c: r for r in sample}
+            for label, field in (
+                ("~thm1 (lower bd)", "thm1_bits"),
+                ("~bks18 (disint.)", "disintegrated_bits"),
+                ("~lrc floor (r=2)", "lrc_floor_bits"),
+            ):
+                rows.append(
+                    [label]
+                    + [getattr(by_c[c], field) if c in by_c else "-"
+                       for c in cs]
+                )
+            blocks.append(format_table(
+                [f"{scenario} f={f} k={k} n={n}"] + [f"c={c}" for c in cs],
+                rows,
+            ))
+    return "\n\n".join(blocks)
+
+
 def crossover_shape_violations(result: SweepResult) -> list[str]:
     """Check the paper's cross-regime curve shapes; return violations.
 
-    The two shape facts every crossover sweep must reproduce: ABD
-    (replication) storage is flat in ``c`` at every ``f``, and coded-only
-    storage is monotone nondecreasing in ``c`` at every ``(f, k)``.
-    Registers absent from ``result`` are skipped. An empty list means the
-    shapes hold — the single criterion shared by ``repro report``, the
-    crossover benchmark CLI, and its pytest smoke test.
+    The two shape facts every crossover sweep must reproduce, checked per
+    ``(scenario, D, padded)`` group so scenario and D axes never mix into
+    one curve: ABD (replication) storage is flat in ``c`` at every ``f``,
+    and coded-only storage is monotone nondecreasing in ``c`` at every
+    ``(f, k)``.
+
+    Crash scenarios get the failure-adapted form: a crashed base object's
+    bits vanish from every later snapshot and a crashed writer may leave a
+    partial wave, so exact flatness/monotonicity is only required up to a
+    relative slack of ``fired crashes / n`` — the largest peak fraction a
+    single victim can hide. Registers absent from ``result`` are skipped.
+    An empty list means the shapes hold — the single criterion shared by
+    ``repro report``, the crossover benchmark CLI, and the scenario-sweep
+    smoke tests.
     """
     violations: list[str] = []
-    regimes = sorted(
-        {(r.f, r.k) for r in result.records if register_uses_k(r.register)}
+    groups = sorted(
+        {(r.scenario, r.data_bits, r.padded) for r in result.records}
     )
-    for f, k in regimes:
-        abd = [y for _, y in result.series(f=f, register="abd")]
-        if abd and len(set(abd)) != 1:
-            violations.append(f"ABD not flat in c at f={f}: {abd}")
-        coded = [y for _, y in result.series(f=f, k=k, register="coded-only")]
-        if coded != sorted(coded):
-            violations.append(
-                f"coded-only not monotone in c at f={f}, k={k}: {coded}"
-            )
+    for scenario, data_bits, padded in groups:
+        sub = SweepResult(
+            result.select(scenario=scenario, data_bits=data_bits,
+                          padded=padded)
+        )
+        slack = max(
+            ((r.bo_crashes + r.client_crashes) / r.n for r in sub.records),
+            default=0.0,
+        )
+        label = f"scenario={scenario} D={data_bits}"
+        regimes = sorted(
+            {(r.f, r.k) for r in sub.records if register_uses_k(r.register)}
+        )
+        for f, k in regimes:
+            abd = [y for _, y in sub.series(f=f, register="abd")]
+            if not flat_within(abd, slack=slack):
+                violations.append(
+                    f"ABD not flat in c at {label} f={f} "
+                    f"(slack {slack:.2f}): {abd}"
+                )
+            coded = [y for _, y in sub.series(f=f, k=k, register="coded-only")]
+            if not monotone_nondecreasing(coded, slack=slack):
+                violations.append(
+                    f"coded-only not monotone in c at {label} f={f}, k={k} "
+                    f"(slack {slack:.2f}): {coded}"
+                )
     return violations
 
 
 # ----------------------------------------------------------------- engine
 
 
+def _run_cell(
+    scenario: Scenario,
+    point: SweepPoint,
+    *,
+    max_steps: int,
+    audit_storage_every: int,
+) -> tuple[object, RegisterSetup, int, int, int]:
+    """Execute one ``scenario x point`` cell.
+
+    Returns ``(outcome, setup, steps, fired_bo, fired_client)`` where
+    ``outcome`` exposes the WorkloadResult measurement surface (peaks,
+    completed counts) — :class:`~repro.workloads.patterns.PatternRun`
+    provides the same fields, so no ``isinstance`` branching here.
+    """
+    protocol_cls = REGISTER_REGISTRY[point.register].cls
+    setup = point.setup()
+    schedule = scenario.crash_schedule(point, setup.n)
+    plans = []
+
+    def configure(sim, scheduler):
+        plan = schedule.install(scheduler)
+        plans.append(plan)
+        return plan
+
+    configure_hook = configure if len(schedule) else None
+    if scenario.pattern == "uniform":
+        spec = WorkloadSpec(
+            writers=point.c,
+            writes_per_writer=scenario.ops_per_client,
+            readers=scenario.readers,
+            reads_per_reader=scenario.reads_per_reader,
+            seed=point.seed,
+        )
+        outcome = run_register_workload(
+            protocol_cls, setup, spec, max_steps=max_steps,
+            configure=configure_hook,
+            audit_storage_every=audit_storage_every,
+        )
+        steps = outcome.run.steps
+    else:
+        if scenario.pattern == "staggered":
+            pattern_run = staggered_writers(
+                protocol_cls, setup, writers=point.c,
+                writes_each=scenario.ops_per_client, seed=point.seed,
+            )
+        elif scenario.pattern == "read-heavy":
+            pattern_run = read_heavy(
+                protocol_cls, setup, readers=scenario.readers,
+                reads_each=scenario.reads_per_reader, writers=point.c,
+                seed=point.seed,
+            )
+        else:  # churn
+            pattern_run = churn(
+                protocol_cls, setup, waves=scenario.ops_per_client,
+                clients_per_wave=point.c, seed=point.seed,
+            )
+        run = pattern_run.drain(
+            max_steps=max_steps, configure=configure_hook,
+            audit_storage_every=audit_storage_every,
+        )
+        if not run.quiescent:
+            # Match the uniform path's require_quiescence: a truncated cell
+            # must never masquerade as a measured one in the result table.
+            raise SchedulerExhausted(
+                f"{scenario.name}/{point.register}: {max_steps} steps "
+                f"without quiescence (f={point.f}, k={point.k}, "
+                f"c={point.c})"
+            )
+        outcome = pattern_run
+        steps = run.steps
+    fired_bo = plans[0].fired_bo_crashes if plans else 0
+    fired_client = plans[0].fired_client_crashes if plans else 0
+    return outcome, setup, steps, fired_bo, fired_client
+
+
 def run_sweep(
     grid: SweepGrid,
     *,
+    scenarios: Sequence[Scenario] | None = None,
     writes_per_writer: int = 1,
     readers: int = 0,
     max_steps: int = 400_000,
     lrc_locality: int = 2,
+    audit_storage_every: int = 0,
     progress: Callable[[int, int, SweepPoint], None] | None = None,
 ) -> SweepResult:
-    """Execute every grid point and return the measured :class:`SweepResult`.
+    """Execute every ``scenario x grid-point`` cell; return the results.
 
-    Each point runs :func:`~repro.workloads.runner.run_register_workload`
-    with ``c`` concurrent writers under the deterministic fair scheduler, so
-    the whole sweep is reproducible from the grid alone (same grid, same
-    result — byte-identical ``to_json(include_timing=False)`` documents;
-    each record additionally carries its measured ``wall_clock_s``, which
-    is not deterministic). Every point's writer wave is pre-encoded
-    in one stacked :class:`~repro.coding.oracles.BatchEncodePlan` pass, so
-    a 500-writer point costs one ``encode_batch`` call, not 500 encodes.
+    ``scenarios`` defaults to the single crash-free uniform wave (shaped by
+    ``writes_per_writer``/``readers``, the pre-scenario interface); passing
+    a sequence runs the whole grid once per scenario, scenario-major, so a
+    result groups into per-scenario overlay curves. Each cell runs under
+    the deterministic fair scheduler with its scenario's seed-derived crash
+    plan, so the whole sweep is reproducible from the grid alone (same grid
+    and scenarios, same result — byte-identical
+    ``to_json(include_timing=False)`` documents, crash victims and firing
+    order included; each record additionally carries its measured
+    ``wall_clock_s``, which is not deterministic). Every cell's write wave
+    is pre-encoded in one stacked
+    :class:`~repro.coding.oracles.BatchEncodePlan` pass — by the runner for
+    uniform waves, by the pattern builders otherwise — so a 500-writer cell
+    costs one ``encode_batch`` call, not 500 encodes.
+
+    ``audit_storage_every = N`` cross-checks the incremental storage ledger
+    against the full-walk reference meter every ``N`` actions in every cell
+    (CI smoke runs use ``N = 1``: the ledger-vs-reference parity audit at
+    literally every action of every scenario x register cell).
 
     ``progress`` (if given) is called as ``progress(done, total, point)``
-    after each point — the hook CLI front-ends print from.
+    after each cell — the hook CLI front-ends print from.
     """
+    if scenarios is None:
+        scenarios = (
+            Scenario(
+                "uniform", ops_per_client=writes_per_writer, readers=readers
+            ),
+        )
+    elif writes_per_writer != 1 or readers != 0:
+        # The shape knobs live on the Scenario once scenarios are explicit;
+        # silently dropping the legacy arguments would measure the wrong
+        # workload.
+        raise ParameterError(
+            "pass writes_per_writer/readers via each Scenario "
+            "(ops_per_client/readers) when scenarios are given explicitly"
+        )
+    names = [scenario.name for scenario in scenarios]
+    if len(set(names)) != len(names):
+        raise ParameterError(f"duplicate scenario names: {names}")
     records: list[SweepRecord] = []
-    total = len(grid)
-    for position, point in enumerate(grid):
-        protocol_cls = REGISTER_REGISTRY[point.register].cls
-        setup = point.setup()
-        spec = WorkloadSpec(
-            writers=point.c,
-            writes_per_writer=writes_per_writer,
-            readers=readers,
-            seed=point.seed,
-        )
-        started = time.perf_counter()
-        outcome = run_register_workload(
-            protocol_cls, setup, spec, max_steps=max_steps
-        )
-        wall_clock_s = round(time.perf_counter() - started, 6)
-        data_bits = setup.data_size_bits
-        records.append(
-            SweepRecord(
-                register=point.register,
-                f=point.f,
-                k=point.k,
-                n=setup.n,
-                c=point.c,
-                data_bits=data_bits,
-                seed=point.seed,
-                peak_bo_state_bits=outcome.peak_bo_state_bits,
-                peak_storage_bits=outcome.peak_storage_bits,
-                final_bo_state_bits=outcome.final_bo_state_bits,
-                completed_writes=outcome.completed_writes,
-                steps=outcome.run.steps,
-                thm1_bits=theorem1_bound_bits(point.f, point.c, data_bits),
-                adaptive_bound_bits=adaptive_upper_bound_bits(
-                    point.f, point.k, point.c, data_bits
-                ),
-                disintegrated_bits=disintegrated_bound_bits(
-                    point.f, point.c, data_bits
-                ),
-                lrc_floor_bits=lrc_storage_floor_bits(
-                    setup.n, point.f, data_bits, lrc_locality
-                ),
-                wall_clock_s=wall_clock_s,
+    total = len(grid) * len(scenarios)
+    position = 0
+    for scenario in scenarios:
+        for point in grid:
+            started = time.perf_counter()
+            outcome, setup, steps, fired_bo, fired_client = _run_cell(
+                scenario, point, max_steps=max_steps,
+                audit_storage_every=audit_storage_every,
             )
-        )
-        if progress is not None:
-            progress(position + 1, total, point)
+            wall_clock_s = round(time.perf_counter() - started, 6)
+            data_bits = setup.data_size_bits
+            records.append(
+                SweepRecord(
+                    register=point.register,
+                    f=point.f,
+                    k=point.k,
+                    n=setup.n,
+                    c=point.c,
+                    data_bits=data_bits,
+                    seed=point.seed,
+                    peak_bo_state_bits=outcome.peak_bo_state_bits,
+                    peak_storage_bits=outcome.peak_storage_bits,
+                    final_bo_state_bits=outcome.final_bo_state_bits,
+                    completed_writes=outcome.completed_writes,
+                    steps=steps,
+                    thm1_bits=theorem1_bound_bits(point.f, point.c, data_bits),
+                    adaptive_bound_bits=adaptive_upper_bound_bits(
+                        point.f, point.k, point.c, data_bits
+                    ),
+                    disintegrated_bits=disintegrated_bound_bits(
+                        point.f, point.c, data_bits
+                    ),
+                    lrc_floor_bits=lrc_storage_floor_bits(
+                        setup.n, point.f, data_bits, lrc_locality
+                    ),
+                    scenario=scenario.name,
+                    padded=point.padded,
+                    completed_reads=outcome.completed_reads,
+                    bo_crashes=fired_bo,
+                    client_crashes=fired_client,
+                    wall_clock_s=wall_clock_s,
+                )
+            )
+            position += 1
+            if progress is not None:
+                progress(position, total, point)
     return SweepResult(records)

@@ -64,6 +64,17 @@ def monotone_nondecreasing(values: Sequence[float], slack: float = 0.0) -> bool:
     return True
 
 
+def flat_within(values: Sequence[float], slack: float = 0.0) -> bool:
+    """True when the sequence varies by at most ``slack`` (relative).
+
+    ``slack = 0`` demands exact flatness; the failure-adapted crossover
+    checks pass the fraction of a peak a fired crash can hide.
+    """
+    if not values:
+        return True
+    return max(values) <= min(values) * (1.0 + slack)
+
+
 def linear_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
     """Least-squares slope — used to confirm O(c) growth shapes."""
     count = len(xs)

@@ -20,10 +20,12 @@ from repro.sim.actions import (
 from repro.sim.base_object import BaseObject
 from repro.sim.client import Client, OperationContext
 from repro.sim.failures import (
+    CrashSchedule,
     FailurePlan,
     after_op_returns,
     after_ops_complete,
     at_time,
+    seeded_crash_schedule,
 )
 from repro.sim.kernel import RunResult, Simulation
 from repro.sim.schedulers import (
@@ -39,6 +41,7 @@ __all__ = [
     "ActionKind",
     "BaseObject",
     "Client",
+    "CrashSchedule",
     "EventKind",
     "FailurePlan",
     "FairScheduler",
@@ -58,4 +61,5 @@ __all__ = [
     "after_op_returns",
     "after_ops_complete",
     "at_time",
+    "seeded_crash_schedule",
 ]

@@ -13,7 +13,11 @@ from repro.workloads.patterns import (
     read_heavy,
     staggered_writers,
 )
-from repro.workloads.runner import WorkloadResult, run_register_workload
+from repro.workloads.runner import (
+    WorkloadResult,
+    build_encode_plan,
+    run_register_workload,
+)
 
 __all__ = [
     "FuzzFailure",
@@ -21,6 +25,7 @@ __all__ = [
     "PatternRun",
     "WorkloadResult",
     "WorkloadSpec",
+    "build_encode_plan",
     "churn",
     "fuzz_register",
     "make_value",

@@ -13,10 +13,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Type
 
 from repro.registers.base import RegisterProtocol, RegisterSetup
-from repro.sim.failures import FailurePlan, at_time
+from repro.sim.failures import seeded_crash_schedule
 from repro.sim.schedulers import RandomScheduler
 from repro.spec.histories import History
-from repro.workloads.generators import WorkloadSpec
+from repro.workloads.generators import WorkloadSpec, reader_name, writer_name
 from repro.workloads.runner import run_register_workload
 
 
@@ -52,6 +52,7 @@ def fuzz_register(
     readers: int = 2,
     ops_each: int = 2,
     crash_objects: int = 0,
+    crash_clients: int = 0,
     base_seed: int = 0,
     max_steps: int = 400_000,
 ) -> FuzzResult:
@@ -59,10 +60,18 @@ def fuzz_register(
 
     ``checker`` is any of the ``repro.spec`` checkers (it must return an
     object with a truthy ``ok``). ``crash_objects`` injects that many
-    base-object crashes (must be ``<= setup.f``) at staggered times.
+    base-object crashes (must be ``<= setup.f``); ``crash_clients`` kills
+    that many writer/reader clients mid-run. Victims and firing times come
+    from :func:`~repro.sim.failures.seeded_crash_schedule`, so every run is
+    reproducible from its seed alone.
     """
     if crash_objects > setup.f:
         raise ValueError("crash_objects must not exceed f")
+    cohort = tuple(writer_name(i) for i in range(writers)) + tuple(
+        reader_name(i) for i in range(readers)
+    )
+    if crash_clients > len(cohort):
+        raise ValueError("crash_clients must not exceed writers + readers")
     result = FuzzResult(runs=runs)
     for offset in range(runs):
         seed = base_seed + offset
@@ -75,13 +84,16 @@ def fuzz_register(
         )
 
         def configure(sim, scheduler, seed=seed):
-            if not crash_objects:
+            if not crash_objects and not crash_clients:
                 return scheduler
-            plan = FailurePlan(scheduler)
-            for index in range(crash_objects):
-                bo_id = (seed + index * 3) % setup.n
-                plan.crash_base_object(bo_id, at_time(10 + 20 * index))
-            return plan
+            schedule = seeded_crash_schedule(
+                seed,
+                bo_count=setup.n,
+                bo_crashes=crash_objects,
+                client_names=cohort,
+                client_crashes=crash_clients,
+            )
+            return schedule.install(scheduler)
 
         try:
             run = run_register_workload(

@@ -86,22 +86,30 @@ class WorkloadResult:
         return sum(bo.applied_count for bo in self.sim.base_objects)
 
 
-def _build_encode_plan(
-    sim: Simulation, values: dict[str, list[bytes]]
+def build_encode_plan(
+    sim: Simulation, wave: list[bytes]
 ) -> BatchEncodePlan | None:
-    """Pre-encode the write wave, when a stacked pass actually saves work.
+    """Pre-encode a write wave, when a stacked pass actually saves work.
 
     Only MDS matrix codes (bounded block domain, ``encode_batch`` as one
     stacked multiplication) benefit; replication's "encode" is a copy and
     rateless schemes have no fixed codeword to pre-encode, so those setups
     keep lazy per-oracle encoding (identical measurements either way).
+    Shared by this runner and the :mod:`~repro.workloads.patterns` builders,
+    which know their write values at construction time too.
     """
-    wave = [value for per_writer in values.values() for value in per_writer]
     if len(wave) < 2:
         return None  # nothing to share a pass across
     if not isinstance(sim.scheme, MDSCodingScheme):
         return None
     return BatchEncodePlan(sim.scheme, wave, range(sim.scheme.n))
+
+
+def _build_encode_plan(
+    sim: Simulation, values: dict[str, list[bytes]]
+) -> BatchEncodePlan | None:
+    wave = [value for per_writer in values.values() for value in per_writer]
+    return build_encode_plan(sim, wave)
 
 
 def run_register_workload(

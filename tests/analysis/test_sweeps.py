@@ -1,12 +1,14 @@
-"""Tests for the regime-sweep engine and its reference overlays."""
+"""Tests for the regime-sweep engine, its scenario axis, and overlays."""
 
 import pytest
 
 from repro.analysis import (
+    Scenario,
     SweepGrid,
     SweepPoint,
     SweepResult,
     adaptive_upper_bound_bits,
+    crossover_shape_violations,
     disintegrated_bound_bits,
     lrc_max_dimension,
     lrc_storage_floor_bits,
@@ -159,6 +161,173 @@ class TestRunSweep:
         assert seen == [(1, 2, 1), (2, 2, 2)]
 
 
+SCENARIO_GRID = SweepGrid.cartesian(
+    registers=("abd", "coded-only", "adaptive"),
+    fs=(2,), ks=(2,), cs=(1, 2, 4), data_sizes=(48,), seed=11,
+)
+
+SCENARIOS = (
+    Scenario("uniform"),
+    Scenario("churn+crash", pattern="churn", ops_per_client=2,
+             bo_crashes=1, client_crashes=1),
+    Scenario("read-heavy", pattern="read-heavy", readers=4,
+             reads_per_reader=2),
+)
+
+
+@pytest.fixture(scope="module")
+def scenario_result():
+    return run_sweep(SCENARIO_GRID, scenarios=SCENARIOS,
+                     audit_storage_every=1)
+
+
+class TestScenario:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ParameterError, match="pattern"):
+            Scenario("bad", pattern="zigzag")
+
+    def test_read_heavy_needs_readers(self):
+        with pytest.raises(ParameterError, match="readers"):
+            Scenario("rh", pattern="read-heavy", readers=0)
+
+    def test_client_cohort_matches_pattern_naming(self):
+        assert Scenario("u").client_cohort(2) == ("w0", "w1")
+        assert Scenario("s", pattern="staggered").client_cohort(2) == \
+            ("sw0", "sw1")
+        assert Scenario("r", pattern="read-heavy",
+                        readers=3).client_cohort(2) == ("rw0", "rw1")
+        assert Scenario("c", pattern="churn").client_cohort(2) == \
+            ("c0-0", "c0-1")
+
+    def test_crash_schedule_clamped_to_f_budget(self):
+        scenario = Scenario("crashy", bo_crashes=5, client_crashes=5)
+        point = SweepPoint("adaptive", f=1, k=2, c=2, data_size_bytes=48)
+        schedule = scenario.crash_schedule(point, n=point.n)
+        assert len(schedule.bo_victims) == 1  # clamped to f = 1
+        assert len(schedule.client_victims) == 2  # clamped to cohort size
+
+    def test_crash_schedule_deterministic_per_seed(self):
+        scenario = Scenario("crashy", bo_crashes=1, client_crashes=1)
+        point = SweepPoint("adaptive", f=2, k=2, c=3, data_size_bytes=48,
+                           seed=9)
+        assert scenario.crash_schedule(point, n=6) == \
+            scenario.crash_schedule(point, n=6)
+        other = SweepPoint("adaptive", f=2, k=2, c=3, data_size_bytes=48,
+                           seed=10)
+        assert scenario.crash_schedule(point, n=6) != \
+            scenario.crash_schedule(other, n=6)
+
+
+class TestScenarioSweep:
+    def test_one_record_per_cell_scenario_major(self, scenario_result):
+        assert len(scenario_result) == len(SCENARIO_GRID) * len(SCENARIOS)
+        names = [r.scenario for r in scenario_result.records]
+        per_scenario = len(SCENARIO_GRID)
+        assert names == (
+            ["uniform"] * per_scenario
+            + ["churn+crash"] * per_scenario
+            + ["read-heavy"] * per_scenario
+        )
+        assert scenario_result.scenarios() == [
+            "uniform", "churn+crash", "read-heavy",
+        ]
+
+    def test_crash_scenarios_really_fire(self, scenario_result):
+        crashed = scenario_result.select(scenario="churn+crash")
+        assert all(r.bo_crashes == 1 for r in crashed)
+        assert all(r.client_crashes == 1 for r in crashed)
+        clean = scenario_result.select(scenario="uniform")
+        assert all(r.bo_crashes == r.client_crashes == 0 for r in clean)
+
+    def test_read_heavy_records_completed_reads(self, scenario_result):
+        for record in scenario_result.select(scenario="read-heavy"):
+            assert record.completed_reads == 4 * 2
+
+    def test_shapes_hold_across_scenarios(self, scenario_result):
+        assert crossover_shape_violations(scenario_result) == []
+
+    def test_crash_peaks_respect_lower_bounds(self, scenario_result):
+        """Theorem 1 / the adaptive bound are adversarial lower bounds;
+        crashing <= f objects must not drop measured peaks below them."""
+        for record in scenario_result.records:
+            if record.register in ("coded-only", "adaptive"):
+                assert record.peak_bo_state_bits >= record.thm1_bits
+            if record.register == "adaptive":
+                assert record.peak_bo_state_bits <= \
+                    2 * record.adaptive_bound_bits
+
+    def test_same_seed_scenario_sweep_is_byte_identical(self):
+        """The determinism contract extends to crash scenarios: same grid,
+        same scenarios, same seeds => byte-identical JSON, crash victims
+        and firing order included."""
+        again = run_sweep(SCENARIO_GRID, scenarios=SCENARIOS)
+        reference = run_sweep(SCENARIO_GRID, scenarios=SCENARIOS)
+        assert again.to_json(include_timing=False) == \
+            reference.to_json(include_timing=False)
+
+    def test_duplicate_scenario_names_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            run_sweep(SCENARIO_GRID,
+                      scenarios=(Scenario("x"), Scenario("x")))
+
+    def test_legacy_shape_args_conflict_with_explicit_scenarios(self):
+        """readers/writes_per_writer silently vanishing into an explicit
+        scenario list would measure the wrong workload — reject it."""
+        with pytest.raises(ParameterError, match="Scenario"):
+            run_sweep(SCENARIO_GRID, scenarios=(Scenario("x"),), readers=2)
+
+    def test_bad_crash_timing_rejected(self):
+        with pytest.raises(ParameterError, match="crash_"):
+            Scenario("x", bo_crashes=1, crash_spacing=0)
+
+
+class TestPaddedDAxis:
+    def test_pad_lifts_divisibility_requirement(self):
+        grid = SweepGrid.cartesian(
+            registers=("adaptive",), fs=(1,), ks=(5,), cs=(1,),
+            data_sizes=(48,), pad=True,
+        )
+        assert len(grid) == 1
+        assert grid.points[0].padded
+
+    def test_abd_points_canonicalised_unpadded(self):
+        grid = SweepGrid.cartesian(
+            registers=("abd", "adaptive"), fs=(1,), ks=(4,), cs=(1,),
+            data_sizes=(6,), pad=True,
+        )
+        abd = [p for p in grid if p.register == "abd"]
+        assert abd == [SweepPoint("abd", f=1, k=1, c=1, data_size_bytes=6)]
+
+    def test_padding_overhead_shows_at_small_d(self):
+        """The bounds are linear in D; padding's 4-byte prefix and block
+        rounding are additive constants that dominate at small D and
+        vanish (relatively) at large D."""
+        grid = SweepGrid.cartesian(
+            registers=("coded-only",), fs=(1,), ks=(4,), cs=(2,),
+            data_sizes=(6, 12, 96, 192), pad=True, seed=1,
+        )
+        result = run_sweep(grid)
+        overheads = {
+            record.data_bits: record.peak_bo_state_bits / record.data_bits
+            for record in result.records
+        }
+        # Measured on this grid: ~9.0 bits/bit at D = 48 bits vs ~4.6 at
+        # D = 1536 — the additive prefix/rounding terms roughly double the
+        # relative cost at the small end.
+        assert overheads[6 * 8] > 1.8 * overheads[192 * 8]
+        assert overheads[6 * 8] > overheads[12 * 8] > overheads[192 * 8]
+
+    def test_padded_records_round_trip(self):
+        grid = SweepGrid.cartesian(
+            registers=("coded-only",), fs=(1,), ks=(4,), cs=(1,),
+            data_sizes=(6,), pad=True,
+        )
+        result = run_sweep(grid)
+        assert result.records[0].padded
+        again = SweepResult.from_json(result.to_json())
+        assert again.records == result.records
+
+
 class TestSweepResultIO:
     def test_json_roundtrip(self, small_result):
         assert SweepResult.from_json(small_result.to_json()).records == \
@@ -171,6 +340,21 @@ class TestSweepResultIO:
     def test_version_guard(self):
         with pytest.raises(ParameterError, match="version"):
             SweepResult.from_json('{"version": 99, "records": []}')
+
+    def test_version1_documents_still_load(self, small_result):
+        """Pre-scenario JSON (version 1, no scenario/crash/padded fields)
+        loads as crash-free uniform records — which is what those runs
+        measured."""
+        import json
+
+        document = json.loads(small_result.to_json())
+        document["version"] = 1
+        for record in document["records"]:
+            for legacy_missing in ("scenario", "padded", "completed_reads",
+                                   "bo_crashes", "client_crashes"):
+                del record[legacy_missing]
+        loaded = SweepResult.from_json(json.dumps(document))
+        assert loaded.records == small_result.records
 
     def test_table_renders_all_records(self, small_result):
         table = small_result.table()

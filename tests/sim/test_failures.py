@@ -10,7 +10,14 @@ from repro.registers import (
     SafeCodedRegister,
     replication_setup,
 )
-from repro.sim import FailurePlan, FairScheduler, after_ops_complete, at_time
+from repro.errors import ParameterError
+from repro.sim import (
+    FailurePlan,
+    FairScheduler,
+    after_ops_complete,
+    at_time,
+    seeded_crash_schedule,
+)
 from repro.spec import check_strong_regularity, check_strong_safety
 from repro.workloads import WorkloadSpec, run_register_workload
 
@@ -137,6 +144,48 @@ class TestClientCrashes:
             configure=configure,
         )
         assert check_strong_regularity(result.history).ok
+
+
+class TestSeededCrashSchedule:
+    def test_deterministic_and_distinct(self):
+        first = seeded_crash_schedule(
+            7, bo_count=6, bo_crashes=3,
+            client_names=("w0", "w1", "w2"), client_crashes=2,
+        )
+        assert first == seeded_crash_schedule(
+            7, bo_count=6, bo_crashes=3,
+            client_names=("w0", "w1", "w2"), client_crashes=2,
+        )
+        assert first != seeded_crash_schedule(
+            8, bo_count=6, bo_crashes=3,
+            client_names=("w0", "w1", "w2"), client_crashes=2,
+        )
+        bo_ids = [bo for bo, _ in first.bo_victims]
+        names = [name for name, _ in first.client_victims]
+        assert len(set(bo_ids)) == 3 and set(bo_ids) <= set(range(6))
+        assert len(set(names)) == 2 and set(names) <= {"w0", "w1", "w2"}
+        times = [t for _, t in first.bo_victims + first.client_victims]
+        assert len(set(times)) == len(times)  # no two crashes share a time
+        assert len(first) == 5
+
+    def test_install_realises_the_schedule(self):
+        schedule = seeded_crash_schedule(3, bo_count=4, bo_crashes=2)
+        plan = schedule.install(FairScheduler())
+        assert [c.bo_id for c in plan.bo_crashes] == \
+            [bo for bo, _ in schedule.bo_victims]
+        assert plan.fired_bo_crashes == 0  # nothing fired yet
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(bo_count=2, bo_crashes=3),
+        dict(bo_count=4, bo_crashes=-1),
+        dict(bo_count=4, bo_crashes=0, client_names=("w0",),
+             client_crashes=2),
+        dict(bo_count=4, bo_crashes=1, spacing=0),
+        dict(bo_count=4, bo_crashes=1, start=-1),
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            seeded_crash_schedule(0, **kwargs)
 
 
 class TestBeyondF:

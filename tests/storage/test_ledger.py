@@ -18,9 +18,21 @@ from repro.registers import (
     SafeCodedRegister,
     replication_setup,
 )
-from repro.sim import FailurePlan, RandomScheduler, Simulation, at_time
+from repro.sim import (
+    FailurePlan,
+    RandomScheduler,
+    Simulation,
+    at_time,
+    seeded_crash_schedule,
+)
 from repro.storage import ReferenceStorageMeter, StorageMeter
-from repro.workloads import WorkloadSpec, make_value, run_register_workload
+from repro.workloads import (
+    WorkloadSpec,
+    churn,
+    make_value,
+    run_register_workload,
+    staggered_writers,
+)
 
 CODED_SETUP = RegisterSetup(f=2, k=2, data_size_bytes=16)
 
@@ -89,6 +101,56 @@ class TestRandomizedParity:
         )
         assert result.run.quiescent
         assert_ledger_matches_reference(result.sim)
+
+
+class TestPatternScenarioParity:
+    """Pattern workloads (churn, staggered) x every register x crash
+    injection: the ledger must equal the full walk at *every* action, not
+    just under uniform writer waves — the scenario-sweep engine drives
+    exactly these shapes (``audit_storage_every=1`` re-checks ledger ==
+    reference after each scheduler action; a divergence raises
+    :class:`~repro.errors.MeasurementError` mid-run)."""
+
+    @pytest.mark.parametrize("register_cls,setup", REGISTERS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_churn_with_crashes_audits_every_action(
+        self, register_cls, setup, seed
+    ):
+        run = churn(register_cls, setup, waves=2, clients_per_wave=2,
+                    seed=seed)
+        schedule = seeded_crash_schedule(
+            seed, bo_count=setup.n, bo_crashes=1,
+            client_names=("c0-0", "c0-1"), client_crashes=1,
+        )
+        result = run.drain(
+            configure=lambda sim, sch: schedule.install(sch),
+            audit_storage_every=1,
+        )
+        assert result.quiescent
+        assert_ledger_matches_reference(run.sim)
+        assert run.sim.crashed_base_objects() == 1
+
+    @pytest.mark.parametrize("register_cls,setup", REGISTERS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_staggered_with_crashes_audits_every_action(
+        self, register_cls, setup, seed
+    ):
+        run = staggered_writers(register_cls, setup, writers=3,
+                                writes_each=2, seed=seed)
+        schedule = seeded_crash_schedule(
+            seed, bo_count=setup.n, bo_crashes=2,
+            client_names=("sw0", "sw1", "sw2"), client_crashes=1,
+        )
+        result = run.drain(
+            scheduler=RandomScheduler(seed=seed),
+            configure=lambda sim, sch: schedule.install(sch),
+            audit_storage_every=1,
+        )
+        assert result.quiescent
+        assert_ledger_matches_reference(run.sim)
+        # Crash-free peaks would count all n objects; the audited run
+        # must really have killed its scheduled victims.
+        assert run.sim.crashed_base_objects() == 2
 
 
 class TestCrashEdgeCases:

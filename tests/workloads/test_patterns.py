@@ -1,4 +1,10 @@
-"""Workload-pattern tests: staggered, read-heavy, churn."""
+"""Workload-pattern tests: staggered, read-heavy, churn.
+
+Since the scenario-sweep engine, :class:`PatternRun` is measurement-
+compatible with :class:`WorkloadResult` — the parity tests here pin the
+shared surface (``spec``, peak breakdown, ``history``) that lets analysis
+code consume either without ``isinstance`` branching.
+"""
 
 import pytest
 
@@ -10,7 +16,13 @@ from repro.registers import (
 )
 from repro.spec import History, check_strong_regularity, check_strong_safety
 from repro.storage import StorageMeter
-from repro.workloads import churn, read_heavy, staggered_writers
+from repro.workloads import (
+    WorkloadSpec,
+    churn,
+    read_heavy,
+    run_register_workload,
+    staggered_writers,
+)
 
 SETUP = RegisterSetup(f=1, k=2, data_size_bytes=8)
 
@@ -59,14 +71,26 @@ class TestReadHeavy:
 class TestChurn:
     def test_waves_complete(self):
         run = churn(AdaptiveRegister, SETUP, waves=3, clients_per_wave=2)
+        assert run.drain().quiescent
         assert run.completed_writes == run.expected_writes == 6
         assert run.completed_reads == run.expected_reads == 6
+
+    def test_nothing_runs_before_drain(self):
+        """Waves are drain-time phases, so crash plans installed at drain
+        can span wave boundaries; the builder must not run anything."""
+        run = churn(AdaptiveRegister, SETUP, waves=2, clients_per_wave=2)
+        assert run.completed_writes == 0
+        assert len(run.phases) == 2
+        run.drain()
+        assert run.phases == []
+        assert run.completed_writes == 4
 
     def test_later_waves_read_recent_values(self):
         """Each read-after-own-write in a drained wave returns a value from
         its own wave or a concurrent client — never an ancient one."""
         run = churn(AdaptiveRegister, SETUP, waves=3, clients_per_wave=1,
                     seed=7)
+        run.drain()
         reads = sorted(
             (op for op in run.sim.trace.reads() if op.complete),
             key=lambda op: op.invoke_time,
@@ -83,10 +107,65 @@ class TestChurn:
     def test_churn_history_regular(self):
         run = churn(CodedOnlyRegister, SETUP, waves=2, clients_per_wave=2,
                     seed=9)
+        run.drain()
         history = History.from_trace(run.sim.trace, SETUP.v0())
         assert check_strong_regularity(history).ok
 
     def test_timestamps_propagate_across_waves(self):
         run = churn(AdaptiveRegister, SETUP, waves=3, clients_per_wave=1)
+        run.drain()
         top = max(bo.state.stored_ts for bo in run.sim.base_objects)
         assert top.num >= 3  # at least one ts per wave
+
+
+class TestWorkloadResultParity:
+    """PatternRun exposes the WorkloadResult measurement surface."""
+
+    def test_spec_describes_schedule_shape(self):
+        run = staggered_writers(AdaptiveRegister, SETUP, writers=3,
+                                writes_each=2, seed=4)
+        assert run.spec == WorkloadSpec(writers=3, writes_per_writer=2,
+                                        readers=0, seed=4)
+        run = read_heavy(AdaptiveRegister, SETUP, readers=5, reads_each=2,
+                         writers=2, seed=4)
+        assert run.spec == WorkloadSpec(writers=2, writes_per_writer=1,
+                                        readers=5, reads_per_reader=2,
+                                        seed=4)
+
+    def test_drain_measures_peaks_like_the_runner(self):
+        """A single-write-per-writer staggered run is the uniform wave;
+        both paths must measure identical peaks."""
+        uniform = run_register_workload(
+            AdaptiveRegister, SETUP,
+            WorkloadSpec(writers=3, writes_per_writer=1, readers=0, seed=2),
+        )
+        pattern = staggered_writers(AdaptiveRegister, SETUP, writers=3,
+                                    writes_each=1, seed=2)
+        pattern.drain()
+        # Staggered values use different tags, so peaks agree as shapes,
+        # not bytes: same sizes everywhere means identical bit counts.
+        assert pattern.peak_bo_state_bits == uniform.peak_bo_state_bits
+        assert pattern.peak_storage_bits == uniform.peak_storage_bits
+        assert pattern.final_bo_state_bits == uniform.final_bo_state_bits
+
+    def test_drain_is_idempotent(self):
+        run = churn(AdaptiveRegister, SETUP, waves=2, clients_per_wave=1)
+        first = run.drain()
+        assert run.drain() is first
+
+    def test_history_and_series_available(self):
+        run = read_heavy(AdaptiveRegister, SETUP, readers=2, reads_each=1)
+        run.drain(keep_series=True)
+        assert check_strong_regularity(run.history).ok
+        assert run.series, "keep_series must record the Definition 2 curve"
+        assert run.peak_storage_bits == max(bits for _, bits in run.series)
+
+    def test_pattern_sims_share_the_coding_fast_paths(self):
+        """Builders install the runner's BatchEncodePlan/DecodeShareCache."""
+        run = churn(AdaptiveRegister, SETUP, waves=2, clients_per_wave=2)
+        assert run.sim.encode_plan is not None
+        assert len(run.sim.encode_plan) == 4  # every wave's values, one pass
+        assert run.sim.decode_cache is not None
+        writes_only = staggered_writers(AdaptiveRegister, SETUP, writers=2)
+        assert writes_only.sim.encode_plan is not None
+        assert writes_only.sim.decode_cache is None
