@@ -9,7 +9,6 @@ workload. (The other flagged choice — the replica fallback — is ablated
 by the CodedOnlyRegister; benchmark E9.)
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.registers import AdaptiveNoGCRegister, AdaptiveRegister, RegisterSetup

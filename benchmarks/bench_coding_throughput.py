@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import pathlib
 import time
 
 import numpy as np
@@ -94,8 +95,9 @@ def _time(fn, repetitions: int) -> float:
 
 def run_cli(
     quick: bool, k: int = 16, n: int = 32, size: int = SIZE
-) -> tuple[str, float, float]:
-    """Return the report, the scalar speedup, and the batch-tiling ratio.
+) -> tuple[str, float, float, dict[str, float]]:
+    """Return the report, the scalar speedup, the batch-tiling ratio, and
+    the headline MB/s numbers (for the CI bench-regression gate).
 
     The tiling ratio is large-batch MB/s over the small-batch (<= 8) peak;
     >= 1.0 means the old L2 cliff is gone.
@@ -157,7 +159,15 @@ def run_cli(
         f"  batch {len(batch_blocks):3d}          "
         f"{len(batch_blocks) * mb / decode_batch_s:8.1f} MB/s",
     ]
-    return "\n".join(lines), speedup, batch_mbps[large] / peak_small
+    throughputs = {
+        "vectorized_encode_mb_per_s": round(mb / vector_s, 1),
+        "encode_batch_large_mb_per_s": round(batch_mbps[large], 1),
+        "decode_batch_mb_per_s": round(
+            len(batch_blocks) * mb / decode_batch_s, 1
+        ),
+    }
+    return ("\n".join(lines), speedup, batch_mbps[large] / peak_small,
+            throughputs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -171,8 +181,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--size", type=int, default=SIZE,
                         help="value size in bytes")
     args = parser.parse_args(argv)
-    table, _, _ = run_cli(quick=args.quick, k=args.k, n=args.n, size=args.size)
+    table, _, _, throughputs = run_cli(
+        quick=args.quick, k=args.k, n=args.n, size=args.size
+    )
     print(table)
+    from repro.analysis.benchgate import metric, write_bench_summary
+
+    write_bench_summary(
+        "coding_throughput",
+        {name: metric(value, "MB/s")
+         for name, value in throughputs.items()},
+        pathlib.Path(__file__).parent / "results",
+        quick=args.quick,
+    )
     return 0
 
 
@@ -288,7 +309,7 @@ if pytest is not None:
             runners cannot flake while a real regression to the scalar
             path still fails loudly.
             """
-            table, speedup, tiling_ratio = run_cli(quick=True)
+            table, speedup, tiling_ratio, _ = run_cli(quick=True)
             record_table("e11_coding_throughput", table)
             assert speedup >= 3.0, f"vectorized speedup collapsed: {speedup:.1f}x"
             # Column tiling keeps large batches at (or above) the

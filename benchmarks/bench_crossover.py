@@ -48,6 +48,7 @@ from repro.analysis import (
     render_crossover_blocks,
     run_sweep,
 )
+from repro.analysis.benchgate import write_sweep_bench_summary
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -110,9 +111,19 @@ def render_crossover(result: SweepResult, cs: tuple[int, ...]) -> str:
 
 
 def run(
-    quick: bool, with_crashes: bool = False, echo=lambda line: None
+    quick: bool,
+    with_crashes: bool = False,
+    echo=lambda line: None,
+    workers: int = 1,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> tuple[SweepResult, str]:
-    """Run the sweep, write results, return (result, rendered text)."""
+    """Run the sweep, write results, return (result, rendered text).
+
+    ``workers > 1`` fans the cells out across a process pool (same JSON,
+    measured fields byte-identical); ``checkpoint``/``resume`` journal
+    completed cells so an interrupted run picks up where it stopped.
+    """
     spec = QUICK_GRID if quick else FULL_GRID
     grid = build_grid(spec)
     scenarios = [Scenario("uniform")]
@@ -122,11 +133,15 @@ def run(
     echo(
         f"regime sweep: {len(grid) * len(scenarios)} runs over {len(coded)} "
         f"coded (n, k) points (+{len(grid.nk_points()) - len(coded)} "
-        f"replication) x {len(scenarios)} scenario(s), D={DATA * 8} bits"
+        f"replication) x {len(scenarios)} scenario(s), D={DATA * 8} bits, "
+        f"workers={workers}"
     )
     result = run_sweep(
         grid,
         scenarios=scenarios,
+        workers=workers,
+        checkpoint=checkpoint,
+        resume=resume,
         progress=lambda done, total, point: echo(
             f"  [{done}/{total}] {point.register} f={point.f} "
             f"k={point.k} c={point.c}"
@@ -139,6 +154,7 @@ def run(
     json_path = RESULTS_DIR / f"e9_crossover_sweep{suffix}.json"
     result.save(json_path)  # creates RESULTS_DIR for the .txt below too
     (RESULTS_DIR / f"E9_crossover_sweep{suffix}.txt").write_text(text + "\n")
+    write_sweep_bench_summary("crossover", result, RESULTS_DIR, quick=quick)
     echo(f"JSON result: {json_path}")
     return result, text
 
@@ -153,9 +169,23 @@ def main(argv: list[str] | None = None) -> int:
         "--with-crashes", action="store_true",
         help="also sweep the churn-with-crashes scenario per regime",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size (1 = serial; results byte-identical)",
+    )
+    parser.add_argument(
+        "--checkpoint", type=str, default=None,
+        help="JSONL journal path for checkpoint/resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from an existing --checkpoint journal",
+    )
     args = parser.parse_args(argv)
     result, text = run(
-        quick=args.quick, with_crashes=args.with_crashes, echo=print
+        quick=args.quick, with_crashes=args.with_crashes, echo=print,
+        workers=args.workers, checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     print()
     print(text)

@@ -11,7 +11,6 @@ in both incarnations and compares:
   parks ``n`` replicas in flight mid-round.
 """
 
-import pytest
 
 from repro.analysis import format_table
 from repro.msgnet import FairMsgScheduler, MsgABDSystem, RandomMsgScheduler

@@ -40,6 +40,8 @@ from __future__ import annotations
 import argparse
 import pathlib
 
+import pytest
+
 from repro.analysis import (
     Scenario,
     SweepGrid,
@@ -51,6 +53,7 @@ from repro.analysis import (
     render_crossover_blocks,
     run_sweep,
 )
+from repro.analysis.benchgate import write_sweep_bench_summary
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -198,15 +201,27 @@ def check_bounds(result: SweepResult) -> list[str]:
     return failures
 
 
-def run(quick: bool, echo=lambda line: None) -> tuple[SweepResult, str]:
-    """Run the matrix, write results, return (result, rendered text)."""
+def run(
+    quick: bool,
+    echo=lambda line: None,
+    workers: int = 1,
+    checkpoint: str | None = None,
+    resume: bool = False,
+) -> tuple[SweepResult, str]:
+    """Run the matrix, write results, return (result, rendered text).
+
+    ``workers > 1`` fans the cells out across a process pool (measured
+    fields byte-identical to serial); ``checkpoint``/``resume`` journal
+    completed cells so an interrupted matrix picks up where it stopped.
+    """
     spec = QUICK if quick else FULL
     grid = build_grid(spec)
     scenarios = spec["scenarios"]
     echo(
         f"scenario sweep: {len(grid)} grid points x {len(scenarios)} "
         f"scenarios = {len(grid) * len(scenarios)} cells "
-        f"({'per-action ledger audit on' if quick else 'audit off'})"
+        f"({'per-action ledger audit on' if quick else 'audit off'}, "
+        f"workers={workers})"
     )
     result = run_sweep(
         grid,
@@ -214,6 +229,9 @@ def run(quick: bool, echo=lambda line: None) -> tuple[SweepResult, str]:
         # The CI smoke re-checks ledger == full-walk reference at every
         # action of every scenario x register cell.
         audit_storage_every=1 if quick else 0,
+        workers=workers,
+        checkpoint=checkpoint,
+        resume=resume,
         progress=lambda done, total, point: echo(
             f"  [{done}/{total}] {point.register} f={point.f} k={point.k} "
             f"c={point.c} D={point.data_size_bytes * 8}"
@@ -230,6 +248,8 @@ def run(quick: bool, echo=lambda line: None) -> tuple[SweepResult, str]:
     json_path = RESULTS_DIR / f"e13_scenario_sweep{suffix}.json"
     result.save(json_path)
     (RESULTS_DIR / f"E13_scenario_sweep{suffix}.txt").write_text(text + "\n")
+    write_sweep_bench_summary("scenario_sweep", result, RESULTS_DIR,
+                              quick=quick)
     echo(f"JSON result: {json_path}")
     return result, text
 
@@ -240,8 +260,21 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="trimmed matrix with the per-action ledger audit (CI smoke)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size (1 = serial; results byte-identical)",
+    )
+    parser.add_argument(
+        "--checkpoint", type=str, default=None,
+        help="JSONL journal path for checkpoint/resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from an existing --checkpoint journal",
+    )
     args = parser.parse_args(argv)
-    result, text = run(quick=args.quick, echo=print)
+    result, text = run(quick=args.quick, echo=print, workers=args.workers,
+                       checkpoint=args.checkpoint, resume=args.resume)
     print()
     print(text)
     # Explicit (not assert) so the smoke run fails even under python -O.
@@ -262,9 +295,6 @@ def main(argv: list[str] | None = None) -> int:
 
 
 # ---------------------------------------------------------------- pytest
-
-
-import pytest
 
 
 @pytest.fixture(scope="module")

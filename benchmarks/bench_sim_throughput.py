@@ -37,6 +37,7 @@ import json
 import pathlib
 import time
 
+from repro.analysis.benchgate import metric, write_bench_summary
 from repro.analysis.sweeps import SweepGrid, SweepPoint, run_sweep
 from repro.coding import DecodeShareCache
 from repro.registers import AdaptiveRegister, RegisterSetup
@@ -232,6 +233,19 @@ def main() -> int:
     }
     (RESULTS_DIR / "e12_sim_throughput.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    write_bench_summary(
+        "sim_throughput",
+        {
+            "ledger_actions_per_s": metric(
+                ledger["actions_per_sec"], "actions/s"
+            ),
+            "mean_sweep_point_seconds": metric(
+                point_seconds, "s", direction="lower"
+            ),
+        },
+        RESULTS_DIR,
+        quick=args.quick,
     )
     if speedup < min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x below bar {min_speedup:.2f}x")

@@ -43,7 +43,8 @@ regimes = sorted({(r.f, r.k) for r in result.records if r.register != "abd"})
 for scenario in result.scenarios():
     sub = result.select(scenario=scenario)
     for f, k in regimes:
-        pick = lambda **kw: result.series(scenario=scenario, f=f, **kw)
+        def pick(scenario=scenario, f=f, **kw):
+            return result.series(scenario=scenario, f=f, **kw)
         n = [r for r in sub if r.f == f and r.k == k][0].n
         cs = [c for c, _ in pick(register="abd")]
         rows = [["abd"] + [y for _, y in pick(register="abd")]]

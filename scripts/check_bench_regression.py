@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI bench-regression gate: compare BENCH_*.json summaries to baselines.
+
+Each ``--quick`` benchmark step writes a canonical summary to
+``benchmarks/results/BENCH_<name>.json`` (see
+:mod:`repro.analysis.benchgate`). This script walks the committed
+baselines in ``benchmarks/baselines/``, pairs each with the freshly
+measured summary of the same name, and fails (exit 1) when any metric's
+implied throughput dropped below ``1 - threshold`` of its baseline —
+default threshold 0.40, i.e. a >40% throughput regression.
+
+Usage (what CI runs after the bench smoke steps)::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py
+
+Options let tests and local runs point at synthetic directories::
+
+    python scripts/check_bench_regression.py \\
+        --baselines benchmarks/baselines \\
+        --results benchmarks/results \\
+        --threshold 0.40
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Runnable without an installed package: scripts/ sits next to src/.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.benchgate import (  # noqa: E402
+    compare_summaries,
+    load_bench_summary,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def check_regressions(
+    baselines_dir: str | Path,
+    results_dir: str | Path,
+    threshold: float = 0.40,
+) -> list[str]:
+    """All problems across every committed baseline (empty = gate passes).
+
+    A baseline without a matching current summary is itself a failure:
+    it means a CI bench step stopped writing its summary, which would
+    otherwise silently disable the gate for that bench.
+    """
+    baselines_dir = Path(baselines_dir)
+    results_dir = Path(results_dir)
+    baseline_paths = sorted(baselines_dir.glob("BENCH_*.json"))
+    if not baseline_paths:
+        return [f"no BENCH_*.json baselines found in {baselines_dir}"]
+    problems: list[str] = []
+    for baseline_path in baseline_paths:
+        baseline = load_bench_summary(baseline_path)
+        current_path = results_dir / baseline_path.name
+        if not current_path.exists():
+            problems.append(
+                f"{baseline['bench']}: no current summary at "
+                f"{current_path} (did the bench step run?)"
+            )
+            continue
+        current = load_bench_summary(current_path)
+        problems.extend(compare_summaries(baseline, current, threshold))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baselines", default=str(REPO_ROOT / "benchmarks" / "baselines"),
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--results", default=str(REPO_ROOT / "benchmarks" / "results"),
+        help="directory the bench steps wrote fresh summaries to",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.40,
+        help="fail on throughput below (1 - threshold) x baseline",
+    )
+    args = parser.parse_args(argv)
+    problems = check_regressions(args.baselines, args.results,
+                                 args.threshold)
+    if problems:
+        for problem in problems:
+            print(f"BENCH REGRESSION: {problem}")
+        return 1
+    count = len(sorted(Path(args.baselines).glob("BENCH_*.json")))
+    print(
+        f"bench gate ok: {count} summaries within "
+        f"{args.threshold:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,19 @@
-"""Benchmark-output helpers: tables, units, sweeps, series shape checks."""
+"""Benchmark-output helpers: tables, units, sweeps, series shape checks.
 
+``run_sweep`` re-exported here is the parallel-capable executor
+(:mod:`repro.analysis.executor`), a drop-in superset of the serial
+engine in :mod:`repro.analysis.sweeps` — identical behaviour (and
+byte-identical results) at the default ``workers=1``.
+"""
+
+from repro.analysis.executor import (
+    SweepJournal,
+    default_chunk_size,
+    run_sweep,
+    sweep_signature,
+)
 from repro.analysis.sweeps import (
+    RECORD_METADATA_FIELDS,
     REGISTER_REGISTRY,
     SCENARIO_PATTERNS,
     UNIFORM_SCENARIO,
@@ -12,11 +25,12 @@ from repro.analysis.sweeps import (
     adaptive_upper_bound_bits,
     crossover_shape_violations,
     disintegrated_bound_bits,
+    execute_cell,
     lrc_max_dimension,
     lrc_storage_floor_bits,
     register_uses_k,
     render_crossover_blocks,
-    run_sweep,
+    sweep_cells,
     theorem1_bound_bits,
 )
 from repro.analysis.tables import (
@@ -30,18 +44,22 @@ from repro.analysis.tables import (
 )
 
 __all__ = [
+    "RECORD_METADATA_FIELDS",
     "REGISTER_REGISTRY",
     "SCENARIO_PATTERNS",
     "Scenario",
     "SeriesPoint",
     "SweepGrid",
+    "SweepJournal",
     "SweepPoint",
     "SweepRecord",
     "SweepResult",
     "UNIFORM_SCENARIO",
     "adaptive_upper_bound_bits",
     "crossover_shape_violations",
+    "default_chunk_size",
     "disintegrated_bound_bits",
+    "execute_cell",
     "flat_within",
     "format_bits",
     "format_ratio",
@@ -53,5 +71,7 @@ __all__ = [
     "register_uses_k",
     "render_crossover_blocks",
     "run_sweep",
+    "sweep_cells",
+    "sweep_signature",
     "theorem1_bound_bits",
 ]

@@ -1,0 +1,389 @@
+"""Parallel sweep execution: pool fan-out, deterministic merge, resume.
+
+:func:`repro.analysis.sweeps.run_sweep` executes every ``scenario x
+grid-point`` cell serially in one process. Cells are fully independent
+and seed-deterministic — each record is a pure function of its
+``(scenario, point)`` cell plus the engine knobs — which makes the sweep
+an ideal process-pool workload. This module is the multi-core superset:
+
+* :func:`run_sweep` — the same signature plus ``workers``, ``checkpoint``
+  and ``resume``. ``workers > 1`` partitions the cell list across a
+  ``multiprocessing`` **spawn** pool (spawn, not fork: workers re-import
+  the package and rebuild schemes, oracles and GF tables in their own
+  process, so no simulator state is ever shared or inherited mid-run).
+  Cells are dispatched in contiguous chunks to amortise pickling and
+  startup, results stream back in completion order, and the merge reorders
+  them into the serial cell order — so the resulting
+  :class:`~repro.analysis.sweeps.SweepResult` is **byte-identical to the
+  serial run for any worker count** once the per-record execution metadata
+  (``wall_clock_s``, ``worker``) is stripped:
+  ``to_json(include_timing=False)`` compares equal across ``workers`` ∈
+  {1, 2, 4, ...}, crash firing records and overlay curves included.
+
+* checkpoint/resume — with ``checkpoint=path`` every completed cell is
+  appended to a JSONL journal as it finishes (single writer: the parent
+  process). An interrupted sweep — Ctrl-C, a CI timeout, a crash —
+  resumes with ``resume=True`` without recomputing finished cells. The
+  journal header pins a SHA-256 hash of the full cell list and engine
+  knobs; resuming against a different grid, scenario set, or knob value
+  raises :class:`~repro.errors.CheckpointError` instead of silently
+  merging incompatible measurements. A truncated trailing line (the
+  classic kill-mid-write artifact) is tolerated and recomputed; corruption
+  anywhere else raises.
+
+The cell runner itself lives in :mod:`repro.analysis.sweeps`
+(:func:`~repro.analysis.sweeps.execute_cell`); this module only decides
+*where* each cell runs and in what order results are stitched together.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis.sweeps import (
+    Scenario,
+    SweepGrid,
+    SweepPoint,
+    SweepRecord,
+    SweepResult,
+    execute_cell,
+    normalize_scenarios,
+    sweep_cells,
+)
+from repro.errors import CheckpointError, ParameterError
+
+#: Journal file format version (independent of the sweep JSON schema).
+JOURNAL_VERSION = 1
+
+#: Magic string identifying a sweep journal header line.
+JOURNAL_MAGIC = "repro-sweep-journal"
+
+
+# ------------------------------------------------------------ cell hashing
+
+
+def sweep_signature(
+    cells: Sequence[tuple[Scenario, SweepPoint]],
+    *,
+    max_steps: int,
+    lrc_locality: int,
+    audit_storage_every: int,
+) -> str:
+    """SHA-256 over the full cell list and every knob that shapes records.
+
+    Two sweep invocations share a signature iff they would produce the
+    same measurement payloads cell-for-cell — the validity criterion for
+    merging a journal's cells into a later run. Execution-only knobs
+    (worker count, chunking, progress hooks) are deliberately excluded.
+    """
+    payload = {
+        "cells": [
+            [asdict(scenario), asdict(point)] for scenario, point in cells
+        ],
+        "max_steps": max_steps,
+        "lrc_locality": lrc_locality,
+        "audit_storage_every": audit_storage_every,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------- journal
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of completed sweep cells.
+
+    Line 0 is a header pinning the sweep signature and cell count; every
+    further line is one completed cell: ``{"cell": index, "record":
+    {...}}`` with ``index`` the cell's position in the serial
+    :func:`~repro.analysis.sweeps.sweep_cells` order. The parent process
+    is the only writer, so the file needs no locking; each line is
+    flushed as it is written, so the worst interruption artifact is one
+    truncated trailing line — which :meth:`load` tolerates (that cell is
+    simply recomputed). Everything else that does not parse, or that
+    belongs to a different sweep, raises
+    :class:`~repro.errors.CheckpointError`.
+    """
+
+    def __init__(self, path: str | Path, signature: str, total_cells: int):
+        self.path = Path(path)
+        self.signature = signature
+        self.total_cells = total_cells
+        self._handle = None
+
+    # ------------------------------------------------------------- reading
+
+    def load(self) -> dict[int, SweepRecord]:
+        """Completed cells from an existing journal, validated.
+
+        Returns ``{}`` when the journal does not exist yet. Raises
+        :class:`~repro.errors.CheckpointError` when the header is missing
+        or pins a different sweep (grid, scenarios, or engine knobs), when
+        a cell index falls outside the grid, or when any line other than
+        the final one is malformed.
+        """
+        if not self.path.exists():
+            return {}
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            return {}
+        header = self._parse_line(lines[0], line_number=1)
+        if header is None or header.get("journal") != JOURNAL_MAGIC:
+            raise CheckpointError(
+                f"{self.path}: not a sweep journal (missing header)"
+            )
+        if header.get("journal_version") != JOURNAL_VERSION:
+            raise CheckpointError(
+                f"{self.path}: unsupported journal version "
+                f"{header.get('journal_version')!r}"
+            )
+        if header.get("signature") != self.signature:
+            raise CheckpointError(
+                f"{self.path}: journal was written for a different sweep "
+                f"(signature {header.get('signature')!r} != "
+                f"{self.signature!r}); refusing to merge its cells"
+            )
+        if header.get("total_cells") != self.total_cells:
+            raise CheckpointError(
+                f"{self.path}: journal covers {header.get('total_cells')!r} "
+                f"cells, this sweep has {self.total_cells}"
+            )
+        done: dict[int, SweepRecord] = {}
+        for number, line in enumerate(lines[1:], start=2):
+            entry = self._parse_line(
+                line, line_number=number, tolerate=(number == len(lines))
+            )
+            if entry is None:  # tolerated truncated trailing line
+                continue
+            try:
+                index = entry["cell"]
+                record = SweepRecord(**entry["record"])
+            except (KeyError, TypeError) as error:
+                raise CheckpointError(
+                    f"{self.path}:{number}: malformed journal entry: {error}"
+                ) from error
+            if not 0 <= index < self.total_cells:
+                raise CheckpointError(
+                    f"{self.path}:{number}: cell index {index} outside the "
+                    f"sweep's {self.total_cells} cells"
+                )
+            done[index] = record
+        return done
+
+    def _parse_line(
+        self, line: str, *, line_number: int, tolerate: bool = False
+    ) -> dict | None:
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError as error:
+            if tolerate:
+                return None
+            raise CheckpointError(
+                f"{self.path}:{line_number}: corrupt journal line: {error}"
+            ) from error
+        if not isinstance(parsed, dict):
+            raise CheckpointError(
+                f"{self.path}:{line_number}: journal line is not an object"
+            )
+        return parsed
+
+    # ------------------------------------------------------------- writing
+
+    def open_for_append(self, fresh: bool) -> None:
+        """Open the journal for appending; write the header when fresh.
+
+        When appending to an existing journal, a truncated trailing line
+        (tolerated by :meth:`load`) is trimmed back to the last complete
+        line first — appending straight after the partial text would fuse
+        two entries into one permanently corrupt line, breaking every
+        later resume.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existed = self.path.exists() and self.path.stat().st_size > 0
+        if existed and not fresh:
+            text = self.path.read_text()
+            if not text.endswith("\n"):
+                text = text[: text.rfind("\n") + 1]
+                self.path.write_text(text)
+                existed = bool(text)  # rewrite the header if nothing left
+        self._handle = open(self.path, "w" if fresh else "a")
+        if fresh or not existed:
+            self._write_line({
+                "journal": JOURNAL_MAGIC,
+                "journal_version": JOURNAL_VERSION,
+                "signature": self.signature,
+                "total_cells": self.total_cells,
+            })
+
+    def append(self, index: int, record: SweepRecord) -> None:
+        """Persist one completed cell (flushed immediately)."""
+        self._write_line({"cell": index, "record": asdict(record)})
+
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# ------------------------------------------------------------ worker side
+
+
+def _worker_number() -> int:
+    """This pool worker's 1-based number (0 outside a pool).
+
+    Pool workers are named ``SpawnPoolWorker-<n>``; the trailing integer
+    is stable for the life of the pool and lands in
+    :attr:`SweepRecord.worker` as execution metadata.
+    """
+    name = multiprocessing.current_process().name
+    digits = name.rsplit("-", 1)[-1]
+    return int(digits) if digits.isdigit() else 0
+
+
+def _run_chunk(
+    payload: tuple[list[int], list[tuple[Scenario, SweepPoint]], dict],
+) -> list[tuple[int, SweepRecord]]:
+    """Pool entrypoint: run one contiguous chunk of cells.
+
+    Executed in a spawned worker process, so ``repro`` (schemes, oracles,
+    GF tables) is freshly imported and rebuilt per process — nothing is
+    inherited from the parent. Must stay a module-level function: spawn
+    pickles it by qualified name.
+    """
+    indices, chunk_cells, kwargs = payload
+    worker = _worker_number()
+    return [
+        (index, execute_cell(scenario, point, worker=worker, **kwargs))
+        for index, (scenario, point) in zip(indices, chunk_cells)
+    ]
+
+
+# ----------------------------------------------------------------- engine
+
+
+def _chunked(pending: list[int], chunk_size: int) -> list[list[int]]:
+    return [
+        pending[start:start + chunk_size]
+        for start in range(0, len(pending), chunk_size)
+    ]
+
+
+def default_chunk_size(pending: int, workers: int) -> int:
+    """Contiguous cells per pool task: ~4 tasks per worker, capped at 32.
+
+    Large enough to amortise pickling/dispatch overhead per task, small
+    enough that a pool keeps all workers busy when cell costs are skewed
+    (large-``c`` cells can dominate small ones by orders of magnitude).
+    """
+    if pending <= 0 or workers <= 1:
+        return max(1, pending)
+    return max(1, min(32, -(-pending // (workers * 4))))
+
+
+def run_sweep(
+    grid: SweepGrid,
+    *,
+    scenarios: Sequence[Scenario] | None = None,
+    writes_per_writer: int = 1,
+    readers: int = 0,
+    max_steps: int = 400_000,
+    lrc_locality: int = 2,
+    audit_storage_every: int = 0,
+    progress: Callable[[int, int, SweepPoint], None] | None = None,
+    workers: int = 1,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    chunk_size: int | None = None,
+) -> SweepResult:
+    """Execute every ``scenario x grid-point`` cell, optionally in parallel.
+
+    A drop-in superset of :func:`repro.analysis.sweeps.run_sweep`:
+
+    * ``workers`` — pool size. ``1`` (the default) runs in-process and is
+      behaviourally identical to the serial engine. ``N > 1`` fans the
+      cell list out across an ``N``-process spawn pool; the merged result
+      is byte-identical to the serial run under
+      ``to_json(include_timing=False)`` for any ``N``.
+    * ``checkpoint`` — JSONL journal path. Completed cells stream to it;
+      pass ``resume=True`` to load previously completed cells instead of
+      recomputing them. A journal written for a different sweep
+      (different cells, scenarios, or engine knobs) raises
+      :class:`~repro.errors.CheckpointError`. Without ``resume``, an
+      existing non-empty checkpoint also raises — an append-only journal
+      is never silently overwritten.
+    * ``chunk_size`` — cells per pool task (default:
+      :func:`default_chunk_size`).
+
+    ``progress`` is called as ``progress(done, total, point)`` after each
+    cell completes — in completion order, which under a pool is not the
+    cell order (the merged result always is).
+    """
+    if workers < 1:
+        raise ParameterError("workers must be >= 1")
+    scenario_tuple = normalize_scenarios(scenarios, writes_per_writer,
+                                         readers)
+    cells = sweep_cells(grid, scenario_tuple)
+    kwargs = dict(
+        max_steps=max_steps,
+        lrc_locality=lrc_locality,
+        audit_storage_every=audit_storage_every,
+    )
+    signature = sweep_signature(cells, **kwargs)
+
+    journal = None
+    done: dict[int, SweepRecord] = {}
+    if checkpoint is not None:
+        journal = SweepJournal(checkpoint, signature, len(cells))
+        if resume:
+            done = journal.load()
+        elif journal.path.exists() and journal.path.stat().st_size > 0:
+            raise CheckpointError(
+                f"{journal.path}: checkpoint exists; pass resume=True to "
+                "continue it or delete the file to start over"
+            )
+        journal.open_for_append(fresh=not resume)
+
+    pending = [index for index in range(len(cells)) if index not in done]
+    completed = len(done)
+
+    def finish(index: int, record: SweepRecord) -> None:
+        nonlocal completed
+        done[index] = record
+        completed += 1
+        if journal is not None:
+            journal.append(index, record)
+        if progress is not None:
+            progress(completed, len(cells), cells[index][1])
+
+    try:
+        if workers == 1 or len(pending) <= 1:
+            for index in pending:
+                scenario, point = cells[index]
+                finish(index, execute_cell(scenario, point, **kwargs))
+        else:
+            size = chunk_size or default_chunk_size(len(pending), workers)
+            payloads = [
+                (chunk, [cells[index] for index in chunk], kwargs)
+                for chunk in _chunked(pending, size)
+            ]
+            context = multiprocessing.get_context("spawn")
+            pool_size = min(workers, len(payloads))
+            with context.Pool(processes=pool_size) as pool:
+                for batch in pool.imap_unordered(_run_chunk, payloads):
+                    for index, record in batch:
+                        finish(index, record)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return SweepResult([done[index] for index in range(len(cells))])

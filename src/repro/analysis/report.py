@@ -10,11 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.executor import run_sweep
 from repro.analysis.sweeps import (
     Scenario,
     SweepGrid,
     crossover_shape_violations,
-    run_sweep,
 )
 from repro.analysis.tables import format_table
 from repro.lowerbound import run_lower_bound_experiment
@@ -111,7 +111,7 @@ def _channel_section() -> Section:
     return Section("Channel parking does not evade the bound", body, verdict)
 
 
-def _sweep_section() -> Section:
+def _sweep_section(workers: int = 1) -> Section:
     """A compact regime sweep with the literature overlay columns."""
     grid = SweepGrid.cartesian(
         registers=("abd", "coded-only", "adaptive"),
@@ -121,7 +121,7 @@ def _sweep_section() -> Section:
         data_sizes=(48,),
         seed=1,
     )
-    result = run_sweep(grid)
+    result = run_sweep(grid, workers=workers)
     ok = not crossover_shape_violations(result)
     ok &= all(
         record.peak_bo_state_bits >= record.thm1_bits
@@ -139,7 +139,7 @@ def _sweep_section() -> Section:
     )
 
 
-def _scenario_section() -> Section:
+def _scenario_section(workers: int = 1) -> Section:
     """Crossover under crashes and shaped load: the bounds are adversarial,
     so they must keep holding when workloads churn, read-storm, and lose
     up to ``f`` base objects and clients mid-run."""
@@ -158,7 +158,7 @@ def _scenario_section() -> Section:
         Scenario("read-heavy", pattern="read-heavy", readers=4,
                  reads_per_reader=2),
     )
-    result = run_sweep(grid, scenarios=scenarios)
+    result = run_sweep(grid, scenarios=scenarios, workers=workers)
     ok = not crossover_shape_violations(result)
     ok &= all(
         record.peak_bo_state_bits >= record.thm1_bits
@@ -179,14 +179,18 @@ def _scenario_section() -> Section:
     )
 
 
-def generate_report() -> str:
-    """Run all report sections and render markdown."""
+def generate_report(workers: int = 1) -> str:
+    """Run all report sections and render markdown.
+
+    ``workers > 1`` fans the sweep sections' grid cells across a process
+    pool; the rendered tables are identical to a serial run.
+    """
     sections = [
         _theorem1_section(),
         _storage_section(),
         _channel_section(),
-        _sweep_section(),
-        _scenario_section(),
+        _sweep_section(workers),
+        _scenario_section(workers),
     ]
     header = (
         "# Reproduction report\n\n"

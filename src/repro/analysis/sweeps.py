@@ -431,10 +431,13 @@ class SweepRecord:
     ``bo_crashes``/``client_crashes`` count the crashes that actually
     *fired* (deterministic per seed — a scheduled kill may never fire if
     the run drains first). ``wall_clock_s`` is the measured wall-clock of
-    the cell's simulation run. It defaults to ``0.0`` so pre-timing JSON
-    documents still load, and it is *metadata*, not measurement:
-    :meth:`SweepResult.to_json` can exclude it to obtain the deterministic
-    byte-identical document two identical sweeps agree on.
+    the cell's simulation run and ``worker`` the pool-worker number that
+    executed it (``0`` for in-process serial runs — see
+    :mod:`repro.analysis.executor`). Both default so pre-timing JSON
+    documents still load, and both are *metadata*, not measurement:
+    :meth:`SweepResult.to_json` can exclude them to obtain the
+    deterministic byte-identical document two identical sweeps agree on —
+    regardless of worker count.
     """
 
     register: str
@@ -459,6 +462,7 @@ class SweepRecord:
     bo_crashes: int = 0
     client_crashes: int = 0
     wall_clock_s: float = 0.0
+    worker: int = 0
 
 
 #: Default columns of :meth:`SweepResult.table`.
@@ -471,8 +475,16 @@ TABLE_COLUMNS = (
 #: JSON document version written by :meth:`SweepResult.to_json`. Version 1
 #: predates the scenario axis; its records load with scenario "uniform",
 #: no padding, and zero crash counts — exactly what those sweeps ran.
-SCHEMA_VERSION = 2
-_SUPPORTED_VERSIONS = (1, SCHEMA_VERSION)
+#: Version 2 predates the parallel executor; its records load with
+#: ``worker = 0`` — every v2 sweep ran in-process.
+SCHEMA_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, SCHEMA_VERSION)
+
+#: Per-record execution metadata: fields that describe *how* a cell ran
+#: (how long, on which pool worker), never *what* it measured. These are
+#: exactly the fields ``to_json(include_timing=False)`` strips so
+#: determinism checks compare pure measurement payloads.
+RECORD_METADATA_FIELDS = ("wall_clock_s", "worker")
 
 
 @dataclass
@@ -526,18 +538,21 @@ class SweepResult:
     def to_json(self, include_timing: bool = True) -> str:
         """Serialise to a stable, versioned JSON document.
 
-        ``include_timing=False`` drops the per-record ``wall_clock_s``
-        metadata, yielding the deterministic document two runs of the same
-        grid agree on byte-for-byte (every *measured* field is
-        deterministic — crash victims and firing order included, since
-        crash plans are seed-derived; wall-clock is not).
+        ``include_timing=False`` drops the per-record execution metadata
+        (:data:`RECORD_METADATA_FIELDS`: ``wall_clock_s`` and the
+        executor's ``worker`` number), yielding the deterministic document
+        two runs of the same grid agree on byte-for-byte — at any worker
+        count (every *measured* field is deterministic — crash victims and
+        firing order included, since crash plans are seed-derived;
+        wall-clock and pool placement are not).
         """
         records = [asdict(record) for record in self.records]
         record_fields = [field.name for field in fields(SweepRecord)]
         if not include_timing:
-            record_fields.remove("wall_clock_s")
-            for record in records:
-                del record["wall_clock_s"]
+            for metadata_field in RECORD_METADATA_FIELDS:
+                record_fields.remove(metadata_field)
+                for record in records:
+                    del record[metadata_field]
         return json.dumps(
             {
                 "version": SCHEMA_VERSION,
@@ -746,6 +761,113 @@ def _run_cell(
     return outcome, setup, steps, fired_bo, fired_client
 
 
+def normalize_scenarios(
+    scenarios: Sequence[Scenario] | None,
+    writes_per_writer: int = 1,
+    readers: int = 0,
+) -> tuple[Scenario, ...]:
+    """Resolve the scenario axis of a sweep call, validating it.
+
+    ``scenarios = None`` builds the single crash-free uniform wave from
+    the legacy ``writes_per_writer``/``readers`` shape knobs; an explicit
+    sequence must carry its shape on each :class:`Scenario` (the legacy
+    knobs are rejected) and use distinct names. Shared by the serial
+    :func:`run_sweep` and the parallel executor so both paths agree on
+    the exact cell list.
+    """
+    if scenarios is None:
+        return (
+            Scenario(
+                "uniform", ops_per_client=writes_per_writer, readers=readers
+            ),
+        )
+    if writes_per_writer != 1 or readers != 0:
+        # The shape knobs live on the Scenario once scenarios are explicit;
+        # silently dropping the legacy arguments would measure the wrong
+        # workload.
+        raise ParameterError(
+            "pass writes_per_writer/readers via each Scenario "
+            "(ops_per_client/readers) when scenarios are given explicitly"
+        )
+    names = [scenario.name for scenario in scenarios]
+    if len(set(names)) != len(names):
+        raise ParameterError(f"duplicate scenario names: {names}")
+    return tuple(scenarios)
+
+
+def sweep_cells(
+    grid: SweepGrid, scenarios: Sequence[Scenario]
+) -> list[tuple[Scenario, SweepPoint]]:
+    """The sweep's cell list: every ``scenario x point``, scenario-major.
+
+    This ordering *is* the result-record ordering — the serial loop runs
+    it front to back, and the parallel executor merges worker outputs
+    back into it — so a cell's position here is its identity for
+    checkpoint journals.
+    """
+    return [
+        (scenario, point) for scenario in scenarios for point in grid
+    ]
+
+
+def execute_cell(
+    scenario: Scenario,
+    point: SweepPoint,
+    *,
+    max_steps: int = 400_000,
+    lrc_locality: int = 2,
+    audit_storage_every: int = 0,
+    worker: int = 0,
+) -> SweepRecord:
+    """Run one ``scenario x point`` cell and build its :class:`SweepRecord`.
+
+    The single record constructor both execution paths share: the serial
+    :func:`run_sweep` loop calls it in-process (``worker = 0``) and the
+    pool workers of :mod:`repro.analysis.executor` call it in their own
+    processes — every field except the :data:`RECORD_METADATA_FIELDS` is
+    a pure function of ``(scenario, point)`` and the keyword knobs, which
+    is what makes pooled sweeps byte-identical to serial ones.
+    """
+    started = time.perf_counter()
+    outcome, setup, steps, fired_bo, fired_client = _run_cell(
+        scenario, point, max_steps=max_steps,
+        audit_storage_every=audit_storage_every,
+    )
+    wall_clock_s = round(time.perf_counter() - started, 6)
+    data_bits = setup.data_size_bits
+    return SweepRecord(
+        register=point.register,
+        f=point.f,
+        k=point.k,
+        n=setup.n,
+        c=point.c,
+        data_bits=data_bits,
+        seed=point.seed,
+        peak_bo_state_bits=outcome.peak_bo_state_bits,
+        peak_storage_bits=outcome.peak_storage_bits,
+        final_bo_state_bits=outcome.final_bo_state_bits,
+        completed_writes=outcome.completed_writes,
+        steps=steps,
+        thm1_bits=theorem1_bound_bits(point.f, point.c, data_bits),
+        adaptive_bound_bits=adaptive_upper_bound_bits(
+            point.f, point.k, point.c, data_bits
+        ),
+        disintegrated_bits=disintegrated_bound_bits(
+            point.f, point.c, data_bits
+        ),
+        lrc_floor_bits=lrc_storage_floor_bits(
+            setup.n, point.f, data_bits, lrc_locality
+        ),
+        scenario=scenario.name,
+        padded=point.padded,
+        completed_reads=outcome.completed_reads,
+        bo_crashes=fired_bo,
+        client_crashes=fired_client,
+        wall_clock_s=wall_clock_s,
+        worker=worker,
+    )
+
+
 def run_sweep(
     grid: SweepGrid,
     *,
@@ -781,69 +903,23 @@ def run_sweep(
 
     ``progress`` (if given) is called as ``progress(done, total, point)``
     after each cell — the hook CLI front-ends print from.
+
+    This is the serial engine; :func:`repro.analysis.executor.run_sweep`
+    is the superset that fans the same cell list out across a process
+    pool and journals completed cells for checkpoint/resume.
     """
-    if scenarios is None:
-        scenarios = (
-            Scenario(
-                "uniform", ops_per_client=writes_per_writer, readers=readers
-            ),
-        )
-    elif writes_per_writer != 1 or readers != 0:
-        # The shape knobs live on the Scenario once scenarios are explicit;
-        # silently dropping the legacy arguments would measure the wrong
-        # workload.
-        raise ParameterError(
-            "pass writes_per_writer/readers via each Scenario "
-            "(ops_per_client/readers) when scenarios are given explicitly"
-        )
-    names = [scenario.name for scenario in scenarios]
-    if len(set(names)) != len(names):
-        raise ParameterError(f"duplicate scenario names: {names}")
+    cells = sweep_cells(
+        grid, normalize_scenarios(scenarios, writes_per_writer, readers)
+    )
     records: list[SweepRecord] = []
-    total = len(grid) * len(scenarios)
-    position = 0
-    for scenario in scenarios:
-        for point in grid:
-            started = time.perf_counter()
-            outcome, setup, steps, fired_bo, fired_client = _run_cell(
+    for position, (scenario, point) in enumerate(cells, start=1):
+        records.append(
+            execute_cell(
                 scenario, point, max_steps=max_steps,
+                lrc_locality=lrc_locality,
                 audit_storage_every=audit_storage_every,
             )
-            wall_clock_s = round(time.perf_counter() - started, 6)
-            data_bits = setup.data_size_bits
-            records.append(
-                SweepRecord(
-                    register=point.register,
-                    f=point.f,
-                    k=point.k,
-                    n=setup.n,
-                    c=point.c,
-                    data_bits=data_bits,
-                    seed=point.seed,
-                    peak_bo_state_bits=outcome.peak_bo_state_bits,
-                    peak_storage_bits=outcome.peak_storage_bits,
-                    final_bo_state_bits=outcome.final_bo_state_bits,
-                    completed_writes=outcome.completed_writes,
-                    steps=steps,
-                    thm1_bits=theorem1_bound_bits(point.f, point.c, data_bits),
-                    adaptive_bound_bits=adaptive_upper_bound_bits(
-                        point.f, point.k, point.c, data_bits
-                    ),
-                    disintegrated_bits=disintegrated_bound_bits(
-                        point.f, point.c, data_bits
-                    ),
-                    lrc_floor_bits=lrc_storage_floor_bits(
-                        setup.n, point.f, data_bits, lrc_locality
-                    ),
-                    scenario=scenario.name,
-                    padded=point.padded,
-                    completed_reads=outcome.completed_reads,
-                    bo_crashes=fired_bo,
-                    client_crashes=fired_client,
-                    wall_clock_s=wall_clock_s,
-                )
-            )
-            position += 1
-            if progress is not None:
-                progress(position, total, point)
+        )
+        if progress is not None:
+            progress(position, len(cells), point)
     return SweepResult(records)

@@ -1,14 +1,20 @@
 """Command-line interface: run the paper's experiments from a shell.
 
-Four subcommands mirror the repository's headline experiments::
+The subcommands mirror the repository's headline experiments::
 
     python -m repro compare    --f 3 --k 3 --data-size 48 --max-c 10
     python -m repro lowerbound --f 3 --k 3 --data-size 48 --c 4
     python -m repro audit      --register adaptive --writers 3 --readers 2
     python -m repro claim1     --k 3 --n 7 --indices 0,4
+    python -m repro sweep      --fs 1,2 --ks 2,4 --cs 1,2,4 --workers 4 \\
+                               --checkpoint sweep.journal.jsonl --resume
 
 Each prints an aligned table and exits non-zero if the corresponding
-paper property failed to hold (useful in CI).
+paper property failed to hold (useful in CI). ``sweep`` (and ``report``)
+accept ``--workers`` to fan grid cells across a process pool — results
+are byte-identical to a serial run — and ``sweep --checkpoint/--resume``
+journal completed cells so an interrupted sweep continues where it
+stopped.
 """
 
 from __future__ import annotations
@@ -179,11 +185,56 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a regime-sweep grid (parallel and resumable)."""
+    from repro.analysis import (
+        Scenario,
+        SweepGrid,
+        crossover_shape_violations,
+        run_sweep,
+    )
+
+    def ints(text: str) -> tuple[int, ...]:
+        return tuple(int(part) for part in text.split(","))
+
+    grid = SweepGrid.cartesian(
+        registers=tuple(args.registers.split(",")),
+        fs=ints(args.fs),
+        ks=ints(args.ks),
+        cs=ints(args.cs),
+        data_sizes=ints(args.data_sizes),
+        seed=args.seed,
+        pad=args.pad,
+    )
+    scenarios = None
+    if args.with_crashes:
+        scenarios = (
+            Scenario("uniform"),
+            Scenario("churn+crash", pattern="churn", ops_per_client=2,
+                     bo_crashes=1, client_crashes=1),
+        )
+    result = run_sweep(
+        grid,
+        scenarios=scenarios,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    print(result.table())
+    if args.output:
+        path = result.save(args.output)
+        print(f"JSON result: {path}")
+    violations = crossover_shape_violations(result)
+    for violation in violations:
+        print(f"SHAPE VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Run the headline experiments and emit a markdown report."""
     from repro.analysis.report import generate_report, report_ok
 
-    report = generate_report()
+    report = generate_report(workers=args.workers)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report)
@@ -238,9 +289,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated block numbers ('' for none)")
     p_claim.set_defaults(handler=cmd_claim1)
 
+    p_sweep = sub.add_parser("sweep", help=cmd_sweep.__doc__)
+    p_sweep.add_argument("--registers", type=str,
+                         default="abd,coded-only,adaptive",
+                         help="comma-separated REGISTER_REGISTRY names")
+    p_sweep.add_argument("--fs", type=str, default="1,2",
+                         help="comma-separated crash budgets")
+    p_sweep.add_argument("--ks", type=str, default="2",
+                         help="comma-separated code dimensions")
+    p_sweep.add_argument("--cs", type=str, default="1,2,4",
+                         help="comma-separated concurrency levels")
+    p_sweep.add_argument("--data-sizes", type=str, default="48",
+                         help="comma-separated value sizes in bytes")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--pad", action="store_true",
+                         help="route coded points through PaddedScheme "
+                              "(any-size D axis)")
+    p_sweep.add_argument("--with-crashes", action="store_true",
+                         help="also sweep the churn-with-crashes scenario")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="process-pool size (1 = serial; results "
+                              "byte-identical)")
+    p_sweep.add_argument("--checkpoint", type=str, default=None,
+                         help="JSONL journal path for checkpoint/resume")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="resume from an existing --checkpoint journal")
+    p_sweep.add_argument("--output", type=str, default=None,
+                         help="write the sweep-result JSON to this path")
+    p_sweep.set_defaults(handler=cmd_sweep)
+
     p_report = sub.add_parser("report", help=cmd_report.__doc__)
     p_report.add_argument("--output", type=str, default=None,
                           help="write the markdown report to this path")
+    p_report.add_argument("--workers", type=int, default=1,
+                          help="process-pool size for the sweep sections")
     p_report.set_defaults(handler=cmd_report)
 
     p_fuzz = sub.add_parser("fuzz", help=cmd_fuzz.__doc__)

@@ -20,7 +20,7 @@ from collections.abc import Iterable, Mapping, Sequence
 from typing import Callable
 
 from repro.coding.scheme import CodingScheme
-from repro.errors import DecodingError, EncodingError, ParameterError
+from repro.errors import DecodingError, ParameterError
 
 _LENGTH_PREFIX = struct.Struct(">I")
 

@@ -48,6 +48,10 @@ class MeasurementError(SimulationError):
     """The incremental storage ledger diverged from the full-walk meter."""
 
 
+class CheckpointError(ReproError):
+    """A sweep checkpoint journal is unusable (wrong grid, corrupt body)."""
+
+
 class SpecError(ReproError):
     """Base class for consistency-checker failures."""
 

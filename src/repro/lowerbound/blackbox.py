@@ -31,7 +31,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Type
 
-from repro.coding.oracles import CodeBlock
 from repro.errors import ParameterError, SchedulerExhausted
 from repro.lowerbound.colliding import xor_bytes
 from repro.registers.base import RegisterProtocol, RegisterSetup

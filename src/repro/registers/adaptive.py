@@ -39,7 +39,6 @@ from repro.registers.base import (
     Chunk,
     OpGenerator,
     RegisterProtocol,
-    RegisterSetup,
     group_by_timestamp,
     initial_chunk,
 )

@@ -14,7 +14,7 @@ appears in tests and ablations, not in the headline experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.spec.histories import History, HOp
 

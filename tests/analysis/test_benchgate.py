@@ -1,0 +1,247 @@
+"""Tests for the bench-summary schema and the CI regression gate."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.benchgate import (
+    bench_summary_path,
+    compare_summaries,
+    load_bench_summary,
+    metric,
+    throughput_ratio,
+    write_bench_summary,
+)
+from repro.errors import ParameterError
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    """Import scripts/check_bench_regression.py as a module."""
+    path = REPO_ROOT / "scripts" / "check_bench_regression.py"
+    spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+def summary(name="sim_throughput", value=1000.0, direction="higher",
+            quick=True, metric_name="actions_per_s"):
+    return {
+        "bench": name,
+        "schema": 1,
+        "quick": quick,
+        "metrics": {metric_name: metric(value, "x/s", direction)},
+    }
+
+
+class TestSummaryIO:
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = write_bench_summary(
+            "demo", {"mbps": metric(123.4, "MB/s")}, tmp_path, quick=True
+        )
+        assert path == bench_summary_path(tmp_path, "demo")
+        document = load_bench_summary(path)
+        assert document["bench"] == "demo"
+        assert document["quick"] is True
+        assert document["metrics"]["mbps"]["value"] == 123.4
+
+    def test_written_document_is_canonical(self, tmp_path):
+        path = write_bench_summary(
+            "demo", {"b": metric(1, "u"), "a": metric(2, "u")},
+            tmp_path, quick=False,
+        )
+        text = path.read_text()
+        # Canonical: sorted keys, stable indent — so diffs against the
+        # committed baselines stay reviewable.
+        assert text == json.dumps(json.loads(text), indent=2,
+                                  sort_keys=True) + "\n"
+
+    def test_bad_direction_rejected(self, tmp_path):
+        with pytest.raises(ParameterError, match="direction"):
+            metric(1.0, "u", direction="sideways")
+        with pytest.raises(ParameterError, match="direction"):
+            write_bench_summary(
+                "demo", {"m": {"value": 1.0, "unit": "u"}}, tmp_path,
+                quick=True,
+            )
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text('{"bench": "x", "schema": 99, "metrics": {}}')
+        with pytest.raises(ParameterError, match="schema"):
+            load_bench_summary(path)
+
+
+class TestCompare:
+    def test_equal_summaries_pass(self):
+        assert compare_summaries(summary(), summary()) == []
+
+    def test_synthetic_50_percent_regression_fails(self):
+        """The acceptance demonstration: a 50% throughput drop against
+        the committed baseline must fail the 40% gate."""
+        baseline = summary(value=1000.0)
+        regressed = summary(value=500.0)
+        problems = compare_summaries(baseline, regressed, threshold=0.40)
+        assert len(problems) == 1
+        assert "regressed to 0.50x" in problems[0]
+
+    def test_within_slack_passes(self):
+        # 35% down is inside the 40% gate.
+        assert compare_summaries(summary(value=1000.0),
+                                 summary(value=650.0)) == []
+
+    def test_improvement_passes(self):
+        assert compare_summaries(summary(value=1000.0),
+                                 summary(value=5000.0)) == []
+
+    def test_lower_direction_judged_as_implied_throughput(self):
+        # Wall-clock doubling = implied throughput halving: fails.
+        baseline = summary(value=0.01, direction="lower",
+                           metric_name="cell_s")
+        slow = summary(value=0.02, direction="lower", metric_name="cell_s")
+        assert compare_summaries(baseline, slow)
+        # 1.3x slower is within the 40% gate (ratio 0.77).
+        ok = summary(value=0.013, direction="lower", metric_name="cell_s")
+        assert compare_summaries(baseline, ok) == []
+
+    def test_missing_metric_fails(self):
+        current = summary()
+        current["metrics"] = {}
+        problems = compare_summaries(summary(), current)
+        assert problems and "missing" in problems[0]
+
+    def test_extra_current_metric_ignored(self):
+        current = summary()
+        current["metrics"]["new_metric"] = metric(1.0, "u")
+        assert compare_summaries(summary(), current) == []
+
+    def test_mode_mismatch_fails(self):
+        problems = compare_summaries(summary(quick=True),
+                                     summary(quick=False))
+        assert problems and "mode mismatch" in problems[0]
+
+    def test_bench_name_mismatch_fails(self):
+        problems = compare_summaries(summary(name="a"), summary(name="b"))
+        assert problems and "not 'a'" in problems[0]
+
+    def test_direction_change_fails(self):
+        problems = compare_summaries(
+            summary(direction="higher"), summary(direction="lower")
+        )
+        assert problems and "direction changed" in problems[0]
+
+    def test_zero_baseline_not_comparable(self):
+        assert throughput_ratio(metric(0.0, "u"), metric(5.0, "u")) is None
+        assert compare_summaries(summary(value=0.0), summary(value=0.0)) \
+            == []
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ParameterError, match="threshold"):
+            compare_summaries(summary(), summary(), threshold=1.5)
+
+
+class TestCheckerScript:
+    def _seed(self, directory, value, name="demo"):
+        directory.mkdir(parents=True, exist_ok=True)
+        write_bench_summary(
+            name, {"throughput": metric(value, "x/s")}, directory,
+            quick=True,
+        )
+
+    def test_gate_passes_on_matching_dirs(self, tmp_path, capsys):
+        self._seed(tmp_path / "baselines", 1000.0)
+        self._seed(tmp_path / "results", 980.0)
+        code = checker.main([
+            "--baselines", str(tmp_path / "baselines"),
+            "--results", str(tmp_path / "results"),
+        ])
+        assert code == 0
+        assert "bench gate ok" in capsys.readouterr().out
+
+    def test_gate_fails_on_synthetic_regression(self, tmp_path, capsys):
+        """End-to-end acceptance: inject a 50% throughput regression and
+        watch the CI entrypoint exit non-zero."""
+        self._seed(tmp_path / "baselines", 1000.0)
+        self._seed(tmp_path / "results", 500.0)
+        code = checker.main([
+            "--baselines", str(tmp_path / "baselines"),
+            "--results", str(tmp_path / "results"),
+        ])
+        assert code == 1
+        assert "BENCH REGRESSION" in capsys.readouterr().out
+
+    def test_missing_current_summary_fails(self, tmp_path):
+        self._seed(tmp_path / "baselines", 1000.0)
+        (tmp_path / "results").mkdir()
+        problems = checker.check_regressions(
+            tmp_path / "baselines", tmp_path / "results"
+        )
+        assert problems and "did the bench step run" in problems[0]
+
+    def test_no_baselines_is_itself_a_failure(self, tmp_path):
+        (tmp_path / "baselines").mkdir()
+        (tmp_path / "results").mkdir()
+        problems = checker.check_regressions(
+            tmp_path / "baselines", tmp_path / "results"
+        )
+        assert problems and "no BENCH_" in problems[0]
+
+    def test_committed_baselines_reject_synthetic_50pct_regression(
+        self, tmp_path
+    ):
+        """Acceptance end-to-end: halve the throughput of every metric in
+        the *committed* baselines and the gate must flag every bench."""
+        baselines = REPO_ROOT / "benchmarks" / "baselines"
+        results = tmp_path / "results"
+        results.mkdir()
+        names = set()
+        for path in baselines.glob("BENCH_*.json"):
+            document = load_bench_summary(path)
+            names.add(document["bench"])
+            regressed = {
+                metric_name: dict(
+                    entry,
+                    value=entry["value"] * (
+                        0.5 if entry["direction"] == "higher" else 2.0
+                    ),
+                )
+                for metric_name, entry in document["metrics"].items()
+            }
+            (results / path.name).write_text(json.dumps(
+                dict(document, metrics=regressed), indent=2, sort_keys=True
+            ))
+        problems = checker.check_regressions(baselines, results,
+                                             threshold=0.40)
+        flagged = {problem.split(".")[0] for problem in problems}
+        assert flagged == names  # every committed bench trips the gate
+
+    def test_committed_baselines_cover_every_quick_bench(self):
+        """The gate only guards benches with committed baselines — keep
+        the set in lockstep with the CI quick steps."""
+        committed = {
+            path.name
+            for path in (REPO_ROOT / "benchmarks" / "baselines").glob(
+                "BENCH_*.json"
+            )
+        }
+        assert committed == {
+            "BENCH_coding_throughput.json",
+            "BENCH_crossover.json",
+            "BENCH_parallel_sweep.json",
+            "BENCH_scenario_sweep.json",
+            "BENCH_sim_throughput.json",
+        }
+        for name in committed:
+            document = load_bench_summary(
+                REPO_ROOT / "benchmarks" / "baselines" / name
+            )
+            assert document["quick"] is True
+            assert document["metrics"], f"{name} gates nothing"

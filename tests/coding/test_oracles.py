@@ -6,7 +6,6 @@ import pytest
 
 from repro.coding import (
     BatchEncodePlan,
-    CodeBlock,
     DecodeOracle,
     EncodeOracle,
     RatelessXorCode,

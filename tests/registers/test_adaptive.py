@@ -14,7 +14,7 @@ from repro.registers.adaptive import (
     update_rmw,
 )
 from repro.registers.base import Chunk, initial_chunk
-from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.registers.timestamps import Timestamp
 from repro.sim import FairScheduler, RandomScheduler
 from repro.spec import check_strong_regularity, check_weak_regularity
 from repro.workloads import WorkloadSpec, make_value, run_register_workload

@@ -5,10 +5,9 @@ import pytest
 from repro.registers import RegisterSetup, SafeCodedRegister
 from repro.registers.safe_coded import SafeState, SafeUpdateArgs, update_rmw
 from repro.registers.base import Chunk, initial_chunk
-from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.registers.timestamps import Timestamp
 from repro.sim import FairScheduler, RandomScheduler, Simulation
 from repro.spec import check_strong_safety
-from repro.storage import StorageMeter
 from repro.workloads import WorkloadSpec, make_value, run_register_workload
 
 SETUP = RegisterSetup(f=1, k=3, data_size_bytes=12)

@@ -6,7 +6,6 @@ from repro.sim import (
     FairScheduler,
     RandomScheduler,
     SequentialScheduler,
-    Simulation,
 )
 from repro.workloads import WorkloadSpec, run_register_workload
 from tests.helpers import counter_sim

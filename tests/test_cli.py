@@ -78,6 +78,44 @@ class TestClaim1:
         assert "False" in out  # premise fails; claim vacuously holds
 
 
+class TestSweep:
+    def test_prints_table_and_passes_shapes(self, capsys):
+        code = main(["sweep", "--fs", "1", "--ks", "2", "--cs", "1,2",
+                     "--data-sizes", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "peak_bo_state_bits" in out
+        assert "abd" in out and "adaptive" in out
+
+    def test_writes_json_and_journal_then_resumes(self, capsys, tmp_path):
+        output = tmp_path / "sweep.json"
+        checkpoint = tmp_path / "sweep.journal.jsonl"
+        args = ["sweep", "--registers", "adaptive", "--fs", "1",
+                "--ks", "2", "--cs", "1,2", "--data-sizes", "16",
+                "--output", str(output), "--checkpoint", str(checkpoint)]
+        assert main(args) == 0
+        assert output.exists()
+        assert checkpoint.exists()
+        first = output.read_text()
+        # Second invocation resumes from the complete journal and must
+        # reproduce the same measured table.
+        assert main(args + ["--resume"]) == 0
+        from repro.analysis import SweepResult
+
+        before = SweepResult.from_json(first)
+        after = SweepResult.load(output)
+        assert before.to_json(include_timing=False) == \
+            after.to_json(include_timing=False)
+
+    def test_with_crashes_runs_both_scenarios(self, capsys):
+        code = main(["sweep", "--registers", "adaptive", "--fs", "1",
+                     "--ks", "2", "--cs", "1", "--data-sizes", "16",
+                     "--with-crashes"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "churn+crash" in out
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -5,7 +5,6 @@ configurations, workloads, and schedules and assert the paper's invariants
 wholesale.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,5 +1,7 @@
 """Fuzz-driver tests, including the seeded nightly-style ``-m fuzz`` sweep."""
 
+import os
+
 import pytest
 
 from repro.registers import (
@@ -96,8 +98,10 @@ class TestFuzzNightly:
     """The seeded nightly-style fuzz sweep (``pytest -m fuzz``).
 
     Bounded enough (15 runs per cell, small registers) to ride in normal
-    CI; a nightly job can widen ``RUNS``/``BASE_SEED`` without code
-    changes. Seed coverage: every cell fuzzes seeds
+    CI; the nightly job widens it without code changes via environment
+    variables — ``REPRO_FUZZ_RUNS`` / ``REPRO_FUZZ_BASE_SEED`` (the
+    nightly workflow sets ``REPRO_FUZZ_RUNS=120``, covering seeds
+    100..219). Default seed coverage: every cell fuzzes seeds
     ``BASE_SEED .. BASE_SEED + RUNS - 1`` = **100..114** for each of the
     five registers under three crash mixes — (0 objects, 0 clients),
     (f objects, 0 clients), (1 object, 2 clients) — i.e. seeds 100..114
@@ -108,8 +112,8 @@ class TestFuzzNightly:
     failures when first wired in — no latent violation surfaced.
     """
 
-    RUNS = 15
-    BASE_SEED = 100
+    RUNS = int(os.environ.get("REPRO_FUZZ_RUNS", "15"))
+    BASE_SEED = int(os.environ.get("REPRO_FUZZ_BASE_SEED", "100"))
     CODED = RegisterSetup(f=2, k=2, data_size_bytes=16)
     ABD = replication_setup(f=2, data_size_bytes=16)
 
