@@ -1,0 +1,182 @@
+"""E15 — the TCP service in the loop: loopback throughput + accounting.
+
+The protocol/transport split promises that moving ABD from the simulated
+network onto real asyncio TCP sockets changes *performance*, not
+*semantics*. This bench drives a loopback cluster (real frames, real
+kernel TCP stack, journals on disk) and checks both halves:
+
+* **Semantics** — the live Definition-2 at-rest charge equals the
+  simulated deployment's at equal ``(f, D)`` (``(2f+1) D`` bits for
+  replication), reads return the freshest acknowledged write, and the
+  recorded history passes the strong-regularity checker.
+* **Performance** — sequential write and read throughput over loopback
+  TCP (each write is two quorum round-trips carrying a full replica
+  block; each read is one), summarised in
+  ``benchmarks/results/BENCH_service_loopback.json`` and gated against
+  the committed baseline by ``scripts/check_bench_regression.py``.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_service_loopback.py`` — the semantic
+  assertions on a small workload;
+* ``python benchmarks/bench_service_loopback.py [--quick]`` — the timed
+  run (quick: 60 writes + 60 reads; full: 400 + 400).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.analysis import format_table
+from repro.analysis.benchgate import metric, write_bench_summary
+from repro.msgnet import MsgABDSystem
+from repro.service import LoopbackCluster, merge_histories
+from repro.spec import check_strong_regularity
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+F = 1
+DATA = 16  # D = 128 bits
+
+
+def value_of(index: int) -> bytes:
+    return bytes([33 + index % 90]) * DATA
+
+
+async def run_workload(writes: int, reads: int) -> dict:
+    """Timed sequential writes then reads against a loopback cluster."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+        async with LoopbackCluster(F, DATA, tmp) as cluster:
+            client = cluster.client("w0", timeout=10.0)
+
+            started = time.perf_counter()
+            for index in range(writes):
+                await client.write(value_of(index))
+            write_s = time.perf_counter() - started
+
+            started = time.perf_counter()
+            last = None
+            for _ in range(reads):
+                last = await client.read()
+            read_s = time.perf_counter() - started
+
+            at_rest_bits = cluster.server_storage_bits()
+            history = client.history()
+            await client.close()
+
+    sim = MsgABDSystem(f=F, data_size_bytes=DATA)
+    sim.add_writer("w0", value_of(0))
+    sim.run()
+
+    return {
+        "writes": writes,
+        "reads": reads,
+        "write_s": write_s,
+        "read_s": read_s,
+        "writes_per_s": writes / write_s,
+        "reads_per_s": reads / read_s,
+        "last_read": last,
+        "at_rest_bits": at_rest_bits,
+        "sim_at_rest_bits": sim.server_storage_bits(),
+        "regular": check_strong_regularity(history).ok,
+    }
+
+
+def check(payload: dict) -> None:
+    """The semantic half — asserted in every mode."""
+    assert payload["last_read"] == value_of(payload["writes"] - 1)
+    assert payload["at_rest_bits"] == payload["sim_at_rest_bits"] \
+        == (2 * F + 1) * DATA * 8
+    assert payload["regular"]
+
+
+def render(payload: dict) -> str:
+    rows = [
+        ["write (2 quorum RTT)", payload["writes"],
+         f"{payload['writes_per_s']:.0f} ops/s"],
+        ["read (1 quorum RTT)", payload["reads"],
+         f"{payload['reads_per_s']:.0f} ops/s"],
+    ]
+    table = format_table(["operation", "count", "loopback throughput"], rows)
+    return (
+        f"E15: loopback TCP service — f={F}, D={DATA * 8} bits, "
+        f"n={2 * F + 1} in-loop servers\n\n{table}\n\n"
+        f"at-rest storage: {payload['at_rest_bits']} bits "
+        f"(== simulated deployment: {payload['sim_at_rest_bits']}); "
+        "history strongly regular"
+    )
+
+
+def test_loopback_service(benchmark, record_table):
+    payload = benchmark.pedantic(
+        lambda: asyncio.run(run_workload(writes=12, reads=12)),
+        rounds=1, iterations=1,
+    )
+    check(payload)
+    record_table("e15_service_loopback", render(payload))
+
+
+def test_history_across_clients(record_table):
+    async def two_clients() -> bool:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+            async with LoopbackCluster(F, DATA, tmp) as cluster:
+                writer = cluster.client("w0")
+                reader = cluster.client("r0")
+                await asyncio.gather(
+                    *(writer.write(value_of(i)) for i in range(1)),
+                    reader.read(),
+                )
+                history = merge_histories([writer, reader])
+                await writer.close()
+                await reader.close()
+        return check_strong_regularity(history).ok
+
+    assert asyncio.run(two_clients())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small op counts (CI smoke run)",
+    )
+    args = parser.parse_args(argv)
+    writes, reads = (60, 60) if args.quick else (400, 400)
+    payload = asyncio.run(run_workload(writes, reads))
+    check(payload)
+
+    text = render(payload)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    suffix = "_quick" if args.quick else ""
+    out = dict(payload)
+    out.pop("last_read")  # bytes: not JSON, asserted above instead
+    (RESULTS_DIR / f"e15_service_loopback{suffix}.json").write_text(
+        json.dumps(out, indent=2, sort_keys=True) + "\n"
+    )
+    (RESULTS_DIR / f"e15_service_loopback{suffix}.txt").write_text(
+        text + "\n"
+    )
+    write_bench_summary(
+        "service_loopback",
+        {
+            "writes_per_s": metric(
+                round(payload["writes_per_s"], 1), "ops/s"
+            ),
+            "reads_per_s": metric(
+                round(payload["reads_per_s"], 1), "ops/s"
+            ),
+        },
+        RESULTS_DIR,
+        quick=args.quick,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the networked ABD storage service.
+
+Exercises both halves of the service layer in under a few seconds and
+exits nonzero on the first broken invariant — the quick CI step that
+catches "the daemon doesn't even start" class regressions before the
+full lifecycle suite runs in nightly:
+
+1. **Loopback half** (in-process servers, real TCP frames): write/read
+   round-trip, Definition-2 at-rest bits == ``(2f+1) D``, history
+   strongly regular.
+2. **Daemon half** (real detached subprocesses): ``serve`` brings up
+   ``2f+1`` pid/port-published servers, ``status`` and ``doctor`` report
+   healthy and exit 0, a client op lands, double-``serve`` exits 3,
+   ``stop`` drains everything, a second ``stop`` exits 4.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py [--f 1] [--data-size 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.service import (  # noqa: E402
+    LoopbackCluster,
+    ServiceClient,
+    StateDir,
+)
+from repro.spec import check_strong_regularity  # noqa: E402
+
+FAILURES: list[str] = []
+
+
+def check(label: str, ok: bool) -> None:
+    print(f"{'ok  ' if ok else 'FAIL'} {label}")
+    if not ok:
+        FAILURES.append(label)
+
+
+def loopback_half(f: int, data_size: int) -> None:
+    async def scenario():
+        with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+            async with LoopbackCluster(f, data_size, tmp) as cluster:
+                client = cluster.client("w0", timeout=5.0)
+                await client.write(b"\x5a" * data_size)
+                value = await client.read()
+                bits = cluster.server_storage_bits()
+                history = client.history()
+                await client.close()
+        return value, bits, check_strong_regularity(history).ok
+
+    value, bits, regular = asyncio.run(scenario())
+    check("loopback: read returns acknowledged write",
+          value == b"\x5a" * data_size)
+    check("loopback: at-rest bits == (2f+1) D",
+          bits == (2 * f + 1) * data_size * 8)
+    check("loopback: history strongly regular", regular)
+
+
+def daemon_half(f: int, data_size: int) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        state_dir = str(Path(tmp) / "cluster")
+        serve = ["serve", "--f", str(f), "--data-size", str(data_size),
+                 "--state-dir", state_dir]
+        check("daemon: serve exits 0", cli_main(serve) == 0)
+        check("daemon: status exits 0",
+              cli_main(["status", "--state-dir", state_dir]) == 0)
+
+        state = StateDir(state_dir)
+        meta = state.read_meta()
+        endpoints = {
+            server["name"]: (meta["host"], state.read_port(server["name"]))
+            for server in meta["servers"]
+        }
+
+        async def one_op():
+            client = ServiceClient("w0", endpoints, f, data_size,
+                                   timeout=5.0)
+            await client.write(b"\xa5" * data_size)
+            value = await client.read()
+            await client.close()
+            return value
+
+        check("daemon: client write/read lands",
+              asyncio.run(one_op()) == b"\xa5" * data_size)
+        check("daemon: doctor exits 0 (healthy)",
+              cli_main(["doctor", "--state-dir", state_dir]) == 0)
+        check("daemon: double serve exits 3", cli_main(serve) == 3)
+        check("daemon: stop exits 0",
+              cli_main(["stop", "--state-dir", state_dir]) == 0)
+        check("daemon: second stop exits 4",
+              cli_main(["stop", "--state-dir", state_dir]) == 4)
+        check("daemon: no live pids remain", state.live_servers() == [])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--f", type=int, default=1)
+    parser.add_argument("--data-size", type=int, default=16)
+    args = parser.parse_args(argv)
+    loopback_half(args.f, args.data_size)
+    daemon_half(args.f, args.data_size)
+    if FAILURES:
+        print(f"\nservice smoke: {len(FAILURES)} check(s) FAILED")
+        return 1
+    print("\nservice smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,18 @@ accept ``--workers`` to fan grid cells across a process pool — results
 are byte-identical to a serial run — and ``sweep --checkpoint/--resume``
 journal completed cells so an interrupted sweep continues where it
 stopped.
+
+The daemon family runs the ABD register as a *real* TCP service
+(``n = 2f + 1`` replica server processes, see ``docs/SERVICE.md``)::
+
+    python -m repro serve  --f 1 --data-size 16 --state-dir ./cluster
+    python -m repro status --state-dir ./cluster
+    python -m repro doctor --state-dir ./cluster
+    python -m repro stop   --state-dir ./cluster
+
+``serve`` exits 3 when the cluster is already running; ``stop`` and
+``status`` exit 4 when it is not — distinct codes so scripts can tell
+"already in the state I wanted" from real failures.
 """
 
 from __future__ import annotations
@@ -244,6 +256,121 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0 if report_ok(report) else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start (or revive) a replica cluster in the state dir."""
+    from repro.errors import AlreadyRunningError, DaemonError
+    from repro.service import daemon
+
+    try:
+        if args.revive:
+            revived = daemon.restart_dead(args.state_dir)
+            if revived:
+                print(f"revived {len(revived)} server(s): "
+                      f"{', '.join(revived)}")
+            else:
+                print("all servers already running; nothing to revive")
+            return daemon.EXIT_OK
+        meta = daemon.start_cluster(
+            args.state_dir, f=args.f, data_size_bytes=args.data_size,
+            host=args.host, port_base=args.port_base,
+        )
+    except AlreadyRunningError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return daemon.EXIT_ALREADY_RUNNING
+    except DaemonError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return daemon.EXIT_FAIL
+    n = 2 * meta["f"] + 1
+    print(f"started {n} servers (f={meta['f']}, "
+          f"D={meta['data_size_bytes'] * 8} bits) in {args.state_dir}")
+    return daemon.EXIT_OK
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Probe every replica and report the Definition-2 storage view."""
+    from repro.errors import DaemonError, NotRunningError
+    from repro.service import daemon
+
+    try:
+        meta, view = daemon.cluster_status(args.state_dir)
+    except NotRunningError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return daemon.EXIT_NOT_RUNNING
+    except DaemonError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return daemon.EXIT_FAIL
+    rows = []
+    for status in view.statuses:
+        rows.append([
+            status.name,
+            status.pid if status.pid is not None else "-",
+            status.port if status.port is not None else "-",
+            "up" if status.alive else "DOWN",
+            repr(status.ts) if status.ts is not None else "-",
+            status.replica_bits,
+            status.applied_count,
+        ])
+    print(format_table(
+        ["server", "pid", "port", "state", "ts", "replica(bits)", "applied"],
+        rows,
+    ))
+    floor = view.thm1_floor_bits()
+    print(f"quorum: {view.alive_count}/{len(view.statuses)} up "
+          f"(majority {view.majority})")
+    print(f"storage (Definition 2, at rest): {view.server_storage_bits} bits"
+          f" | thm1 floor (c=1): {floor} bits | "
+          + ("OK" if view.meets_thm1_floor else "BELOW FLOOR"))
+    return (daemon.EXIT_OK
+            if view.quorum_available and view.meets_thm1_floor
+            else daemon.EXIT_FAIL)
+
+
+def cmd_stop(args: argparse.Namespace) -> int:
+    """Gracefully stop a running cluster (SIGTERM drain)."""
+    from repro.errors import DaemonError, NotRunningError
+    from repro.service import daemon
+
+    try:
+        report = daemon.stop_cluster(args.state_dir, timeout=args.timeout)
+    except NotRunningError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return daemon.EXIT_NOT_RUNNING
+    except DaemonError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return daemon.EXIT_FAIL
+    for name, pid, outcome in report:
+        print(f"{name} (pid {pid}): {outcome}")
+    forced = [name for name, _pid, outcome in report if outcome == "killed"]
+    return daemon.EXIT_FAIL if forced else daemon.EXIT_OK
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Run the cluster health checks (processes, ports, journals, bound)."""
+    from repro.service import daemon
+
+    checks = daemon.run_doctor(args.state_dir)
+    width = max(len(name) for name, _ok, _detail in checks)
+    all_ok = True
+    for name, ok, detail in checks:
+        all_ok &= ok
+        print(f"{'ok  ' if ok else 'FAIL'} {name:<{width}}  {detail}")
+    print("doctor:", "healthy" if all_ok else "UNHEALTHY")
+    return daemon.EXIT_OK if all_ok else daemon.EXIT_FAIL
+
+
+def cmd_server(args: argparse.Namespace) -> int:
+    """(internal) Run one replica server process in the foreground."""
+    from repro.service.server import main as server_main
+
+    return server_main([
+        "--name", args.name, "--index", str(args.index),
+        "--f", str(args.f), "--data-size", str(args.data_size),
+        "--state-dir", args.state_dir, "--host", args.host,
+        "--port", str(args.port),
+        "--handle-delay-ms", str(args.handle_delay_ms),
+    ])
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -332,6 +459,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--runs", type=int, default=25)
     p_fuzz.add_argument("--crash-objects", type=int, default=0)
     p_fuzz.set_defaults(handler=cmd_fuzz)
+
+    p_serve = sub.add_parser("serve", help=cmd_serve.__doc__)
+    p_serve.add_argument("--f", type=int, default=1, help="crash tolerance")
+    p_serve.add_argument("--data-size", type=int, default=16,
+                         help="value size in bytes (D/8)")
+    p_serve.add_argument("--state-dir", type=str, required=True,
+                         help="directory for pidfiles, ports, journals, logs")
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument("--port-base", type=int, default=0,
+                         help="first port (server i gets base+i); "
+                              "0 = ephemeral")
+    p_serve.add_argument("--revive", action="store_true",
+                         help="re-spawn dead servers of an existing cluster "
+                              "(journal recovery) instead of starting fresh")
+    p_serve.set_defaults(handler=cmd_serve)
+
+    p_status = sub.add_parser("status", help=cmd_status.__doc__)
+    p_status.add_argument("--state-dir", type=str, required=True)
+    p_status.set_defaults(handler=cmd_status)
+
+    p_stop = sub.add_parser("stop", help=cmd_stop.__doc__)
+    p_stop.add_argument("--state-dir", type=str, required=True)
+    p_stop.add_argument("--timeout", type=float, default=10.0,
+                        help="seconds to wait for the SIGTERM drain before "
+                             "SIGKILL")
+    p_stop.set_defaults(handler=cmd_stop)
+
+    p_doctor = sub.add_parser("doctor", help=cmd_doctor.__doc__)
+    p_doctor.add_argument("--state-dir", type=str, required=True)
+    p_doctor.set_defaults(handler=cmd_doctor)
+
+    p_server = sub.add_parser("server", help=cmd_server.__doc__)
+    p_server.add_argument("--name", type=str, required=True)
+    p_server.add_argument("--index", type=int, required=True)
+    p_server.add_argument("--f", type=int, required=True)
+    p_server.add_argument("--data-size", type=int, required=True)
+    p_server.add_argument("--state-dir", type=str, required=True)
+    p_server.add_argument("--host", type=str, default="127.0.0.1")
+    p_server.add_argument("--port", type=int, default=0)
+    p_server.add_argument("--handle-delay-ms", type=float, default=0.0)
+    p_server.set_defaults(handler=cmd_server)
     return parser
 
 

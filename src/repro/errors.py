@@ -52,6 +52,40 @@ class CheckpointError(ReproError):
     """A sweep checkpoint journal is unusable (wrong grid, corrupt body)."""
 
 
+class ServiceError(ReproError):
+    """Base class for networked storage-service failures."""
+
+
+class WireError(ServiceError):
+    """A frame or payload could not be encoded/decoded (bad wire data)."""
+
+
+class JournalError(ServiceError, CheckpointError):
+    """A replica journal is unusable (wrong replica config, corrupt body).
+
+    Mirrors :class:`CheckpointError` semantics — a truncated trailing
+    line (the kill-mid-write artifact) is tolerated by loaders, anything
+    else raises — and subclasses it so journal-aware callers can catch
+    either domain with one clause.
+    """
+
+
+class QuorumTimeout(ServiceError):
+    """A client operation exhausted its retries without reaching a quorum."""
+
+
+class DaemonError(ServiceError):
+    """The daemon lifecycle failed (stale state dir, unresponsive server)."""
+
+
+class AlreadyRunningError(DaemonError):
+    """``repro serve`` found a live cluster in the state dir (double start)."""
+
+
+class NotRunningError(DaemonError):
+    """``repro stop``/``status`` found no live cluster in the state dir."""
+
+
 class SpecError(ReproError):
     """Base class for consistency-checker failures."""
 

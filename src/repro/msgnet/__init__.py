@@ -5,9 +5,15 @@ a network; this package provides that concrete layer (processes, in-flight
 messages, adversary-controlled delivery) plus the Attiya-Bar-Noy-Dolev
 register implemented directly on messages, so the emulation equivalence
 the paper's model rests on can be exercised end to end.
+
+The protocol logic itself (timestamps, quorums, coded replica blocks) is
+transport-agnostic: :mod:`repro.msgnet.protocol` holds the sans-I/O state
+machines, :mod:`repro.msgnet.transport` defines the :class:`Transport`
+seam and its simulated implementation, and :mod:`repro.service` runs the
+*same* machines over asyncio TCP sockets.
 """
 
-from repro.msgnet.abd import MsgABDSystem, ServerState
+from repro.msgnet.abd import MsgABDSystem, OpRecord, ServerState
 from repro.msgnet.network import (
     FairMsgScheduler,
     Message,
@@ -18,6 +24,17 @@ from repro.msgnet.network import (
     Receive,
     run_network,
 )
+from repro.msgnet.protocol import (
+    ReadOperation,
+    ServerProtocol,
+    WriteOperation,
+)
+from repro.msgnet.transport import (
+    SimTransport,
+    Transport,
+    operation_body,
+    server_body,
+)
 
 __all__ = [
     "FairMsgScheduler",
@@ -25,9 +42,17 @@ __all__ = [
     "MsgABDSystem",
     "MsgScheduler",
     "Network",
+    "OpRecord",
     "Process",
     "RandomMsgScheduler",
+    "ReadOperation",
     "Receive",
+    "ServerProtocol",
     "ServerState",
+    "SimTransport",
+    "Transport",
+    "WriteOperation",
+    "operation_body",
     "run_network",
+    "server_body",
 ]

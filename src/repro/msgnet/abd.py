@@ -6,21 +6,21 @@ server processes each hold one timestamped replica, clients broadcast
 request messages and await majority acknowledgements, and the network
 scheduler (fair or adversarial-random) controls every delivery.
 
-Protocol (single-writer-per-client, MWMR via timestamp tie-break):
-
-* write(v): broadcast ``read-ts``; on a majority of replies pick
-  ``ts = (max + 1, name)``; broadcast ``write`` carrying the replica
-  block; return on a majority of acks.
-* read(): broadcast ``read``; on a majority of replies return the
-  highest-timestamped replica (no write-back — strongly regular, exactly
-  like :class:`repro.registers.abd.ABDRegister`).
+Since the protocol/transport split, the state machines themselves live in
+:mod:`repro.msgnet.protocol` (:class:`~repro.msgnet.protocol.ServerProtocol`,
+:class:`~repro.msgnet.protocol.WriteOperation`,
+:class:`~repro.msgnet.protocol.ReadOperation`) — the very same classes the
+asyncio TCP service (:mod:`repro.service`) runs over real sockets. This
+module is only the *simulated deployment*: it instantiates the machines on
+:mod:`repro.msgnet.network` processes via
+:mod:`repro.msgnet.transport`'s generator drivers.
 
 The point of the module is the *equivalence* the paper relies on: the
 message-passing system and the shared-memory emulation have the same
 storage profile (``(2f+1) D`` server bits, replicas transiently riding the
 network) and the same consistency level — demonstrated in
 ``tests/msgnet/`` by running both and checking both histories with the
-same checker.
+same checker, and extended to real TCP in ``tests/service/``.
 """
 
 from __future__ import annotations
@@ -28,28 +28,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.coding.oracles import BlockSource, CodeBlock
 from repro.coding.replication import ReplicationCode
 from repro.errors import ParameterError
 from repro.msgnet.network import (
     FairMsgScheduler,
     MsgScheduler,
     Network,
-    Receive,
     run_network,
 )
-from repro.registers.base import INITIAL_OP_UID
-from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.msgnet.protocol import (
+    Payload,
+    ReadOperation,
+    ServerProtocol,
+    ServerState,
+    WriteOperation,
+)
+from repro.msgnet.transport import operation_body, server_body
 from repro.sim.trace import OpKind
 from repro.spec.histories import History, HOp
 
-
-@dataclass
-class ServerState:
-    """One server's replica (exposed for storage metering)."""
-
-    block: CodeBlock
-    ts: Timestamp
+__all__ = ["MsgABDSystem", "OpRecord", "ServerState"]
 
 
 @dataclass
@@ -63,7 +61,7 @@ class OpRecord:
 
 
 class MsgABDSystem:
-    """A complete message-passing ABD deployment."""
+    """A complete message-passing ABD deployment (simulated transport)."""
 
     def __init__(self, f: int, data_size_bytes: int,
                  initial_value: bytes | None = None) -> None:
@@ -78,95 +76,53 @@ class MsgABDSystem:
         self.clock = 0
         self.server_states: dict[str, ServerState] = {}
         self.ops: list[OpRecord] = []
+        #: Quorum/timestamp decisions in commit order — the parity log.
+        self.decisions: list[tuple] = []
+        #: Per-client reply deliveries, replayable through fresh machines.
+        self.deliveries: dict[str, list[tuple[str, Payload]]] = {}
         self._next_op_uid = 0
         self.server_names = [f"s{i}" for i in range(self.n)]
         for index, name in enumerate(self.server_names):
             process = self.network.add_process(name)
-            block = CodeBlock(
-                payload=self.scheme.encode_block(self.v0, index),
-                index=index,
-                source=BlockSource(INITIAL_OP_UID, index),
-                size_bits=self.scheme.block_size_bits(index),
-            )
-            self.server_states[name] = ServerState(block, TS_ZERO)
-            process.start(self._server_body(process, name))
-
-    # ------------------------------------------------------------- servers
-
-    def _server_body(self, process, name):
-        state = self.server_states[name]
-        while True:
-            message = yield Receive()
-            tag, request_id, *rest = message.payload
-            if tag == "read-ts":
-                process.send(message.sender, ("ts", request_id, state.ts))
-            elif tag == "write":
-                ts, block = rest
-                if ts > state.ts:
-                    state.ts = ts
-                    state.block = block
-                process.send(message.sender, ("ack", request_id))
-            elif tag == "read":
-                process.send(
-                    message.sender, ("value", request_id, state.ts, state.block)
-                )
+            protocol = ServerProtocol(name, self.scheme, index, self.v0)
+            self.server_states[name] = protocol.state
+            process.start(server_body(process, protocol))
 
     # ------------------------------------------------------------- clients
 
     def add_writer(self, name: str, value: bytes) -> None:
-        self.scheme.check_value(value)
-        record = OpRecord(name, OpKind.WRITE, value, self.clock)
-        self.ops.append(record)
-        op_uid = self._next_op_uid
-        self._next_op_uid += 1
-        process = self.network.add_process(name)
-        process.start(self._writer_body(process, name, value, op_uid, record))
+        operation = WriteOperation(
+            name, self._take_op_uid(), value, self.scheme,
+            self.server_names, self.majority, decisions=self.decisions,
+        )
+        self._launch(name, OpKind.WRITE, value, operation)
 
     def add_reader(self, name: str) -> None:
-        record = OpRecord(name, OpKind.READ, None, self.clock)
+        operation = ReadOperation(
+            name, self._take_op_uid(), self.scheme,
+            self.server_names, self.majority, decisions=self.decisions,
+        )
+        self._launch(name, OpKind.READ, None, operation)
+
+    def _take_op_uid(self) -> int:
+        op_uid = self._next_op_uid
+        self._next_op_uid += 1
+        return op_uid
+
+    def _launch(self, name, kind, written, operation) -> None:
+        record = OpRecord(name, kind, written, self.clock)
         self.ops.append(record)
+        log = self.deliveries.setdefault(name, [])
         process = self.network.add_process(name)
-        process.start(self._reader_body(process, name, record))
 
-    def _collect(self, request_id: int, want_tag: str, count: int):
-        """Sub-generator: gather ``count`` matching replies."""
-        replies = []
-        while len(replies) < count:
-            message = yield Receive()
-            tag, rid, *rest = message.payload
-            if tag == want_tag and rid == request_id:
-                replies.append(rest)
-        return replies
+        def finish(op):
+            record.return_time = self.clock
+            record.result = op.result
 
-    def _writer_body(self, process, name, value, op_uid, record):
-        # Phase 1: read timestamps from a majority.
-        for server in self.server_names:
-            process.send(server, ("read-ts", 2 * op_uid))
-        replies = yield from self._collect(2 * op_uid, "ts", self.majority)
-        max_ts = max(reply[0] for reply in replies)
-        ts = Timestamp(max_ts.num + 1, name)
-        # Phase 2: store the replica at a majority. Each message carries a
-        # full replica block — this is the in-flight cost the model charges.
-        for index, server in enumerate(self.server_names):
-            block = CodeBlock(
-                payload=self.scheme.encode_block(value, index),
-                index=index,
-                source=BlockSource(op_uid, index),
-                size_bits=self.scheme.block_size_bits(index),
-            )
-            process.send(server, ("write", 2 * op_uid + 1, ts, block))
-        yield from self._collect(2 * op_uid + 1, "ack", self.majority)
-        record.return_time = self.clock
-        record.result = "ok"
-
-    def _reader_body(self, process, name, record):
-        request_id = 10_000 + len(self.ops)
-        for server in self.server_names:
-            process.send(server, ("read", request_id))
-        replies = yield from self._collect(request_id, "value", self.majority)
-        best_ts, best_block = max(replies, key=lambda reply: reply[0])
-        record.return_time = self.clock
-        record.result = self.scheme.decode({best_block.index: best_block.payload})
+        process.start(operation_body(
+            process, operation, on_done=finish,
+            on_deliver=lambda sender, payload: log.append((sender, payload)),
+        ))
 
     # ----------------------------------------------------------------- run
 

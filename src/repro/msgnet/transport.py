@@ -1,0 +1,108 @@
+"""The transport seam: one interface, simulated and real implementations.
+
+The protocol machines in :mod:`repro.msgnet.protocol` never touch a
+socket or a scheduler; they speak to a :class:`Transport` — ``send`` /
+``broadcast`` one payload, ``on_receive`` a push handler for inbound
+payloads. This module defines that interface and implements it for the
+simulated :class:`~repro.msgnet.network.Network`; the asyncio TCP twin
+lives in :mod:`repro.service` (``AsyncConnectionTransport``). Swapping one
+for the other changes *where* messages travel, never *what* is decided —
+the parity suite (``tests/service/test_parity.py``) pins that.
+
+The simulated network is pull-based (a process generator yields
+:class:`~repro.msgnet.network.Receive` to await delivery), so
+:class:`SimTransport` owns a tiny pump generator that converts pulls into
+pushes; :func:`server_body` and :func:`operation_body` are the two process
+bodies the message-passing ABD deployment runs on it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.msgnet.network import Process, Receive
+from repro.msgnet.protocol import ClientOperation, Payload, ServerProtocol
+
+#: A push handler for inbound messages: ``handler(sender, payload)``.
+ReceiveHandler = Callable[[str, Payload], None]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What a protocol machine needs from the world, and nothing more."""
+
+    def send(self, recipient: str, payload: Payload) -> None:
+        """Queue one payload for ``recipient`` (at-most-once, unordered)."""
+
+    def broadcast(self, payload: Payload) -> None:
+        """Send one payload to every peer this transport knows."""
+
+    def on_receive(self, handler: ReceiveHandler) -> None:
+        """Register the single handler for inbound payloads."""
+
+
+class SimTransport:
+    """:class:`Transport` over one simulated network process.
+
+    ``send`` forwards into the network's in-flight multiset; inbound
+    messages are pushed to the registered handler by :meth:`pump`, the
+    generator the simulated process runs as its body.
+    """
+
+    def __init__(self, process: Process, peers: tuple[str, ...] = ()) -> None:
+        self.process = process
+        self.peers = tuple(peers)
+        self._handler: ReceiveHandler | None = None
+
+    def send(self, recipient: str, payload: Payload) -> None:
+        self.process.send(recipient, payload)
+
+    def broadcast(self, payload: Payload) -> None:
+        for peer in self.peers:
+            self.process.send(peer, payload)
+
+    def on_receive(self, handler: ReceiveHandler) -> None:
+        self._handler = handler
+
+    def pump(self):
+        """Process body: pull deliveries forever, push them to the handler."""
+        while True:
+            message = yield Receive()
+            if self._handler is not None:
+                self._handler(message.sender, message.payload)
+
+
+def server_body(process: Process, protocol: ServerProtocol):
+    """The simulated process body of one replica server."""
+    transport = SimTransport(process)
+    protocol.bind(transport)
+    return transport.pump()
+
+
+def operation_body(
+    process: Process,
+    operation: ClientOperation,
+    on_done: Callable[[ClientOperation], None] | None = None,
+    on_deliver: Callable[[str, Payload], None] | None = None,
+):
+    """The simulated process body of one client operation.
+
+    Emits the operation's opening broadcast, then feeds every delivery to
+    the machine until it reports ``done`` (an operation that never reaches
+    its quorum simply blocks forever — as it must beyond ``f`` crashes).
+    ``on_deliver`` observes the raw reply stream; the parity tests use it
+    to record a replayable delivery schedule.
+    """
+
+    def emit(outgoing):
+        for recipient, payload in outgoing:
+            process.send(recipient, payload)
+
+    emit(operation.start())
+    while not operation.done:
+        message = yield Receive()
+        if on_deliver is not None:
+            on_deliver(message.sender, message.payload)
+        emit(operation.on_message(message.sender, message.payload))
+    if on_done is not None:
+        on_done(operation)

@@ -1,0 +1,58 @@
+"""The networked storage service: ABD over real asyncio TCP sockets.
+
+This package is the production incarnation of the message-passing model:
+``n = 2f + 1`` replica server processes (:mod:`repro.service.server`),
+an async client library with timeouts and bounded retry
+(:mod:`repro.service.client`), and a daemon lifecycle — pidfiles, state
+dir, graceful SIGTERM drain, crash recovery from an append-only journal
+(:mod:`repro.service.daemon`, :mod:`repro.service.journal`) — exposed as
+the ``repro serve`` / ``status`` / ``stop`` / ``doctor`` CLI.
+
+The protocol layer is **not** here: servers and clients drive the exact
+same state machines as the simulated network
+(:mod:`repro.msgnet.protocol`), so the storage profile and consistency
+level measured in the simulator are statements about this live system
+too. :class:`~repro.service.ledger.LiveStorageView` carries the
+Definition-2 accounting over: ``repro status`` reports at-rest replica
+bits against the Theorem 1 floor.
+"""
+
+from repro.service.client import ServiceClient, merge_histories
+from repro.service.daemon import (
+    EXIT_ALREADY_RUNNING,
+    EXIT_FAIL,
+    EXIT_NOT_RUNNING,
+    EXIT_OK,
+    StateDir,
+    cluster_status,
+    restart_dead,
+    run_doctor,
+    start_cluster,
+    stop_cluster,
+)
+from repro.service.journal import ReplicaJournal, replica_signature
+from repro.service.ledger import LiveStorageView, ReplicaStatus
+from repro.service.loopback import LoopbackCluster
+from repro.service.server import ReplicaServer, ServerConfig
+
+__all__ = [
+    "EXIT_ALREADY_RUNNING",
+    "EXIT_FAIL",
+    "EXIT_NOT_RUNNING",
+    "EXIT_OK",
+    "LiveStorageView",
+    "LoopbackCluster",
+    "ReplicaJournal",
+    "ReplicaServer",
+    "ReplicaStatus",
+    "ServerConfig",
+    "ServiceClient",
+    "StateDir",
+    "cluster_status",
+    "merge_histories",
+    "replica_signature",
+    "restart_dead",
+    "run_doctor",
+    "start_cluster",
+    "stop_cluster",
+]

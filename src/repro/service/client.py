@@ -1,0 +1,294 @@
+"""Async client library for the TCP ABD service.
+
+A :class:`ServiceClient` drives the *same*
+:class:`~repro.msgnet.protocol.WriteOperation` /
+:class:`~repro.msgnet.protocol.ReadOperation` machines as the simulated
+deployment — this module adds only what a real network demands:
+
+* one TCP connection per server with a background reader task feeding a
+  single inbound queue;
+* a **per-request timeout**: if no reply arrives for ``timeout`` seconds
+  the client re-sends the current phase's requests to the servers still
+  silent (safe: replies are deduplicated by sender, server writes are
+  idempotent at equal timestamps);
+* **bounded retry**: after ``retries`` resends without quorum the
+  operation raises :class:`~repro.errors.QuorumTimeout` — the client
+  never blocks forever on a dead majority, unlike the model's
+  block-as-it-must semantics (a CLI must report, not hang).
+
+Every completed operation is recorded with monotonic-clock invoke/return
+times, so :meth:`ServiceClient.history` (and :func:`merge_histories`
+across concurrent clients) produces a
+:class:`~repro.spec.histories.History` the existing linearizability /
+regularity checkers consume unchanged — the consistency-over-sockets
+suite in ``tests/service/test_consistency.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Iterable, Sequence
+
+from repro.coding.replication import ReplicationCode
+from repro.errors import ParameterError, QuorumTimeout, WireError
+from repro.msgnet.abd import OpRecord
+from repro.msgnet.protocol import (
+    ClientOperation,
+    Payload,
+    ReadOperation,
+    WriteOperation,
+)
+from repro.service.framing import read_frame, write_frame
+from repro.service.wire import decode_payload, encode_payload
+from repro.sim.trace import OpKind
+from repro.spec.histories import History, HOp
+
+#: Endpoint map: server name -> (host, port).
+Endpoints = dict[str, tuple[str, int]]
+
+
+def monotonic_now() -> int:
+    """The shared client-side clock: monotonic nanoseconds.
+
+    All clients in one process share it, so merged histories carry a
+    consistent real-time precedence order — exactly what the
+    linearizability checker needs.
+    """
+    return time.monotonic_ns()
+
+
+class _Connection:
+    """One server connection + its reader task."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.task: asyncio.Task | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.writer is not None and not self.writer.is_closing()
+
+    async def close(self) -> None:
+        if self.task is not None:
+            self.task.cancel()
+            try:
+                await self.task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self.task = None
+        if self.writer is not None:
+            self.writer.close()
+            self.writer = None
+            self.reader = None
+
+
+class ServiceClient:
+    """A named ABD client over TCP; one operation at a time (well-formed)."""
+
+    def __init__(
+        self,
+        name: str,
+        endpoints: Endpoints,
+        f: int,
+        data_size_bytes: int,
+        *,
+        timeout: float = 2.0,
+        retries: int = 2,
+        v0: bytes | None = None,
+    ) -> None:
+        if f < 1:
+            raise ParameterError("f must be >= 1")
+        if len(endpoints) != 2 * f + 1:
+            raise ParameterError(
+                f"expected {2 * f + 1} endpoints for f={f}, "
+                f"got {len(endpoints)}"
+            )
+        self.name = name
+        self.endpoints = dict(endpoints)
+        self.f = f
+        self.majority = f + 1
+        self.scheme = ReplicationCode(data_size_bytes, n=len(endpoints))
+        self.v0 = v0 or bytes(data_size_bytes)
+        self.timeout = timeout
+        self.retries = retries
+        self.server_names = list(endpoints)
+        self.ops: list[OpRecord] = []
+        self.decisions: list[tuple] = []
+        self._next_op_uid = 0
+        self._queue: asyncio.Queue[tuple[str, Payload]] = asyncio.Queue()
+        self._conns = {name: _Connection(name) for name in endpoints}
+
+    # --------------------------------------------------------- connections
+
+    async def connect(self) -> None:
+        """Open every reachable server connection (down servers tolerated)."""
+        for name in self.server_names:
+            await self._ensure_connection(name)
+
+    async def _ensure_connection(self, name: str) -> bool:
+        conn = self._conns[name]
+        if conn.alive:
+            return True
+        host, port = self.endpoints[name]
+        try:
+            conn.reader, conn.writer = await asyncio.open_connection(
+                host, port
+            )
+        except OSError:
+            conn.reader = conn.writer = None
+            return False
+        conn.task = asyncio.ensure_future(self._read_loop(conn))
+        return True
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                body = await read_frame(conn.reader)
+                if body is None:
+                    break
+                self._queue.put_nowait((conn.name, decode_payload(body)))
+        except (WireError, ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            if conn.writer is not None:
+                conn.writer.close()
+
+    async def close(self) -> None:
+        for conn in self._conns.values():
+            await conn.close()
+
+    # ---------------------------------------------------------- operations
+
+    async def write(self, value: bytes) -> object:
+        operation = WriteOperation(
+            self.name, self._take_op_uid(), value, self.scheme,
+            self.server_names, self.majority, decisions=self.decisions,
+        )
+        return await self._run(operation, OpKind.WRITE, value)
+
+    async def read(self) -> bytes:
+        operation = ReadOperation(
+            self.name, self._take_op_uid(), self.scheme,
+            self.server_names, self.majority, decisions=self.decisions,
+        )
+        return await self._run(operation, OpKind.READ, None)
+
+    def _take_op_uid(self) -> int:
+        op_uid = self._next_op_uid
+        self._next_op_uid += 1
+        return op_uid
+
+    async def _run(
+        self, operation: ClientOperation, kind: OpKind, written: bytes | None
+    ) -> object:
+        record = OpRecord(self.name, kind, written, monotonic_now())
+        self.ops.append(record)
+        await self._send_all(operation.start())
+        attempts = 0
+        while not operation.done:
+            try:
+                sender, payload = await asyncio.wait_for(
+                    self._queue.get(), timeout=self.timeout
+                )
+            except asyncio.TimeoutError:
+                attempts += 1
+                if attempts > self.retries:
+                    raise QuorumTimeout(
+                        f"{self.name}: {operation.kind} op "
+                        f"{operation.op_uid} found no quorum of "
+                        f"{self.majority} after {attempts} attempts"
+                    ) from None
+                for name in self.server_names:
+                    await self._ensure_connection(name)
+                await self._send_all(operation.resend())
+                continue
+            await self._send_all(operation.on_message(sender, payload))
+        record.return_time = monotonic_now()
+        record.result = operation.result
+        return operation.result
+
+    async def _send_all(
+        self, outgoing: Iterable[tuple[str, Payload]]
+    ) -> None:
+        for recipient, payload in outgoing:
+            conn = self._conns[recipient]
+            if not conn.alive and not await self._ensure_connection(recipient):
+                continue  # down server: the quorum machinery absorbs it
+            try:
+                await write_frame(conn.writer, encode_payload(payload))
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                conn.writer.close()
+
+    # ------------------------------------------------------------- history
+
+    def history(self) -> History:
+        return merge_histories([self], self.v0)
+
+
+def merge_histories(
+    clients: Sequence[ServiceClient], v0: bytes | None = None
+) -> History:
+    """One checker-ready history across concurrent clients.
+
+    All clients must live in one process (they share the monotonic
+    clock). Op uids are reassigned globally; per-client op order is
+    preserved by invoke time.
+    """
+    if not clients:
+        raise ParameterError("no clients to merge")
+    records = [record for client in clients for record in client.ops]
+    records.sort(key=lambda record: (record.invoke_time, record.client))
+    ops = [
+        HOp(
+            op_uid=index,
+            client=record.client,
+            kind=record.kind,
+            written=record.written,
+            result=record.result,
+            invoke_time=record.invoke_time,
+            return_time=record.return_time,
+        )
+        for index, record in enumerate(records)
+    ]
+    return History(ops, v0 if v0 is not None else clients[0].v0)
+
+
+# ----------------------------------------------------------- one-shot RPC
+
+
+async def probe(
+    host: str, port: int, request: Payload, want_tag: str,
+    timeout: float = 2.0,
+) -> Payload | None:
+    """Single request/reply against one server; ``None`` if unreachable.
+
+    The status and doctor commands use this — no client identity, no
+    history, just one framed round-trip.
+    """
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
+    except (OSError, asyncio.TimeoutError):
+        return None
+    try:
+        await write_frame(writer, encode_payload(request))
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            body = await asyncio.wait_for(read_frame(reader),
+                                          timeout=remaining)
+            if body is None:
+                return None
+            payload = decode_payload(body)
+            if payload[0] == want_tag and payload[1] == request[1]:
+                return payload
+    except (WireError, ConnectionResetError, asyncio.TimeoutError, OSError):
+        return None
+    finally:
+        writer.close()

@@ -1,0 +1,210 @@
+"""Append-only replica journal: crash recovery for one server.
+
+The executor's sweep checkpoint (``repro.analysis.executor.SweepJournal``)
+established the repository's journal idiom — JSONL, a header line pinning
+a SHA-256 signature of everything that must match for the file to be
+reusable, flush-per-line, a *tolerated* truncated trailing line (the
+kill-mid-write artifact), and a hard error on any other corruption. This
+module applies the same idiom to replica state: every write a server
+applies is appended **before** the acknowledgement leaves the process
+(write-ahead — see :class:`~repro.msgnet.protocol.ServerProtocol`'s
+``on_apply`` contract), so a SIGKILLed server restarts exactly at the last
+state any client could have observed as acknowledged.
+
+Failure semantics mirror :class:`~repro.errors.CheckpointError` (and
+:class:`~repro.errors.JournalError` subclasses it): a journal written by a
+different replica configuration — another server name, crash budget, or
+value size — refuses to load rather than silently resurrecting the wrong
+state.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from pathlib import Path
+
+from repro.coding.oracles import BlockSource, CodeBlock
+from repro.errors import JournalError
+from repro.registers.timestamps import Timestamp
+
+#: Journal file format version (independent of the wire schema).
+JOURNAL_VERSION = 1
+
+#: Magic string identifying a replica journal header line.
+JOURNAL_MAGIC = "repro-replica-journal"
+
+
+def replica_signature(
+    name: str, index: int, f: int, data_size_bytes: int, scheme: str
+) -> str:
+    """SHA-256 over the replica configuration a journal belongs to.
+
+    Two server processes share a signature iff replaying one's journal
+    into the other is sound: same replica identity, same cluster shape,
+    same value size, same coding scheme.
+    """
+    payload = {
+        "name": name,
+        "index": index,
+        "f": f,
+        "data_size_bytes": data_size_bytes,
+        "scheme": scheme,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ReplicaJournal:
+    """Append-only JSONL journal of one replica's applied writes.
+
+    Line 0 pins the magic, version, and replica signature; every further
+    line is one applied write ``{"ts": [num, client], "block": {...}}``.
+    The server process is the only writer, each line is flushed as it is
+    written, and :meth:`load` tolerates exactly one truncated trailing
+    line — that write was never acknowledged (the ack follows the flush),
+    so dropping it is indistinguishable from the crash arriving a moment
+    earlier.
+    """
+
+    def __init__(self, path: str | Path, signature: str) -> None:
+        self.path = Path(path)
+        self.signature = signature
+        self._handle = None
+
+    # ------------------------------------------------------------- reading
+
+    def load(self) -> list[tuple[Timestamp, CodeBlock]]:
+        """Applied writes from an existing journal, validated, in order.
+
+        Returns ``[]`` when the journal does not exist or is empty.
+        Raises :class:`~repro.errors.JournalError` when the header is
+        missing or pins a different replica, or when any line other than
+        the final one is malformed.
+        """
+        if not self.path.exists():
+            return []
+        lines = self.path.read_text().splitlines()
+        if not lines:
+            return []
+        header = self._parse_line(lines[0], line_number=1)
+        if header is None or header.get("journal") != JOURNAL_MAGIC:
+            raise JournalError(
+                f"{self.path}: not a replica journal (missing header)"
+            )
+        if header.get("journal_version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{self.path}: unsupported journal version "
+                f"{header.get('journal_version')!r}"
+            )
+        if header.get("signature") != self.signature:
+            raise JournalError(
+                f"{self.path}: journal was written by a different replica "
+                f"configuration (signature {header.get('signature')!r} != "
+                f"{self.signature!r}); refusing to recover from it"
+            )
+        entries: list[tuple[Timestamp, CodeBlock]] = []
+        for number, line in enumerate(lines[1:], start=2):
+            entry = self._parse_line(
+                line, line_number=number, tolerate=(number == len(lines))
+            )
+            if entry is None:  # tolerated truncated trailing line
+                continue
+            try:
+                ts = Timestamp(int(entry["ts"][0]), entry["ts"][1])
+                raw = entry["block"]
+                block = CodeBlock(
+                    payload=base64.b64decode(raw["p"]),
+                    index=int(raw["i"]),
+                    source=BlockSource(int(raw["op"]), int(raw["si"])),
+                    size_bits=int(raw["b"]),
+                )
+            except (KeyError, IndexError, TypeError, ValueError) as error:
+                raise JournalError(
+                    f"{self.path}:{number}: malformed journal entry: {error}"
+                ) from error
+            entries.append((ts, block))
+        return entries
+
+    def recovered(self) -> tuple[Timestamp, CodeBlock] | None:
+        """The replica state to restart from: the highest journaled write.
+
+        Entries are appended in apply order, and the apply rule only
+        adopts strictly newer timestamps — so the journal is strictly
+        increasing and the last entry is the recovery point. The maximum
+        is taken anyway: recovery must not depend on an invariant the
+        crash may have interrupted.
+        """
+        entries = self.load()
+        if not entries:
+            return None
+        return max(entries, key=lambda entry: entry[0])
+
+    def _parse_line(
+        self, line: str, *, line_number: int, tolerate: bool = False
+    ) -> dict | None:
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError as error:
+            if tolerate:
+                return None
+            raise JournalError(
+                f"{self.path}:{line_number}: corrupt journal line: {error}"
+            ) from error
+        if not isinstance(parsed, dict):
+            raise JournalError(
+                f"{self.path}:{line_number}: journal line is not an object"
+            )
+        return parsed
+
+    # ------------------------------------------------------------- writing
+
+    def open_for_append(self) -> None:
+        """Open for appending; create the header when new or empty.
+
+        A truncated trailing line left by a crash is trimmed back to the
+        last complete line first — appending after partial text would fuse
+        two entries into one permanently corrupt line.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existed = self.path.exists() and self.path.stat().st_size > 0
+        if existed:
+            text = self.path.read_text()
+            if not text.endswith("\n"):
+                text = text[: text.rfind("\n") + 1]
+                self.path.write_text(text)
+                existed = bool(text)
+        self._handle = open(self.path, "a")
+        if not existed:
+            self._write_line({
+                "journal": JOURNAL_MAGIC,
+                "journal_version": JOURNAL_VERSION,
+                "signature": self.signature,
+            })
+
+    def append(self, ts: Timestamp, block: CodeBlock) -> None:
+        """Persist one applied write (flushed before this returns)."""
+        self._write_line({
+            "ts": [ts.num, ts.client],
+            "block": {
+                "p": base64.b64encode(block.payload).decode("ascii"),
+                "i": block.index,
+                "op": block.source.op_uid,
+                "si": block.source.index,
+                "b": block.size_bits,
+            },
+        })
+
+    def entry_count(self) -> int:
+        """Applied writes currently recoverable from the file."""
+        return len(self.load())
+
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

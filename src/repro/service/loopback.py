@@ -1,0 +1,80 @@
+"""An in-process loopback cluster: real sockets, one event loop.
+
+Tests and benchmarks that need real TCP framing but not process isolation
+run ``n`` :class:`~repro.service.server.ReplicaServer` instances inside
+the current event loop on ephemeral loopback ports. Everything is real
+except the process boundary: frames cross the kernel's TCP stack,
+journals hit disk, drain semantics are the production path. The daemon
+suite (``tests/service/test_daemon.py``) covers the subprocess half.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.service.client import Endpoints, ServiceClient
+from repro.service.server import ReplicaServer, ServerConfig
+
+
+class LoopbackCluster:
+    """``n = 2f + 1`` in-loop replica servers on ephemeral ports."""
+
+    def __init__(
+        self,
+        f: int,
+        data_size_bytes: int,
+        state_dir: str | Path,
+        *,
+        handle_delay_s: float = 0.0,
+    ) -> None:
+        self.f = f
+        self.n = 2 * f + 1
+        self.data_size_bytes = data_size_bytes
+        self.state_dir = Path(state_dir)
+        self.servers: dict[str, ReplicaServer] = {}
+        for index in range(self.n):
+            name = f"s{index}"
+            self.servers[name] = ReplicaServer(ServerConfig(
+                name=name, index=index, f=f,
+                data_size_bytes=data_size_bytes,
+                state_dir=str(self.state_dir),
+                handle_delay_s=handle_delay_s,
+            ))
+
+    async def start(self) -> None:
+        for server in self.servers.values():
+            await server.start()
+
+    @property
+    def endpoints(self) -> Endpoints:
+        return {
+            name: ("127.0.0.1", server.port)
+            for name, server in self.servers.items()
+        }
+
+    def client(self, name: str, **kwargs) -> ServiceClient:
+        """A connected-on-demand client for this cluster."""
+        return ServiceClient(
+            name, self.endpoints, self.f, self.data_size_bytes, **kwargs
+        )
+
+    def server_storage_bits(self) -> int:
+        """At-rest replica bits — the live Definition-2 at-rest charge."""
+        return sum(
+            server.protocol.state.block.size_bits
+            for server in self.servers.values()
+            if server.protocol is not None and not server.stopped.is_set()
+        )
+
+    async def drain(self, *names: str) -> None:
+        """Gracefully stop the named servers (all when none given)."""
+        targets = names or tuple(self.servers)
+        for name in targets:
+            await self.servers[name].drain()
+
+    async def __aenter__(self) -> "LoopbackCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()

@@ -1,0 +1,96 @@
+"""JSON wire codec for protocol payloads.
+
+The protocol machines exchange plain tuples carrying
+:class:`~repro.registers.timestamps.Timestamp` and
+:class:`~repro.coding.oracles.CodeBlock` values. On the simulated network
+those objects travel by reference; over TCP they must survive a byte
+round-trip **losslessly** — a decoded timestamp must still compare with
+``>`` against a local one, a decoded block must still carry its source tag
+and bit size for the storage ledger.
+
+The encoding is tagged JSON: every non-JSON-native value becomes an
+object with a ``"!"`` discriminator (``ts`` / ``block`` / ``bytes``), and
+every JSON array decodes back to a *tuple* — protocol payloads and
+request ids are tuples, and quorum rounds compare request ids by
+equality, so sequence type must be preserved. Unknown tags raise
+:class:`~repro.errors.WireError` rather than leaking foreign objects into
+protocol state.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+from repro.coding.oracles import BlockSource, CodeBlock
+from repro.errors import WireError
+from repro.registers.timestamps import Timestamp
+
+#: Discriminator key for tagged objects. Short on purpose: every write
+#: message carries a full replica block, so framing overhead is real.
+TAG = "!"
+
+
+def to_wire(value: Any) -> Any:
+    """Lower one payload value to JSON-dumpable form."""
+    if isinstance(value, Timestamp):
+        return {TAG: "ts", "n": value.num, "c": value.client}
+    if isinstance(value, CodeBlock):
+        return {
+            TAG: "block",
+            "p": base64.b64encode(value.payload).decode("ascii"),
+            "i": value.index,
+            "op": value.source.op_uid,
+            "si": value.source.index,
+            "b": value.size_bits,
+        }
+    if isinstance(value, (bytes, bytearray)):
+        return {TAG: "bytes", "b64": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, (tuple, list)):
+        return [to_wire(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise WireError(f"cannot encode {type(value).__name__} on the wire")
+
+
+def from_wire(value: Any) -> Any:
+    """Raise one decoded JSON value back to its protocol form."""
+    if isinstance(value, list):
+        return tuple(from_wire(item) for item in value)
+    if isinstance(value, dict):
+        tag = value.get(TAG)
+        if tag == "ts":
+            return Timestamp(value["n"], value["c"])
+        if tag == "block":
+            return CodeBlock(
+                payload=base64.b64decode(value["p"]),
+                index=value["i"],
+                source=BlockSource(value["op"], value["si"]),
+                size_bits=value["b"],
+            )
+        if tag == "bytes":
+            return base64.b64decode(value["b64"])
+        raise WireError(f"unknown wire tag {tag!r}")
+    return value
+
+
+def encode_payload(payload: tuple) -> bytes:
+    """One protocol payload -> compact JSON bytes."""
+    return json.dumps(
+        to_wire(payload), separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+
+def decode_payload(data: bytes) -> tuple:
+    """JSON bytes -> protocol payload tuple (:class:`WireError` on junk)."""
+    try:
+        decoded = from_wire(json.loads(data.decode("utf-8")))
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+            TypeError, ValueError) as error:
+        raise WireError(f"undecodable wire payload: {error}") from error
+    if not isinstance(decoded, tuple):
+        raise WireError(
+            f"wire payload is {type(decoded).__name__}, expected tuple"
+        )
+    return decoded

@@ -1,0 +1,62 @@
+"""Shared fixtures for the networked-service suite.
+
+Every test below this directory gets the ``service`` marker (real
+sockets, some real subprocesses — deselect with ``-m "not service"``),
+and the whole directory is skipped when the sandbox cannot bind a
+loopback socket at all.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.service import LoopbackCluster, merge_histories
+
+
+def _loopback_available() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind(("127.0.0.1", 0))
+        finally:
+            probe.close()
+        return True
+    except OSError:
+        return False
+
+
+_LOOPBACK_OK = _loopback_available()
+
+
+def pytest_collection_modifyitems(config, items):
+    skip = pytest.mark.skip(reason="cannot bind loopback sockets here")
+    for item in items:
+        if item.path.parent.name == "service" or "/service/" in str(item.path):
+            item.add_marker(pytest.mark.service)
+            if not _LOOPBACK_OK:
+                item.add_marker(skip)
+
+
+@pytest.fixture
+def run():
+    """Run a coroutine to completion on a fresh event loop."""
+    return asyncio.run
+
+
+@pytest.fixture
+def loopback(tmp_path):
+    """An async context manager factory for in-process clusters."""
+
+    def factory(f: int = 1, data_size_bytes: int = 8,
+                name: str = "cluster", **kwargs):
+        return LoopbackCluster(
+            f, data_size_bytes, tmp_path / name, **kwargs
+        )
+
+    return factory
+
+
+def checked_history(clients, v0=None):
+    """Merged history from live clients, ready for the spec checkers."""
+    return merge_histories(clients, v0)

@@ -1,0 +1,176 @@
+"""Daemon lifecycle: real subprocesses, pidfiles, drain, exit codes."""
+
+import asyncio
+
+import pytest
+
+from repro.cli import main
+from repro.errors import AlreadyRunningError, NotRunningError
+from repro.service import (
+    EXIT_ALREADY_RUNNING,
+    EXIT_NOT_RUNNING,
+    EXIT_OK,
+    ServiceClient,
+    StateDir,
+    cluster_status,
+    start_cluster,
+    stop_cluster,
+)
+
+
+def endpoints_of(state_dir):
+    state = StateDir(state_dir)
+    meta = state.read_meta()
+    return meta, {
+        server["name"]: (meta["host"], state.read_port(server["name"]))
+        for server in meta["servers"]
+    }
+
+
+class TestLifecycle:
+    def test_start_serve_stop_roundtrip(self, tmp_path, run):
+        state_dir = tmp_path / "cluster"
+        meta = start_cluster(state_dir, f=1, data_size_bytes=8)
+        try:
+            assert len(meta["servers"]) == 3
+            state = StateDir(state_dir)
+            assert sorted(state.live_servers()) == ["s0", "s1", "s2"]
+
+            _meta, endpoints = endpoints_of(state_dir)
+
+            async def one_write_one_read():
+                client = ServiceClient("w0", endpoints, 1, 8)
+                try:
+                    await client.write(b"abcdefgh")
+                    return await client.read()
+                finally:
+                    await client.close()
+
+            assert run(one_write_one_read()) == b"abcdefgh"
+
+            _meta, view = cluster_status(state_dir)
+            assert view.quorum_available
+            assert view.server_storage_bits == 3 * 64
+        finally:
+            report = stop_cluster(state_dir)
+        assert [outcome for _n, _p, outcome in report] == ["stopped"] * 3
+        assert StateDir(state_dir).live_servers() == []
+        # Runtime files are gone; journals persist for recovery.
+        assert not state.pid_path("s0").exists()
+        assert state.journal_path("s0").exists()
+
+    def test_concurrent_clients_against_daemon(self, tmp_path, run):
+        state_dir = tmp_path / "cluster"
+        start_cluster(state_dir, f=1, data_size_bytes=8)
+        try:
+            _meta, endpoints = endpoints_of(state_dir)
+
+            async def storm():
+                writers = [
+                    ServiceClient(f"w{i}", endpoints, 1, 8)
+                    for i in range(3)
+                ]
+                readers = [
+                    ServiceClient(f"r{i}", endpoints, 1, 8)
+                    for i in range(2)
+                ]
+
+                async def write_some(client, tag):
+                    for round_number in range(3):
+                        await client.write(
+                            f"{tag}{round_number}".encode().ljust(8, b".")
+                        )
+
+                async def read_some(client):
+                    return [await client.read() for _ in range(3)]
+
+                results = await asyncio.gather(
+                    *(write_some(w, w.name) for w in writers),
+                    *(read_some(r) for r in readers),
+                )
+                for client in writers + readers:
+                    await client.close()
+                return writers, readers, results
+
+            writers, readers, results = run(storm())
+            written = {
+                f"{w.name}{i}".encode().ljust(8, b".")
+                for w in writers for i in range(3)
+            } | {bytes(8)}
+            for values in results[len(writers):]:
+                assert all(value in written for value in values)
+        finally:
+            stop_cluster(state_dir)
+
+    def test_double_start_raises_and_exits_3(self, tmp_path, capsys):
+        state_dir = tmp_path / "cluster"
+        start_cluster(state_dir, f=1, data_size_bytes=8)
+        try:
+            with pytest.raises(AlreadyRunningError):
+                start_cluster(state_dir, f=1, data_size_bytes=8)
+            code = main(["serve", "--f", "1", "--data-size", "8",
+                         "--state-dir", str(state_dir)])
+            assert code == EXIT_ALREADY_RUNNING == 3
+            assert "already running" in capsys.readouterr().err
+        finally:
+            stop_cluster(state_dir)
+
+    def test_stop_without_start_raises_and_exits_4(self, tmp_path, capsys):
+        missing = tmp_path / "never-started"
+        with pytest.raises(NotRunningError):
+            stop_cluster(missing)
+        code = main(["stop", "--state-dir", str(missing)])
+        assert code == EXIT_NOT_RUNNING == 4
+        assert "no cluster" in capsys.readouterr().err
+
+    def test_stop_twice_exits_4(self, tmp_path, capsys):
+        state_dir = tmp_path / "cluster"
+        start_cluster(state_dir, f=1, data_size_bytes=8)
+        assert main(["stop", "--state-dir", str(state_dir)]) == EXIT_OK
+        assert main(["stop", "--state-dir", str(state_dir)]) \
+            == EXIT_NOT_RUNNING
+        capsys.readouterr()
+
+    def test_distinct_exit_codes(self):
+        assert len({EXIT_OK, EXIT_ALREADY_RUNNING, EXIT_NOT_RUNNING, 1}) == 4
+
+
+class TestDrain:
+    def test_graceful_drain_completes_inflight_ops(self, loopback, run):
+        """SIGTERM semantics in miniature: drain() stops accepting but
+        lets the request already inside the server finish."""
+
+        async def scenario():
+            async with loopback(handle_delay_s=0.05) as cluster:
+                client = cluster.client("w0", timeout=5.0)
+                write = asyncio.ensure_future(client.write(b"slowpoke"))
+                await asyncio.sleep(0.02)  # write is now in flight
+                await cluster.drain("s0")
+                result = await write
+                value = await client.read()
+                await client.close()
+                return result, value
+
+        result, value = run(scenario())
+        assert result == "ok"
+        assert value == b"slowpoke"
+
+    def test_drained_server_refuses_new_work(self, loopback, run):
+        async def scenario():
+            async with loopback() as cluster:
+                await cluster.drain("s0", "s1")
+                live = cluster.server_storage_bits()
+                # Quorum is gone (2 of 3 down) — a bounded-retry client
+                # must time out rather than hang.
+                client = cluster.client("w0", timeout=0.2, retries=1)
+                from repro.errors import QuorumTimeout
+                try:
+                    await client.write(b"too-late")
+                    raise AssertionError("write should not find a quorum")
+                except QuorumTimeout:
+                    pass
+                finally:
+                    await client.close()
+                return live
+
+        assert run(scenario()) == 64  # only s2's replica remains at rest

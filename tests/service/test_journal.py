@@ -1,0 +1,161 @@
+"""Replica journal: the crash-recovery substrate, CheckpointError semantics."""
+
+import json
+
+import pytest
+
+from repro.coding.oracles import BlockSource, CodeBlock
+from repro.errors import CheckpointError, JournalError
+from repro.registers.timestamps import Timestamp
+from repro.service.journal import (
+    JOURNAL_MAGIC,
+    JOURNAL_VERSION,
+    ReplicaJournal,
+    replica_signature,
+)
+
+SIG = replica_signature("s0", 0, 1, 8, "replication")
+
+
+def block(tag: bytes, op_uid: int):
+    payload = tag * 8
+    return CodeBlock(
+        payload=payload, index=0,
+        source=BlockSource(op_uid, 0), size_bits=len(payload) * 8,
+    )
+
+
+def journal_with(path, entries):
+    journal = ReplicaJournal(path, SIG)
+    journal.open_for_append()
+    for num, client, blk in entries:
+        journal.append(Timestamp(num, client), blk)
+    journal.close()
+    return journal
+
+
+class TestRoundTrip:
+    def test_append_then_load(self, tmp_path):
+        journal = journal_with(tmp_path / "j.jsonl", [
+            (1, "w0", block(b"a", 1)),
+            (2, "w1", block(b"b", 2)),
+        ])
+        entries = journal.load()
+        assert [ts for ts, _ in entries] == [
+            Timestamp(1, "w0"), Timestamp(2, "w1"),
+        ]
+        assert entries[1][1] == block(b"b", 2)
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ReplicaJournal(tmp_path / "absent.jsonl", SIG).load() == []
+
+    def test_recovered_is_maximum_entry(self, tmp_path):
+        journal = journal_with(tmp_path / "j.jsonl", [
+            (1, "w0", block(b"a", 1)),
+            (3, "w1", block(b"c", 3)),
+            (2, "w0", block(b"b", 2)),  # out of order on purpose
+        ])
+        ts, blk = journal.recovered()
+        assert ts == Timestamp(3, "w1")
+        assert blk == block(b"c", 3)
+
+    def test_recovered_none_when_empty(self, tmp_path):
+        journal = ReplicaJournal(tmp_path / "j.jsonl", SIG)
+        journal.open_for_append()  # header only
+        journal.close()
+        assert journal.recovered() is None
+
+    def test_reopen_appends_after_existing_entries(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal_with(path, [(1, "w0", block(b"a", 1))])
+        second = ReplicaJournal(path, SIG)
+        second.open_for_append()
+        second.append(Timestamp(2, "w1"), block(b"b", 2))
+        second.close()
+        assert second.entry_count() == 2
+
+
+class TestCrashArtifacts:
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal_with(path, [(1, "w0", block(b"a", 1)),
+                            (2, "w1", block(b"b", 2))])
+        text = path.read_text()
+        path.write_text(text[:-10])  # SIGKILL mid-append
+        entries = ReplicaJournal(path, SIG).load()
+        assert [ts for ts, _ in entries] == [Timestamp(1, "w0")]
+
+    def test_open_for_append_trims_partial_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal_with(path, [(1, "w0", block(b"a", 1))])
+        with open(path, "a") as handle:
+            handle.write('{"ts": [2, "w1"], "blo')  # torn write
+        journal = ReplicaJournal(path, SIG)
+        journal.open_for_append()
+        journal.append(Timestamp(3, "w2"), block(b"c", 3))
+        journal.close()
+        # The torn line is gone; the new entry parses cleanly.
+        assert [ts for ts, _ in journal.load()] == [
+            Timestamp(1, "w0"), Timestamp(3, "w2"),
+        ]
+
+
+class TestCorruption:
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal_with(path, [(1, "w0", block(b"a", 1)),
+                            (2, "w1", block(b"b", 2))])
+        lines = path.read_text().splitlines()
+        lines[1] = "}}corrupt{{"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError):
+            ReplicaJournal(path, SIG).load()
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"ts": [1, "w0"]}\n')
+        with pytest.raises(JournalError, match="missing header"):
+            ReplicaJournal(path, SIG).load()
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({
+            "journal": JOURNAL_MAGIC,
+            "journal_version": JOURNAL_VERSION + 1,
+            "signature": SIG,
+        }) + "\n")
+        with pytest.raises(JournalError, match="version"):
+            ReplicaJournal(path, SIG).load()
+
+    def test_foreign_signature_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal_with(path, [(1, "w0", block(b"a", 1))])
+        other = replica_signature("s1", 1, 1, 8, "replication")
+        with pytest.raises(JournalError, match="different replica"):
+            ReplicaJournal(path, other).load()
+
+    def test_malformed_entry_fields_raise(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal_with(path, [(1, "w0", block(b"a", 1))])
+        with open(path, "a") as handle:
+            handle.write('{"ts": [2, "w1"], "block": {"p": "!!!"}}\n')
+            handle.write('{"ts": [3, "w2"], "block": null}\n')
+        with pytest.raises(JournalError, match="malformed"):
+            ReplicaJournal(path, SIG).load()
+
+    def test_journal_error_is_checkpoint_error(self):
+        # Journal-aware callers can catch either failure domain.
+        assert issubclass(JournalError, CheckpointError)
+
+
+class TestSignature:
+    @pytest.mark.parametrize("change", [
+        {"name": "s1"}, {"index": 1}, {"f": 2},
+        {"data_size_bytes": 16}, {"scheme": "rs"},
+    ])
+    def test_every_config_field_is_pinned(self, change):
+        base = dict(name="s0", index=0, f=1, data_size_bytes=8,
+                    scheme="replication")
+        assert replica_signature(**base) != replica_signature(
+            **{**base, **change}
+        )

@@ -1,0 +1,120 @@
+"""Sim-vs-TCP parity: one protocol, two transports, identical decisions.
+
+The tentpole invariant of the protocol/transport split: the simulated
+:class:`~repro.msgnet.abd.MsgABDSystem` and the asyncio TCP service run
+the *same* machine classes, and for a seeded sequential schedule they
+log the *same* quorum/timestamp decisions — ``("choose-ts", ...)``,
+``("read-select", ...)`` and friends. Any fork of protocol logic between
+the two transports shows up here as a decision-log diff.
+
+Determinism argument for sequential schedules: every majority quorum
+intersects the previous write's quorum, so the maximum timestamp any
+quorum observes is the latest written one regardless of which servers
+answered first — the decisions are a function of the schedule alone.
+"""
+
+import random
+
+import repro.msgnet.protocol as protocol_module
+import repro.service.client as client_module
+import repro.service.server as server_module
+from repro.msgnet import MsgABDSystem
+from repro.msgnet.protocol import ReadOperation, ServerProtocol, WriteOperation
+
+D = 8
+
+
+def seeded_schedule(seed: int, length: int = 8):
+    rng = random.Random(seed)
+    schedule = [("write", bytes([65 + seed]) * D)]  # start with a write
+    while len(schedule) < length:
+        if rng.random() < 0.5:
+            value = bytes([rng.randrange(33, 126)]) * D
+            schedule.append(("write", value))
+        else:
+            schedule.append(("read", None))
+    return schedule
+
+
+def sim_decisions(schedule):
+    system = MsgABDSystem(f=1, data_size_bytes=D)
+    for index, (kind, value) in enumerate(schedule):
+        if kind == "write":
+            system.add_writer(f"c{index}", value)
+        else:
+            system.add_reader(f"c{index}")
+        system.run()  # sequential: quiesce between operations
+    return system.decisions, [op.result for op in system.ops]
+
+
+async def tcp_decisions(cluster, schedule):
+    decisions: list[tuple] = []
+    results = []
+    for index, (kind, value) in enumerate(schedule):
+        client = cluster.client(f"c{index}", timeout=5.0)
+        client.decisions = decisions  # one shared log, like the sim
+        client._next_op_uid = index  # align uids with the sim's counter
+        if kind == "write":
+            results.append(await client.write(value))
+        else:
+            results.append(await client.read())
+        await client.close()
+    return decisions, results
+
+
+class TestStructuralParity:
+    def test_both_transports_share_the_machine_classes(self):
+        """Zero protocol forks: the service imports the sim's classes,
+        not copies of them."""
+        assert server_module.ServerProtocol is ServerProtocol
+        assert client_module.WriteOperation is WriteOperation
+        assert client_module.ReadOperation is ReadOperation
+        assert protocol_module.ServerProtocol is ServerProtocol
+
+    def test_live_server_runs_a_protocol_instance(self, loopback, run):
+        async def scenario():
+            async with loopback() as cluster:
+                return [
+                    type(server.protocol)
+                    for server in cluster.servers.values()
+                ]
+
+        assert run(scenario()) == [ServerProtocol] * 3
+
+
+class TestDecisionParity:
+    def test_seeded_schedules_produce_identical_decisions(
+        self, loopback, run
+    ):
+        for seed in (0, 1, 2):
+            schedule = seeded_schedule(seed)
+            expected_decisions, expected_results = sim_decisions(schedule)
+
+            async def scenario(s=schedule):
+                async with loopback(name=f"cluster{seed}") as cluster:
+                    return await tcp_decisions(cluster, s)
+
+            actual_decisions, actual_results = run(scenario())
+            assert actual_decisions == expected_decisions, (
+                f"seed {seed}: transports diverged"
+            )
+            assert actual_results == expected_results
+
+    def test_storage_accounting_matches_sim_at_rest(self, loopback, run):
+        """Equal (f, D) deployments report equal Definition-2 at-rest
+        bits — the live ledger agrees with the simulated meter."""
+        schedule = seeded_schedule(3, length=5)
+        system = MsgABDSystem(f=1, data_size_bytes=D)
+        for index, (kind, value) in enumerate(schedule):
+            if kind == "write":
+                system.add_writer(f"c{index}", value)
+            else:
+                system.add_reader(f"c{index}")
+            system.run()
+
+        async def scenario():
+            async with loopback() as cluster:
+                await tcp_decisions(cluster, schedule)
+                return cluster.server_storage_bits()
+
+        assert run(scenario()) == system.server_storage_bits() == 3 * D * 8

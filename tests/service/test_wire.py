@@ -1,0 +1,138 @@
+"""Wire codec + framing: lossless byte round-trips, loud failures."""
+
+import asyncio
+
+import pytest
+
+from repro.coding.oracles import BlockSource, CodeBlock
+from repro.errors import WireError
+from repro.msgnet.protocol import READ_TS, REPLY_VALUE, WRITE
+from repro.registers.timestamps import TS_ZERO, Timestamp
+from repro.service.framing import (
+    MAX_FRAME_BYTES,
+    pack_frame,
+    read_frame,
+    write_frame,
+)
+from repro.service.wire import decode_payload, encode_payload
+
+
+def block(payload=b"abcd", index=1):
+    return CodeBlock(
+        payload=payload, index=index,
+        source=BlockSource(5, index), size_bits=len(payload) * 8,
+    )
+
+
+class TestCodec:
+    def test_timestamp_roundtrip_preserves_ordering(self):
+        wire = encode_payload(("ts-reply", (0, 1), Timestamp(3, "w")))
+        decoded = decode_payload(wire)
+        assert decoded[2] == Timestamp(3, "w")
+        assert decoded[2] > Timestamp(2, "z")  # still totally ordered
+
+    def test_block_roundtrip_preserves_metering_fields(self):
+        original = block()
+        decoded = decode_payload(
+            encode_payload((REPLY_VALUE, (7, 1), TS_ZERO, original))
+        )
+        assert decoded[3] == original
+        assert decoded[3].size_bits == original.size_bits
+        assert decoded[3].source == original.source
+
+    def test_request_ids_stay_tuples(self):
+        # Quorum rounds compare request ids with ==; a list would never
+        # equal the tuple the machine issued.
+        decoded = decode_payload(encode_payload((READ_TS, (42, 2))))
+        assert decoded == (READ_TS, (42, 2))
+        assert isinstance(decoded[1], tuple)
+
+    def test_bytes_roundtrip(self):
+        decoded = decode_payload(encode_payload(("x", (0, 1), b"\x00\xff")))
+        assert decoded[2] == b"\x00\xff"
+
+    def test_full_write_payload_roundtrip(self):
+        payload = (WRITE, (3, 2), Timestamp(9, "w1"), block(b"\x01" * 16, 0))
+        assert decode_payload(encode_payload(payload)) == payload
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(WireError):
+            decode_payload(b'[{"!":"alien","x":1}]')
+
+    def test_junk_bytes_raise(self):
+        with pytest.raises(WireError):
+            decode_payload(b"\xde\xad\xbe\xef")
+
+    def test_non_tuple_toplevel_raises(self):
+        with pytest.raises(WireError):
+            decode_payload(b'{"not":"a payload"}')
+
+    def test_unencodable_object_raises(self):
+        with pytest.raises(WireError):
+            encode_payload(("x", (0, 1), object()))
+
+
+async def frames_from(*chunks: bytes) -> list[bytes | None]:
+    """Feed raw bytes to a reader; collect frames until EOF/None."""
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    frames = []
+    while True:
+        frame = await read_frame(reader)
+        frames.append(frame)
+        if frame is None:
+            return frames
+
+
+class TestFraming:
+    def test_roundtrip(self, run):
+        body = encode_payload((READ_TS, (0, 1)))
+        assert run(frames_from(pack_frame(body))) == [body, None]
+
+    def test_two_frames_stay_separate(self, run):
+        assert run(frames_from(pack_frame(b"one"), pack_frame(b"two"))) == [
+            b"one", b"two", None,
+        ]
+
+    def test_clean_eof_returns_none(self, run):
+        assert run(frames_from()) == [None]
+
+    def test_eof_inside_header_raises(self, run):
+        with pytest.raises(WireError):
+            run(frames_from(b"\x00\x00"))
+
+    def test_eof_inside_body_raises(self, run):
+        with pytest.raises(WireError):
+            run(frames_from(pack_frame(b"full")[:-2]))
+
+    def test_oversized_announcement_raises(self, run):
+        header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(WireError):
+            run(frames_from(header))
+
+    def test_oversized_pack_raises(self):
+        class Huge(bytes):
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(WireError):
+            pack_frame(Huge())
+
+    def test_write_frame_is_readable(self, run):
+        async def loop_through():
+            reader = asyncio.StreamReader()
+
+            class Sink:
+                def write(self, data):
+                    reader.feed_data(data)
+
+                async def drain(self):
+                    pass
+
+            await write_frame(Sink(), b"payload")
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert run(loop_through()) == b"payload"
