@@ -1,0 +1,225 @@
+"""E16 — the TCP service under fire: fault-plan latency vs clean baseline.
+
+What does a seeded fault plan *cost*? This bench drives the same
+loopback cluster twice through the fault proxy — once under
+:func:`~repro.faults.plan.clean_plan` (the proxy in the path but firing
+nothing, so the baseline pays the interception overhead too) and once
+under a reference ``drop+delay`` plan whose horizon spans the whole
+workload — and reports per-operation latency percentiles (p50/p99) plus
+what the retry machinery did (timeouts, resends, fault firings).
+
+The history must stay strongly regular in both modes: faults move the
+latency distribution, never the semantics.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_service_faults.py`` — semantic assertions on
+  a small workload;
+* ``python benchmarks/bench_service_faults.py [--quick]`` — the timed
+  run (quick: 30 writes + 30 reads per mode; full: 120 + 120), writing
+  ``benchmarks/results/BENCH_service_faults.json`` for the CI
+  regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.analysis import format_table
+from repro.analysis.benchgate import metric, write_bench_summary
+from repro.faults import (
+    FaultInjector,
+    FaultProxyCluster,
+    clean_plan,
+    seeded_fault_plan,
+)
+from repro.service import (
+    BackoffPolicy,
+    LoopbackCluster,
+    ServiceClient,
+    merge_histories,
+)
+from repro.spec import check_strong_regularity
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+F = 1
+DATA = 16  # D = 128 bits
+REPLICAS = ("s0", "s1", "s2")
+SEED = 1
+RATE = 0.2
+TIMEOUT = 0.1  # per-request; small so retries stay cheap in the bench
+TICK_S = 0.02
+
+
+def value_of(index: int) -> bytes:
+    return bytes([33 + index % 90]) * DATA
+
+
+def reference_plan(ops: int):
+    """A drop+delay plan whose horizon covers the whole workload, so
+    faults keep firing throughout instead of only on the first few
+    messages per link."""
+    return seeded_fault_plan(
+        SEED, replicas=REPLICAS, f=F, profile="drop+delay", rate=RATE,
+        horizon=6 * ops,
+    )
+
+
+def percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+async def run_mode(plan, ops: int) -> dict:
+    """One mode: ``ops`` writes then ``ops`` reads through the proxy."""
+    injector = FaultInjector(plan)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-faults-") as tmp:
+        async with LoopbackCluster(F, DATA, tmp) as cluster:
+            async with FaultProxyCluster(
+                cluster.endpoints, injector, tick_s=TICK_S
+            ) as proxies:
+                def resilient(name: str) -> ServiceClient:
+                    return ServiceClient(
+                        name, proxies.endpoints, F, DATA,
+                        timeout=TIMEOUT, op_deadline=30.0,
+                        backoff=BackoffPolicy(
+                            base=TIMEOUT, cap=8 * TIMEOUT, seed=plan.seed,
+                        ),
+                    )
+
+                writer, reader = resilient("w0"), resilient("r0")
+                write_lat: list[float] = []
+                read_lat: list[float] = []
+                started = time.perf_counter()
+                for index in range(ops):
+                    t0 = time.perf_counter()
+                    await writer.write(value_of(index))
+                    write_lat.append(time.perf_counter() - t0)
+                write_s = time.perf_counter() - started
+                started = time.perf_counter()
+                for _ in range(ops):
+                    t0 = time.perf_counter()
+                    await reader.read()
+                    read_lat.append(time.perf_counter() - t0)
+                read_s = time.perf_counter() - started
+                history = merge_histories([writer, reader])
+                retries = writer.stats.timeouts + reader.stats.timeouts
+                resent = (
+                    writer.stats.resent_messages
+                    + reader.stats.resent_messages
+                )
+                await writer.close()
+                await reader.close()
+    fired = injector.firing_counts()
+    return {
+        "ops": ops,
+        "write_s": write_s,
+        "read_s": read_s,
+        "writes_per_s": ops / write_s,
+        "reads_per_s": ops / read_s,
+        "write_p50_ms": 1e3 * percentile(write_lat, 0.50),
+        "write_p99_ms": 1e3 * percentile(write_lat, 0.99),
+        "read_p50_ms": 1e3 * percentile(read_lat, 0.50),
+        "read_p99_ms": 1e3 * percentile(read_lat, 0.99),
+        "retry_timeouts": retries,
+        "resent_messages": resent,
+        "link_faults_fired": sum(
+            count for kind, count in fired.items()
+            if not kind.startswith("event:")
+        ),
+        "regular": check_strong_regularity(history).ok,
+    }
+
+
+async def run_workload(ops: int) -> dict:
+    return {
+        "clean": await run_mode(clean_plan(REPLICAS, F), ops),
+        "faulty": await run_mode(reference_plan(ops), ops),
+    }
+
+
+def check(payload: dict) -> None:
+    """The semantic half — asserted in every mode."""
+    for mode in ("clean", "faulty"):
+        assert payload[mode]["regular"], f"{mode}: history not regular"
+    assert payload["clean"]["link_faults_fired"] == 0
+    assert payload["clean"]["retry_timeouts"] == 0
+    assert payload["faulty"]["link_faults_fired"] > 0
+
+
+def render(payload: dict) -> str:
+    rows = []
+    for mode in ("clean", "faulty"):
+        stats = payload[mode]
+        rows.append([
+            mode, stats["ops"],
+            f"{stats['write_p50_ms']:.1f}", f"{stats['write_p99_ms']:.1f}",
+            f"{stats['read_p50_ms']:.1f}", f"{stats['read_p99_ms']:.1f}",
+            stats["retry_timeouts"], stats["link_faults_fired"],
+        ])
+    table = format_table(
+        ["mode", "ops", "w p50 ms", "w p99 ms", "r p50 ms", "r p99 ms",
+         "retries", "faults"],
+        rows,
+    )
+    return (
+        f"E16: loopback service through the fault proxy — f={F}, "
+        f"D={DATA * 8} bits, drop+delay rate={RATE}, seed={SEED}\n\n"
+        f"{table}\n\n"
+        "both histories strongly regular; clean mode pays only the "
+        "proxy hop, faulty mode pays the retry machinery"
+    )
+
+
+def test_faults_move_latency_not_semantics(record_table):
+    payload = asyncio.run(run_workload(ops=8))
+    check(payload)
+    record_table("e16_service_faults", render(payload))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small op counts (CI smoke run)",
+    )
+    args = parser.parse_args(argv)
+    ops = 30 if args.quick else 120
+    payload = asyncio.run(run_workload(ops))
+    check(payload)
+
+    text = render(payload)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    suffix = "_quick" if args.quick else ""
+    (RESULTS_DIR / f"e16_service_faults{suffix}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    (RESULTS_DIR / f"e16_service_faults{suffix}.txt").write_text(
+        text + "\n"
+    )
+    write_bench_summary(
+        "service_faults",
+        {
+            "clean_writes_per_s": metric(
+                round(payload["clean"]["writes_per_s"], 1), "ops/s"
+            ),
+            "faulty_writes_per_s": metric(
+                round(payload["faulty"]["writes_per_s"], 1), "ops/s"
+            ),
+        },
+        RESULTS_DIR,
+        quick=args.quick,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

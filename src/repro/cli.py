@@ -25,8 +25,20 @@ The daemon family runs the ABD register as a *real* TCP service
     python -m repro stop   --state-dir ./cluster
 
 ``serve`` exits 3 when the cluster is already running; ``stop`` and
-``status`` exit 4 when it is not — distinct codes so scripts can tell
-"already in the state I wanted" from real failures.
+``status`` exit 4 when it is not; ``status`` and ``doctor`` exit 5 when
+the cluster is degraded-but-alive (quorum answers, redundancy reduced) —
+distinct codes so scripts can tell "already in the state I wanted" and
+"wounded" from real failures.
+
+``chaos`` runs a seeded fault plan (drops, delays, duplicates, reorders,
+slowdowns, partitions, crash windows — see ``docs/FAULTS.md``) against
+the simulated network and/or a real loopback cluster behind the TCP
+fault proxy, checks the resulting histories with the usual consistency
+checkers, and (with ``--transport both``) asserts that both transports
+fired the identical fault schedule::
+
+    python -m repro chaos --seed 7 --profile drop+delay --rate 0.3
+    python -m repro chaos --seeds 0:5 --profile chaos --journal runs.jsonl
 """
 
 from __future__ import annotations
@@ -299,6 +311,9 @@ def cmd_status(args: argparse.Namespace) -> int:
     except DaemonError as error:
         print(f"error: {error}", file=sys.stderr)
         return daemon.EXIT_FAIL
+    import time as time_module
+
+    now = time_module.time()
     rows = []
     for status in view.statuses:
         rows.append([
@@ -309,9 +324,13 @@ def cmd_status(args: argparse.Namespace) -> int:
             repr(status.ts) if status.ts is not None else "-",
             status.replica_bits,
             status.applied_count,
+            f"{status.probe_attempts}x" if status.probe_attempts else "-",
+            (f"{max(0, int(now - status.last_seen))}s ago"
+             if status.last_seen is not None else "never"),
         ])
     print(format_table(
-        ["server", "pid", "port", "state", "ts", "replica(bits)", "applied"],
+        ["server", "pid", "port", "state", "ts", "replica(bits)", "applied",
+         "probes", "seen"],
         rows,
     ))
     floor = view.thm1_floor_bits()
@@ -320,9 +339,15 @@ def cmd_status(args: argparse.Namespace) -> int:
     print(f"storage (Definition 2, at rest): {view.server_storage_bits} bits"
           f" | thm1 floor (c=1): {floor} bits | "
           + ("OK" if view.meets_thm1_floor else "BELOW FLOOR"))
-    return (daemon.EXIT_OK
-            if view.quorum_available and view.meets_thm1_floor
-            else daemon.EXIT_FAIL)
+    faults = daemon.fault_plan_summary(args.state_dir)
+    if faults is not None:
+        print(f"fault plan: {faults}")
+    if not (view.quorum_available and view.meets_thm1_floor):
+        return daemon.EXIT_FAIL
+    if view.alive_count < len(view.statuses):
+        print("state: DEGRADED (quorum intact, redundancy reduced)")
+        return daemon.EXIT_DEGRADED
+    return daemon.EXIT_OK
 
 
 def cmd_stop(args: argparse.Namespace) -> int:
@@ -350,11 +375,109 @@ def cmd_doctor(args: argparse.Namespace) -> int:
 
     checks = daemon.run_doctor(args.state_dir)
     width = max(len(name) for name, _ok, _detail in checks)
-    all_ok = True
     for name, ok, detail in checks:
-        all_ok &= ok
         print(f"{'ok  ' if ok else 'FAIL'} {name:<{width}}  {detail}")
-    print("doctor:", "healthy" if all_ok else "UNHEALTHY")
+    code = daemon.doctor_exit_code(checks)
+    verdict = {
+        daemon.EXIT_OK: "healthy",
+        daemon.EXIT_DEGRADED: "DEGRADED (quorum intact)",
+    }.get(code, "UNHEALTHY")
+    print("doctor:", verdict)
+    return code
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded fault plan against the service and/or the simulator."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.errors import FaultPlanError
+    from repro.faults import run_chaos_experiment, seeded_fault_plan
+    from repro.service import daemon
+    from repro.service.statedir import StateDir
+
+    if args.seeds:
+        low, _sep, high = args.seeds.partition(":")
+        try:
+            seeds = list(range(int(low), int(high)))
+        except ValueError:
+            print(f"error: --seeds wants LOW:HIGH, got {args.seeds!r}",
+                  file=sys.stderr)
+            return daemon.EXIT_FAIL
+        if not seeds:
+            print(f"error: --seeds {args.seeds!r} is an empty range",
+                  file=sys.stderr)
+            return daemon.EXIT_FAIL
+    else:
+        seeds = [args.seed]
+    replicas = tuple(f"s{index}" for index in range(2 * args.f + 1))
+    rows = []
+    journal_entries = []
+    all_ok = True
+    for seed in seeds:
+        try:
+            plan = seeded_fault_plan(
+                seed, replicas=replicas, f=args.f, profile=args.profile,
+                rate=args.rate, horizon=args.horizon,
+            )
+        except FaultPlanError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return daemon.EXIT_FAIL
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+            state_dir = args.state_dir or workdir
+            if args.state_dir:
+                state = StateDir(state_dir)
+                state.root.mkdir(parents=True, exist_ok=True)
+                plan.save(state.faults_path)
+            report = run_chaos_experiment(
+                plan, args.data_size, state_dir,
+                transport=args.transport, writers=args.writers,
+                readers=args.readers, ops=args.ops, tick_s=args.tick_s,
+            )
+        all_ok &= report.ok
+        journal_entries.append(report.to_json())
+        for transport_report in (report.sim, report.tcp):
+            if transport_report is None:
+                continue
+            fired = transport_report.firing_counts
+            link_fired = sum(
+                count for kind, count in fired.items()
+                if not kind.startswith("event:")
+            )
+            event_fired = sum(
+                count for kind, count in fired.items()
+                if kind.startswith("event:")
+            )
+            rows.append([
+                seed,
+                transport_report.transport,
+                transport_report.ops,
+                transport_report.failures,
+                link_fired,
+                event_fired,
+                transport_report.window_drops,
+                transport_report.resent_messages,
+                "pass" if transport_report.linearizable else "FAIL",
+                "pass" if transport_report.strongly_regular else "FAIL",
+                "pass" if report.parity_ok else "FAIL",
+            ])
+    print(f"profile={args.profile} rate={args.rate} f={args.f} "
+          f"D={args.data_size * 8} bits "
+          f"({args.writers}w+{args.readers}r x {args.ops} ops)")
+    print(format_table(
+        ["seed", "transport", "ops", "failed", "link-faults", "events",
+         "window-drops", "resent", "linearizable", "regular", "parity"],
+        rows,
+    ))
+    if args.journal:
+        path = Path(args.journal)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            for entry in journal_entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"journal: {path}")
+    print("chaos:", "OK" if all_ok else "FAILED")
     return daemon.EXIT_OK if all_ok else daemon.EXIT_FAIL
 
 
@@ -489,6 +612,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_doctor = sub.add_parser("doctor", help=cmd_doctor.__doc__)
     p_doctor.add_argument("--state-dir", type=str, required=True)
     p_doctor.set_defaults(handler=cmd_doctor)
+
+    p_chaos = sub.add_parser("chaos", help=cmd_chaos.__doc__)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--seeds", type=str, default=None,
+                         help="LOW:HIGH seed range (overrides --seed)")
+    p_chaos.add_argument("--profile", type=str, default="chaos",
+                         help="fault profile(s), '+'-joined: drop, delay, "
+                              "duplicate, reorder, slow, partition, crash, "
+                              "or chaos (everything)")
+    p_chaos.add_argument("--rate", type=float, default=0.25,
+                         help="total message-fault rate split across the "
+                              "profile's message kinds")
+    p_chaos.add_argument("--horizon", type=int, default=8,
+                         help="scheduled faults hit only the first N "
+                              "messages per link")
+    p_chaos.add_argument("--f", type=int, default=1, help="crash tolerance")
+    p_chaos.add_argument("--data-size", type=int, default=8,
+                         help="value size in bytes (D/8)")
+    p_chaos.add_argument("--transport", choices=("sim", "tcp", "both"),
+                         default="both",
+                         help="simulated network, real sockets, or both "
+                              "(both also asserts fault-firing parity)")
+    p_chaos.add_argument("--writers", type=int, default=2)
+    p_chaos.add_argument("--readers", type=int, default=2)
+    p_chaos.add_argument("--ops", type=int, default=3,
+                         help="operations per writer/reader")
+    p_chaos.add_argument("--tick-s", type=float, default=0.02,
+                         help="wall-clock seconds per fault-plan tick "
+                              "(TCP transport)")
+    p_chaos.add_argument("--state-dir", type=str, default=None,
+                         help="persist journals + faults.json here "
+                              "(default: throwaway temp dir)")
+    p_chaos.add_argument("--journal", type=str, default=None,
+                         help="write one JSON line per seed to this path")
+    p_chaos.set_defaults(handler=cmd_chaos)
 
     p_server = sub.add_parser("server", help=cmd_server.__doc__)
     p_server.add_argument("--name", type=str, required=True)

@@ -52,6 +52,10 @@ class CheckpointError(ReproError):
     """A sweep checkpoint journal is unusable (wrong grid, corrupt body)."""
 
 
+class FaultPlanError(ReproError, ValueError):
+    """A fault-injection plan is inconsistent (bad rates, budget over f)."""
+
+
 class ServiceError(ReproError):
     """Base class for networked storage-service failures."""
 
@@ -71,7 +75,40 @@ class JournalError(ServiceError, CheckpointError):
 
 
 class QuorumTimeout(ServiceError):
-    """A client operation exhausted its retries without reaching a quorum."""
+    """A client operation exhausted its retries or deadline without quorum.
+
+    Carries structured diagnostics alongside the message so callers (and
+    ``repro chaos``) can report *which* replicas were unreachable:
+    ``op_kind``/``op_uid``/``client`` identify the operation, ``needed``
+    is the quorum size, ``answered``/``silent`` partition the contacted
+    replicas, and ``attempts``/``elapsed_s``/``deadline_s`` describe the
+    retry budget that ran out.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op_kind: str | None = None,
+        op_uid: int | None = None,
+        client: str | None = None,
+        needed: int | None = None,
+        answered: tuple[str, ...] = (),
+        silent: tuple[str, ...] = (),
+        attempts: int = 0,
+        elapsed_s: float = 0.0,
+        deadline_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.op_kind = op_kind
+        self.op_uid = op_uid
+        self.client = client
+        self.needed = needed
+        self.answered = tuple(answered)
+        self.silent = tuple(silent)
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
 
 
 class DaemonError(ServiceError):

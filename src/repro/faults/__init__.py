@@ -1,0 +1,65 @@
+"""Seeded fault injection for both transports (`repro.faults`).
+
+One :class:`FaultPlan` — a pure function of its seed — describes message
+drops/delays/duplicates/reorders per link, replica slowdowns, partitions,
+and crash windows. The same plan installs on the simulated message
+network (:class:`FaultyNetwork` + :func:`run_chaos`) and in front of the
+real TCP service (:class:`FaultProxyCluster`), firing the same
+deterministic schedule in both worlds. See ``docs/FAULTS.md``.
+"""
+
+from repro.faults.chaos import (
+    ChaosReport,
+    TransportReport,
+    run_chaos_experiment,
+    run_sim_chaos,
+    run_tcp_chaos,
+)
+from repro.faults.plan import (
+    FAULT_PROFILES,
+    LINK_FAULT_KINDS,
+    RATE_SCALE,
+    CrashWindow,
+    Decision,
+    FaultInjector,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+    clean_plan,
+    client_link,
+    seeded_fault_plan,
+    server_link,
+)
+from repro.faults.simnet import (
+    ChaosRunStats,
+    FaultyNetwork,
+    faulty_system,
+    run_chaos,
+)
+from repro.faults.tcp import FaultProxyCluster
+
+__all__ = [
+    "ChaosReport",
+    "ChaosRunStats",
+    "CrashWindow",
+    "Decision",
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultProxyCluster",
+    "FaultyNetwork",
+    "LINK_FAULT_KINDS",
+    "LinkFaults",
+    "Partition",
+    "RATE_SCALE",
+    "TransportReport",
+    "clean_plan",
+    "client_link",
+    "faulty_system",
+    "run_chaos",
+    "run_chaos_experiment",
+    "run_sim_chaos",
+    "run_tcp_chaos",
+    "seeded_fault_plan",
+    "server_link",
+]

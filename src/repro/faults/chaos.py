@@ -1,0 +1,289 @@
+"""One chaos experiment, both transports, one verdict.
+
+The glue the ``repro chaos`` CLI, the chaos test suite, and the fault
+bench all share: run a seeded :class:`~repro.faults.plan.FaultPlan`
+against the simulated deployment (:func:`run_sim_chaos`), against a real
+loopback TCP cluster behind the fault proxy (:func:`run_tcp_chaos`), or
+both (:func:`run_chaos_experiment`), and report per-transport
+consistency verdicts plus the deterministic fault firing counts whose
+equality is the cross-transport parity claim.
+
+Both runners size their workload the same way (``writers * ops`` write
+operations, ``readers * ops`` reads) and extend the run past the plan's
+last timed event, so a saturating workload fires *every* scheduled link
+fault and *every* window event in both worlds — making
+``sim.firing_counts == tcp.firing_counts == plan.planned_counts() +
+events`` an exact, seed-stable equality rather than a statistical one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.simnet import faulty_system, run_chaos
+from repro.faults.tcp import FaultProxyCluster
+from repro.spec import check_linearizability, check_strong_regularity
+
+#: Defaults sized so every link sees well over ``horizon`` messages.
+DEFAULT_WRITERS = 2
+DEFAULT_READERS = 2
+DEFAULT_OPS = 3
+
+
+def _padded(tag: str, size: int) -> bytes:
+    return tag.encode().ljust(size, b"_")[:size]
+
+
+@dataclass
+class TransportReport:
+    """What one transport did under the plan."""
+
+    transport: str
+    ops: int = 0
+    failures: int = 0
+    firing_counts: dict = field(default_factory=dict)
+    window_drops: int = 0
+    linearizable: bool = False
+    strongly_regular: bool = False
+    resent_messages: int = 0
+    retry_timeouts: int = 0
+    health: dict | None = None
+
+    @property
+    def consistent(self) -> bool:
+        return self.linearizable and self.strongly_regular
+
+
+@dataclass
+class ChaosReport:
+    """One seed's verdict across transports."""
+
+    plan: FaultPlan
+    sim: TransportReport | None = None
+    tcp: TransportReport | None = None
+
+    @property
+    def parity_ok(self) -> bool:
+        """Did both transports fire the identical fault schedule?"""
+        if self.sim is None or self.tcp is None:
+            return True  # single-transport run: nothing to compare
+        return self.sim.firing_counts == self.tcp.firing_counts
+
+    @property
+    def ok(self) -> bool:
+        reports = [r for r in (self.sim, self.tcp) if r is not None]
+        return bool(reports) and self.parity_ok and all(
+            r.consistent and r.failures == 0 for r in reports
+        )
+
+    def to_json(self) -> dict:
+        def transport_json(report: TransportReport | None):
+            if report is None:
+                return None
+            return {
+                "ops": report.ops,
+                "failures": report.failures,
+                "firing_counts": report.firing_counts,
+                "window_drops": report.window_drops,
+                "linearizable": report.linearizable,
+                "strongly_regular": report.strongly_regular,
+                "resent_messages": report.resent_messages,
+                "retry_timeouts": report.retry_timeouts,
+            }
+
+        return {
+            "seed": self.plan.seed,
+            "plan": self.plan.describe(),
+            "sim": transport_json(self.sim),
+            "tcp": transport_json(self.tcp),
+            "parity_ok": self.parity_ok,
+            "ok": self.ok,
+        }
+
+
+# -------------------------------------------------------------- simulated
+
+
+def run_sim_chaos(
+    plan: FaultPlan,
+    data_size_bytes: int,
+    *,
+    writers: int = DEFAULT_WRITERS,
+    readers: int = DEFAULT_READERS,
+    ops: int = DEFAULT_OPS,
+) -> TransportReport:
+    """The plan against the simulated message network.
+
+    Each of the ``writers * ops`` writes and ``readers * ops`` reads is a
+    one-shot simulated client (the msgnet model: one operation per
+    process), all concurrent under the fair scheduler.
+    """
+    system, injector = faulty_system(plan, data_size_bytes)
+    for round_number in range(ops):
+        for index in range(writers):
+            system.add_writer(
+                f"w{index}x{round_number}",
+                _padded(f"w{index}r{round_number}", data_size_bytes),
+            )
+        for index in range(readers):
+            system.add_reader(f"r{index}x{round_number}")
+    stats = run_chaos(system)
+    history = system.history()
+    return TransportReport(
+        transport="sim",
+        ops=len(system.ops),
+        failures=system.pending_ops,
+        firing_counts=stats.firing_counts,
+        window_drops=stats.window_drops,
+        linearizable=check_linearizability(history).ok,
+        strongly_regular=check_strong_regularity(history).ok,
+        resent_messages=stats.resent_messages,
+        retry_timeouts=stats.resend_rounds,
+    )
+
+
+# -------------------------------------------------------------------- TCP
+
+
+async def run_tcp_chaos(
+    plan: FaultPlan,
+    data_size_bytes: int,
+    state_dir: str | Path,
+    *,
+    writers: int = DEFAULT_WRITERS,
+    readers: int = DEFAULT_READERS,
+    ops: int = DEFAULT_OPS,
+    tick_s: float = 0.02,
+    request_timeout: float = 0.25,
+    op_deadline: float = 30.0,
+) -> TransportReport:
+    """The same plan over real sockets: loopback cluster + fault proxy.
+
+    Clients get the resilient configuration — seeded exponential backoff
+    (jitter seed = plan seed), a per-operation deadline generous enough
+    to outlive every window, and health tracking — so the run exercises
+    exactly the retry machinery the plan is designed to stress.
+    """
+    from repro.service.client import merge_histories
+    from repro.service.loopback import LoopbackCluster
+    from repro.service.retry import BackoffPolicy
+
+    injector = FaultInjector(plan)
+    report = TransportReport(transport="tcp")
+    async with LoopbackCluster(
+        plan.f, data_size_bytes, state_dir
+    ) as cluster:
+        async with FaultProxyCluster(
+            cluster.endpoints, injector, tick_s=tick_s
+        ) as proxies:
+            def client(name: str):
+                from repro.service.client import ServiceClient
+
+                return ServiceClient(
+                    name, proxies.endpoints, plan.f, data_size_bytes,
+                    timeout=request_timeout,
+                    op_deadline=op_deadline,
+                    backoff=BackoffPolicy(
+                        base=request_timeout, cap=8 * request_timeout,
+                        seed=plan.seed,
+                    ),
+                )
+
+            writer_clients = [client(f"w{i}") for i in range(writers)]
+            reader_clients = [client(f"r{i}") for i in range(readers)]
+
+            async def write_loop(handle):
+                for round_number in range(ops):
+                    try:
+                        await handle.write(_padded(
+                            f"{handle.name}r{round_number}",
+                            data_size_bytes,
+                        ))
+                    except Exception:
+                        report.failures += 1
+
+            async def read_loop(handle):
+                for _ in range(ops):
+                    try:
+                        await handle.read()
+                    except Exception:
+                        report.failures += 1
+
+            await asyncio.gather(
+                *(write_loop(handle) for handle in writer_clients),
+                *(read_loop(handle) for handle in reader_clients),
+            )
+            # Outlive the schedule: every timed event must fire before
+            # the proxy stops, or event-count parity would depend on how
+            # fast the workload happened to finish.
+            events = plan.timed_events()
+            if events:
+                last_tick = events[-1][0]
+                while proxies.current_tick() <= last_tick:
+                    await asyncio.sleep(tick_s)
+                proxies.advance_clock()
+            clients = writer_clients + reader_clients
+            history = merge_histories(clients)
+            report.health = {
+                handle.name: handle.health.snapshot()
+                for handle in clients
+            }
+            report.resent_messages = sum(
+                handle.stats.resent_messages for handle in clients
+            )
+            report.retry_timeouts = sum(
+                handle.stats.timeouts for handle in clients
+            )
+            for handle in clients:
+                await handle.close()
+    completed = [op for op in history.ops if op.return_time is not None]
+    history = type(history)(completed, history.v0)
+    report.ops = len(completed)
+    report.firing_counts = injector.firing_counts()
+    report.window_drops = injector.total_window_drops()
+    report.linearizable = check_linearizability(history).ok
+    report.strongly_regular = check_strong_regularity(history).ok
+    return report
+
+
+# ------------------------------------------------------------- experiment
+
+
+def run_chaos_experiment(
+    plan: FaultPlan,
+    data_size_bytes: int,
+    state_dir: str | Path,
+    *,
+    transport: str = "both",
+    writers: int = DEFAULT_WRITERS,
+    readers: int = DEFAULT_READERS,
+    ops: int = DEFAULT_OPS,
+    tick_s: float = 0.02,
+) -> ChaosReport:
+    """Run the plan on the chosen transport(s) and bundle the verdict."""
+    if transport not in ("sim", "tcp", "both"):
+        raise ValueError(f"unknown transport {transport!r}")
+    report = ChaosReport(plan=plan)
+    if transport in ("sim", "both"):
+        report.sim = run_sim_chaos(
+            plan, data_size_bytes,
+            writers=writers, readers=readers, ops=ops,
+        )
+    if transport in ("tcp", "both"):
+        report.tcp = asyncio.run(run_tcp_chaos(
+            plan, data_size_bytes, state_dir,
+            writers=writers, readers=readers, ops=ops, tick_s=tick_s,
+        ))
+    return report
+
+
+__all__ = [
+    "ChaosReport",
+    "TransportReport",
+    "run_chaos_experiment",
+    "run_sim_chaos",
+    "run_tcp_chaos",
+]

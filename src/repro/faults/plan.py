@@ -1,0 +1,677 @@
+"""Seeded, deterministic fault plans — one spec, both transports.
+
+A :class:`FaultPlan` is plain data describing every fault a run may
+suffer: per-link message **drop / delay / duplicate / reorder** rates,
+per-replica **slowdown**, **partitions** with heal times, and
+**crash windows** with revive times. It extends the SHA-256 derivation of
+:func:`repro.sim.failures.seeded_crash_schedule` (same
+:func:`~repro.sim.failures.derive_draw` primitive, its own ``"fault"``
+domain), so the whole plan — which message on which link suffers which
+fault — is a pure function of ``(seed, configuration)``, stable across
+Python versions and processes.
+
+Determinism is what makes the plan *portable across transports*. The
+plan compiles each directed link (``c->s0`` for client traffic into
+replica ``s0``, ``s0->c`` for its replies) into a schedule keyed by the
+link's **message sequence number**: "the 3rd message into ``s0`` is
+dropped, the 5th is delayed 4 ticks". A :class:`FaultInjector` realises
+one run of the plan: the simulated wrapper
+(:class:`repro.faults.simnet.FaultyNetwork`) and the TCP proxy
+(:class:`repro.faults.tcp.FaultProxyCluster`) both ask it
+:meth:`~FaultInjector.on_send` per message and
+:meth:`~FaultInjector.advance_to` per clock tick, so the same seed fires
+the same fault schedule in simulation and over real sockets — the parity
+the chaos suite (``tests/faults/``) asserts on
+:meth:`~FaultInjector.firing_counts`.
+
+Every scheduled link fault lives inside the plan's ``horizon`` (the
+first ``horizon`` messages per link) and every timed window heals, so a
+plan is **finite** by construction: after :meth:`FaultPlan.heals_by`
+ticks the network is fault-free and blocked operations can complete —
+the liveness half of the chaos suite.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import FaultPlanError
+from repro.sim.failures import derive_draw
+
+#: Resolution of fault rates: rates are compared against draws in
+#: ``[0, RATE_SCALE)``, so the smallest non-zero rate is 1e-6.
+RATE_SCALE = 1_000_000
+
+#: The four per-message fault kinds, in decision precedence order.
+LINK_FAULT_KINDS = ("drop", "delay", "duplicate", "reorder")
+
+#: Timed (tick-scheduled) event kinds the injector counts.
+TIMED_EVENT_KINDS = ("partition", "heal", "crash", "revive")
+
+
+def _fault_draw(seed: int, tag: str, modulus: int) -> int:
+    return derive_draw(seed, tag, modulus, domain="fault")
+
+
+# ------------------------------------------------------------------ links
+
+
+def client_link(server: str) -> str:
+    """The directed link carrying client requests *into* ``server``."""
+    return f"c->{server}"
+
+
+def server_link(server: str) -> str:
+    """The directed link carrying ``server``'s replies back to clients."""
+    return f"{server}->c"
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault rates for one directed link (all in ``[0, 1]``).
+
+    At most one fault fires per message (a single draw against the
+    cumulative rate segments, precedence drop > delay > duplicate >
+    reorder), so ``drop + delay + duplicate + reorder`` must stay <= 1.
+    ``delay_ticks`` / ``reorder_ticks`` bound how long a delayed or
+    held-for-reorder message is parked.
+    """
+
+    drop: float = 0.0
+    delay: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    delay_ticks: int = 4
+    reorder_ticks: int = 2
+
+    def validate(self) -> None:
+        rates = (self.drop, self.delay, self.duplicate, self.reorder)
+        for kind, rate in zip(LINK_FAULT_KINDS, rates):
+            if not 0.0 <= rate <= 1.0:
+                raise FaultPlanError(
+                    f"link {kind} rate {rate} outside [0, 1]"
+                )
+        if sum(rates) > 1.0 + 1e-9:
+            raise FaultPlanError(
+                f"link fault rates sum to {sum(rates):.3f} > 1 "
+                "(one draw decides at most one fault per message)"
+            )
+        if self.delay_ticks < 1 or self.reorder_ticks < 1:
+            raise FaultPlanError("delay/reorder park ticks must be >= 1")
+
+    @property
+    def quiet(self) -> bool:
+        return not (self.drop or self.delay or self.duplicate or self.reorder)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Servers unreachable from clients during ``[start, heal)`` ticks."""
+
+    servers: tuple[str, ...]
+    start: int
+    heal: int
+
+    def validate(self, replicas: tuple[str, ...], f: int) -> None:
+        unknown = set(self.servers) - set(replicas)
+        if unknown:
+            raise FaultPlanError(f"partition names unknown replicas {unknown}")
+        if not self.servers:
+            raise FaultPlanError("partition needs at least one server")
+        if len(self.servers) > f:
+            raise FaultPlanError(
+                f"partition isolates {len(self.servers)} replicas, "
+                f"budget is f={f}"
+            )
+        if not 0 <= self.start < self.heal:
+            raise FaultPlanError(
+                f"partition window [{self.start}, {self.heal}) is empty "
+                "or negative"
+            )
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One replica black-holed during ``[crash, revive)`` ticks.
+
+    The network-level view of a crash: *every* message to or from the
+    replica is dropped for the window. (Real process death and journal
+    recovery are the daemon suite's territory; at the transport seam the
+    two are indistinguishable.) ``revive=None`` never heals — only legal
+    while the ``<= f`` budget still holds with it counted as permanently
+    down.
+    """
+
+    server: str
+    crash: int
+    revive: int | None
+
+    def validate(self, replicas: tuple[str, ...], f: int) -> None:
+        if self.server not in replicas:
+            raise FaultPlanError(f"crash window names unknown {self.server!r}")
+        if self.crash < 0:
+            raise FaultPlanError("crash tick must be >= 0")
+        if self.revive is not None and self.revive <= self.crash:
+            raise FaultPlanError("revive tick must follow the crash tick")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One scheduled fault on one message: what fires, how long it parks."""
+
+    kind: str
+    ticks: int = 0
+
+
+# ------------------------------------------------------------------- plan
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete, deterministic fault specification for one run.
+
+    ``links`` maps link patterns to :class:`LinkFaults`; resolution for a
+    concrete link tries the exact name (``"c->s0"``), then the direction
+    wildcard (``"c->*"`` / ``"*->c"``), then the global ``"*"``. All
+    scheduled link faults hit only the first ``horizon`` messages per
+    link; partitions and crash windows are tick-scheduled and must keep
+    at most ``f`` replicas simultaneously unavailable.
+    """
+
+    seed: int
+    replicas: tuple[str, ...]
+    f: int
+    horizon: int = 8
+    links: Mapping[str, LinkFaults] = field(default_factory=dict)
+    slowdowns: Mapping[str, int] = field(default_factory=dict)
+    partitions: tuple[Partition, ...] = ()
+    crashes: tuple[CrashWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "replicas", tuple(self.replicas))
+        object.__setattr__(self, "links", dict(self.links))
+        object.__setattr__(self, "slowdowns", dict(self.slowdowns))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        self.validate()
+
+    # ------------------------------------------------------------ checks
+
+    def validate(self) -> None:
+        if not self.replicas:
+            raise FaultPlanError("plan needs at least one replica")
+        if self.f < 1:
+            raise FaultPlanError("f must be >= 1")
+        if self.horizon < 1:
+            raise FaultPlanError("horizon must be >= 1")
+        for spec in self.links.values():
+            spec.validate()
+        known = {"*"}
+        for server in self.replicas:
+            known.update((client_link(server), server_link(server)))
+        known.update(("c->*", "*->c"))
+        unknown = set(self.links) - known
+        if unknown:
+            raise FaultPlanError(f"link patterns match nothing: {unknown}")
+        for server, ticks in self.slowdowns.items():
+            if server not in self.replicas:
+                raise FaultPlanError(f"slowdown names unknown {server!r}")
+            if ticks < 1:
+                raise FaultPlanError("slowdown ticks must be >= 1")
+        for partition in self.partitions:
+            partition.validate(self.replicas, self.f)
+        for crash in self.crashes:
+            crash.validate(self.replicas, self.f)
+        self._check_budget()
+
+    def _check_budget(self) -> None:
+        """At every tick at most ``f`` replicas may be unavailable."""
+        edges = set()
+        for partition in self.partitions:
+            edges.update((partition.start, partition.heal))
+        for crash in self.crashes:
+            edges.add(crash.crash)
+            if crash.revive is not None:
+                edges.add(crash.revive)
+        for tick in sorted(edges):
+            down = self.unavailable_at(tick)
+            if len(down) > self.f:
+                raise FaultPlanError(
+                    f"{len(down)} replicas unavailable at tick {tick} "
+                    f"({sorted(down)}), budget is f={self.f}"
+                )
+
+    def unavailable_at(self, tick: int) -> set[str]:
+        """Replica names black-holed (partitioned or crashed) at ``tick``."""
+        down = set()
+        for partition in self.partitions:
+            if partition.start <= tick < partition.heal:
+                down.update(partition.servers)
+        for crash in self.crashes:
+            if crash.crash <= tick and (
+                crash.revive is None or tick < crash.revive
+            ):
+                down.add(crash.server)
+        return down
+
+    # ------------------------------------------------------- compilation
+
+    def link_spec(self, link: str) -> LinkFaults:
+        """Resolve the fault rates governing one concrete link."""
+        if link in self.links:
+            return self.links[link]
+        wildcard = "c->*" if link.startswith("c->") else "*->c"
+        if wildcard in self.links:
+            return self.links[wildcard]
+        return self.links.get("*", LinkFaults())
+
+    def all_links(self) -> tuple[str, ...]:
+        links = []
+        for server in self.replicas:
+            links.append(client_link(server))
+            links.append(server_link(server))
+        return tuple(links)
+
+    def compile(self) -> dict[str, dict[int, Decision]]:
+        """Per-link schedules: ``{link: {seq: Decision}}`` (seq from 1).
+
+        One draw per ``(link, seq)`` decides which fault (if any) hits
+        that message, by cumulative rate segments — so firing counts per
+        kind concentrate around ``rate * horizon`` while staying an
+        exact, portable function of the seed.
+        """
+        schedules: dict[str, dict[int, Decision]] = {}
+        for link in self.all_links():
+            spec = self.link_spec(link)
+            schedule: dict[int, Decision] = {}
+            if not spec.quiet:
+                for seq in range(1, self.horizon + 1):
+                    draw = _fault_draw(self.seed, f"{link}:{seq}", RATE_SCALE)
+                    threshold = 0.0
+                    for kind, rate in (
+                        ("drop", spec.drop),
+                        ("delay", spec.delay),
+                        ("duplicate", spec.duplicate),
+                        ("reorder", spec.reorder),
+                    ):
+                        threshold += rate
+                        if draw < int(threshold * RATE_SCALE):
+                            ticks = 0
+                            if kind == "delay":
+                                ticks = 1 + _fault_draw(
+                                    self.seed, f"delay:{link}:{seq}",
+                                    spec.delay_ticks,
+                                )
+                            elif kind == "reorder":
+                                ticks = spec.reorder_ticks
+                            schedule[seq] = Decision(kind, ticks)
+                            break
+            schedules[link] = schedule
+        return schedules
+
+    def planned_counts(self) -> dict[str, int]:
+        """Scheduled link faults by kind — what a saturating run fires."""
+        counts = Counter({kind: 0 for kind in LINK_FAULT_KINDS})
+        for schedule in self.compile().values():
+            for decision in schedule.values():
+                counts[decision.kind] += 1
+        return dict(counts)
+
+    def timed_events(self) -> list[tuple[int, str, str]]:
+        """All tick-scheduled events as ``(tick, kind, subject)``."""
+        events = []
+        for partition in self.partitions:
+            subject = "+".join(partition.servers)
+            events.append((partition.start, "partition", subject))
+            events.append((partition.heal, "heal", subject))
+        for crash in self.crashes:
+            events.append((crash.crash, "crash", crash.server))
+            if crash.revive is not None:
+                events.append((crash.revive, "revive", crash.server))
+        return sorted(events)
+
+    def heals_by(self) -> int:
+        """First tick with no active window (scheduled faults may remain
+        until each link's ``horizon`` messages have passed)."""
+        ticks = [0]
+        ticks.extend(partition.heal for partition in self.partitions)
+        ticks.extend(
+            crash.revive for crash in self.crashes
+            if crash.revive is not None
+        )
+        return max(ticks)
+
+    @property
+    def quiet(self) -> bool:
+        """Does this plan inject nothing at all (the clean baseline)?"""
+        return (
+            all(spec.quiet for spec in self.links.values())
+            and not self.slowdowns
+            and not self.partitions
+            and not self.crashes
+        )
+
+    # ------------------------------------------------------------- JSON
+
+    def to_json(self) -> dict:
+        return {
+            "version": 1,
+            "seed": self.seed,
+            "replicas": list(self.replicas),
+            "f": self.f,
+            "horizon": self.horizon,
+            "links": {
+                pattern: {
+                    "drop": spec.drop, "delay": spec.delay,
+                    "duplicate": spec.duplicate, "reorder": spec.reorder,
+                    "delay_ticks": spec.delay_ticks,
+                    "reorder_ticks": spec.reorder_ticks,
+                }
+                for pattern, spec in sorted(self.links.items())
+            },
+            "slowdowns": dict(sorted(self.slowdowns.items())),
+            "partitions": [
+                {"servers": list(p.servers), "start": p.start, "heal": p.heal}
+                for p in self.partitions
+            ],
+            "crashes": [
+                {"server": c.server, "crash": c.crash, "revive": c.revive}
+                for c in self.crashes
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FaultPlan":
+        if payload.get("version") != 1:
+            raise FaultPlanError(
+                f"unsupported fault-plan version {payload.get('version')!r}"
+            )
+        try:
+            return cls(
+                seed=payload["seed"],
+                replicas=tuple(payload["replicas"]),
+                f=payload["f"],
+                horizon=payload["horizon"],
+                links={
+                    pattern: LinkFaults(**spec)
+                    for pattern, spec in payload["links"].items()
+                },
+                slowdowns=dict(payload["slowdowns"]),
+                partitions=tuple(
+                    Partition(tuple(p["servers"]), p["start"], p["heal"])
+                    for p in payload["partitions"]
+                ),
+                crashes=tuple(
+                    CrashWindow(c["server"], c["crash"], c["revive"])
+                    for c in payload["crashes"]
+                ),
+            )
+        except (KeyError, TypeError) as error:
+            raise FaultPlanError(
+                f"malformed fault-plan JSON: {error}"
+            ) from error
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        from pathlib import Path
+
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as error:
+            raise FaultPlanError(f"{path}: corrupt fault plan") from error
+        return cls.from_json(payload)
+
+    def describe(self) -> str:
+        """One-line summary for ``repro status`` / ``doctor``."""
+        parts = [f"seed={self.seed}", f"horizon={self.horizon}"]
+        active = {
+            kind: count
+            for kind, count in self.planned_counts().items() if count
+        }
+        if active:
+            parts.append(
+                "link[" + " ".join(
+                    f"{kind}:{count}" for kind, count in sorted(active.items())
+                ) + "]"
+            )
+        if self.slowdowns:
+            parts.append(f"slow={','.join(sorted(self.slowdowns))}")
+        if self.partitions:
+            parts.append(f"partitions={len(self.partitions)}")
+        if self.crashes:
+            parts.append(f"crash-windows={len(self.crashes)}")
+        if len(parts) == 2:
+            parts.append("quiet")
+        return " ".join(parts)
+
+
+# --------------------------------------------------------------- injector
+
+
+class FaultInjector:
+    """One run's realisation of a :class:`FaultPlan`.
+
+    Both transports drive an injector the same way:
+
+    * :meth:`on_send` once per message on a fault-eligible link — returns
+      the scheduled :class:`Decision` (or ``None``) and counts the fire;
+    * :meth:`advance_to` as the run's clock passes ticks — fires due
+      timed events (partition/heal/crash/revive) exactly once each;
+    * :meth:`unavailable` per message to honour active windows (those
+      drops are *traffic-dependent*, so they are tallied separately in
+      ``window_drops`` and excluded from the parity counters).
+
+    :meth:`firing_counts` is the deterministic summary the sim-vs-TCP
+    parity suite compares.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.schedules = plan.compile()
+        self.tick = 0
+        self.fired: Counter = Counter()
+        self.fired_by_link: dict[str, Counter] = {
+            link: Counter() for link in self.schedules
+        }
+        self.window_drops: Counter = Counter()
+        self.event_log: list[tuple[int, str, str]] = []
+        self._seq: Counter = Counter()
+        self._pending_events = list(plan.timed_events())
+
+    # ---------------------------------------------------------- messages
+
+    def next_seq(self, link: str) -> int:
+        self._seq[link] += 1
+        return self._seq[link]
+
+    def on_send(self, link: str) -> Decision | None:
+        """Decide the fate of the next message on ``link`` (counted)."""
+        seq = self.next_seq(link)
+        decision = self.schedules.get(link, {}).get(seq)
+        if decision is not None:
+            self.fired[decision.kind] += 1
+            self.fired_by_link[link][decision.kind] += 1
+        return decision
+
+    def link_seq(self, link: str) -> int:
+        """Messages seen so far on ``link``."""
+        return self._seq[link]
+
+    def saturated(self) -> bool:
+        """Has every scheduled link fault already fired?"""
+        planned = self.plan.planned_counts()
+        return all(
+            self.fired.get(kind, 0) >= count
+            for kind, count in planned.items()
+        )
+
+    # ------------------------------------------------------------- time
+
+    def advance_to(self, tick: int) -> list[tuple[int, str, str]]:
+        """Move the clock forward; fire (and return) due timed events."""
+        if tick < self.tick:
+            return []
+        self.tick = tick
+        fired = []
+        while self._pending_events and self._pending_events[0][0] <= tick:
+            event = self._pending_events.pop(0)
+            self.event_log.append(event)
+            self.fired[f"event:{event[1]}"] += 1
+            fired.append(event)
+        return fired
+
+    def next_event_tick(self) -> int | None:
+        return self._pending_events[0][0] if self._pending_events else None
+
+    def unavailable(self, server: str) -> bool:
+        """Is ``server`` inside an active partition or crash window?"""
+        return server in self.plan.unavailable_at(self.tick)
+
+    def count_window_drop(self, server: str) -> None:
+        self.window_drops[server] += 1
+
+    def slowdown_ticks(self, server: str) -> int:
+        return self.plan.slowdowns.get(server, 0)
+
+    # ---------------------------------------------------------- summary
+
+    def firing_counts(self) -> dict[str, int]:
+        """The deterministic parity summary: scheduled link faults by
+        kind plus timed events fired, window drops excluded."""
+        counts = {kind: self.fired.get(kind, 0) for kind in LINK_FAULT_KINDS}
+        for kind in TIMED_EVENT_KINDS:
+            counts[f"event:{kind}"] = self.fired.get(f"event:{kind}", 0)
+        return counts
+
+    def total_window_drops(self) -> int:
+        return sum(self.window_drops.values())
+
+
+# ---------------------------------------------------------------- seeding
+
+
+#: Named fault modes ``seeded_fault_plan`` understands, alone or joined
+#: with ``+`` (``"drop+delay"``). ``"chaos"`` is everything at once.
+FAULT_PROFILES = (
+    "drop", "delay", "duplicate", "reorder", "slow", "partition", "crash",
+    "chaos",
+)
+
+
+def seeded_fault_plan(
+    seed: int,
+    *,
+    replicas: Iterable[str],
+    f: int,
+    profile: str = "chaos",
+    rate: float = 0.25,
+    horizon: int = 8,
+    start: int = 10,
+    window: int = 25,
+    slow_ticks: int = 3,
+) -> FaultPlan:
+    """Derive a complete :class:`FaultPlan` from a seed and a profile.
+
+    Victim replicas (for slowdown, partition, and crash windows) and
+    window offsets are seed-derived exactly like
+    :func:`~repro.sim.failures.seeded_crash_schedule` derives crash
+    victims, so two runs of the same ``(seed, profile)`` produce the same
+    plan. Message-fault profiles put ``rate`` on every link; windowed
+    profiles open at ``start`` plus seed jitter and heal after
+    ``window`` ticks. The crash budget ``f`` is validated by the plan.
+    """
+    kinds = set(profile.split("+")) if profile else set()
+    if "chaos" in kinds:
+        kinds = set(FAULT_PROFILES) - {"chaos"}
+    unknown = kinds - set(FAULT_PROFILES)
+    if unknown:
+        raise FaultPlanError(
+            f"unknown fault profile(s) {sorted(unknown)}; "
+            f"choose from {FAULT_PROFILES}"
+        )
+    replicas = tuple(replicas)
+    if not replicas:
+        raise FaultPlanError("seeded_fault_plan needs replica names")
+    message_kinds = [
+        kind for kind in ("drop", "delay", "duplicate", "reorder")
+        if kind in kinds
+    ]
+    links: dict[str, LinkFaults] = {}
+    if message_kinds:
+        share = rate / len(message_kinds)
+        links["*"] = LinkFaults(**{kind: share for kind in message_kinds})
+
+    def pick(tag: str, pool: tuple[str, ...]) -> str:
+        return pool[_fault_draw(seed, tag, len(pool))]
+
+    slowdowns: dict[str, int] = {}
+    if "slow" in kinds:
+        slowdowns[pick("slow-victim", replicas)] = slow_ticks
+
+    partitions: tuple[Partition, ...] = ()
+    crashes: tuple[CrashWindow, ...] = ()
+    jitter = _fault_draw(seed, "window-jitter", max(window // 3, 1))
+    if "partition" in kinds:
+        victims = []
+        pool = list(replicas)
+        for slot in range(min(f, len(replicas))):
+            index = _fault_draw(seed, f"partition{slot}", len(pool))
+            victims.append(pool.pop(index))
+        partitions = (Partition(
+            tuple(victims), start + jitter, start + jitter + window,
+        ),)
+    if "crash" in kinds:
+        # Crash strictly after any partition heals, so the two windows
+        # never overlap and the <= f budget holds for every profile mix.
+        crash_start = start + jitter + (
+            window + 1 if "partition" in kinds else 0
+        )
+        pool = tuple(
+            name for name in replicas
+            if not any(name in p.servers for p in partitions)
+        ) or replicas
+        crashes = (CrashWindow(
+            pick("crash-victim", pool), crash_start, crash_start + window,
+        ),)
+    return FaultPlan(
+        seed=seed,
+        replicas=replicas,
+        f=f,
+        horizon=horizon,
+        links=links,
+        slowdowns=slowdowns,
+        partitions=partitions,
+        crashes=crashes,
+    )
+
+
+def clean_plan(replicas: Iterable[str], f: int) -> FaultPlan:
+    """The fault-free plan (baseline runs through the same machinery)."""
+    return FaultPlan(seed=0, replicas=tuple(replicas), f=f)
+
+
+__all__ = [
+    "CrashWindow",
+    "Decision",
+    "FAULT_PROFILES",
+    "FaultInjector",
+    "FaultPlan",
+    "LINK_FAULT_KINDS",
+    "LinkFaults",
+    "Partition",
+    "RATE_SCALE",
+    "clean_plan",
+    "client_link",
+    "seeded_fault_plan",
+    "server_link",
+]

@@ -1,0 +1,290 @@
+"""An in-process TCP fault proxy: the same fault plan over real sockets.
+
+A :class:`FaultProxyCluster` stands one small asyncio proxy in front of
+every replica endpoint. Clients connect to the proxy ports instead of the
+real ones; each framed protocol message is intercepted (using the same
+length-prefixed framing as the service itself) and submitted to the
+shared :class:`~repro.faults.plan.FaultInjector`:
+
+* ``c->sN`` frames (client requests into replica ``sN``) and ``sN->c``
+  frames (its replies) consume per-link sequence numbers exactly like
+  :class:`~repro.faults.simnet.FaultyNetwork`, so a seeded plan fires the
+  same scheduled drop/delay/duplicate/reorder events over sockets as in
+  simulation — the parity the chaos suite asserts;
+* partition and crash windows black-hole all traffic for the affected
+  replica (frames silently dropped — the nastiest failure mode for a
+  client, indistinguishable from a dead host);
+* replica slowdown sleeps before forwarding requests into the slow
+  replica, creating real head-of-line latency.
+
+Ticks map to wall-clock via ``tick_s``; a background ticker advances the
+injector clock even when no traffic flows, so windows open and heal on
+schedule. Payloads are never decoded — the proxy is framing-aware but
+content-agnostic, which keeps it honest: it can only do to messages what
+a network can.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import WireError
+from repro.faults.plan import FaultInjector, client_link, server_link
+from repro.service.framing import read_frame, write_frame
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.service.client import Endpoints
+
+
+class _Hold:
+    """One reorder-held frame waiting to be overtaken."""
+
+    __slots__ = ("frame", "released")
+
+    def __init__(self, frame: bytes) -> None:
+        self.frame = frame
+        self.released = False
+
+
+class FaultProxyCluster:
+    """Per-replica TCP interceptors realising one seeded fault plan."""
+
+    def __init__(
+        self,
+        endpoints: "Endpoints",
+        injector: FaultInjector,
+        *,
+        tick_s: float = 0.05,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        self.upstream = dict(endpoints)
+        self.injector = injector
+        self.tick_s = tick_s
+        self.host = host
+        self.proxy_ports: dict[str, int] = {}
+        self._servers: dict[str, asyncio.Server] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._holds: dict[str, _Hold] = {}
+        self._ticker: asyncio.Task | None = None
+        self._started_at: float | None = None
+        self._closing = False
+
+    # ------------------------------------------------------------- clock
+
+    def current_tick(self) -> int:
+        if self._started_at is None:
+            return 0
+        return int((time.monotonic() - self._started_at) / self.tick_s)
+
+    def advance_clock(self) -> None:
+        """Sync the injector to the wall clock (tests/drivers may call)."""
+        self.injector.advance_to(self.current_tick())
+
+    async def _tick_forever(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.tick_s / 2)
+                self.advance_clock()
+        except asyncio.CancelledError:
+            pass
+
+    # --------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        self._started_at = time.monotonic()
+        for name in self.upstream:
+            server = await asyncio.start_server(
+                self._accept_for(name), self.host, 0
+            )
+            self._servers[name] = server
+            self.proxy_ports[name] = server.sockets[0].getsockname()[1]
+        self._ticker = asyncio.ensure_future(self._tick_forever())
+
+    async def stop(self) -> None:
+        self._closing = True
+        if self._ticker is not None:
+            self._ticker.cancel()
+            try:
+                await self._ticker
+            except asyncio.CancelledError:
+                pass
+        for server in self._servers.values():
+            server.close()
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for server in self._servers.values():
+            await server.wait_closed()
+
+    @property
+    def endpoints(self) -> "Endpoints":
+        """What clients should connect to: the proxy-fronted ports."""
+        return {
+            name: (self.host, port)
+            for name, port in self.proxy_ports.items()
+        }
+
+    async def __aenter__(self) -> "FaultProxyCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------- connections
+
+    def _accept_for(self, name: str):
+        async def accept(reader, writer):
+            task = asyncio.current_task()
+            self._tasks.add(task)
+            try:
+                await self._relay(name, reader, writer)
+            except asyncio.CancelledError:
+                pass  # proxy shutdown — the stream layer logs otherwise
+            finally:
+                self._tasks.discard(task)
+
+        return accept
+
+    async def _relay(self, name, client_reader, client_writer):
+        host, port = self.upstream[name]
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                host, port
+            )
+        except OSError:
+            client_writer.close()
+            return
+        inbound = asyncio.ensure_future(self._pump(
+            client_reader, upstream_writer, client_link(name), name,
+            into_server=True,
+        ))
+        outbound = asyncio.ensure_future(self._pump(
+            upstream_reader, client_writer, server_link(name), name,
+            into_server=False,
+        ))
+        self._tasks.update((inbound, outbound))
+        try:
+            done, pending = await asyncio.wait(
+                {inbound, outbound}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        finally:
+            self._tasks.difference_update((inbound, outbound))
+            for writer in (upstream_writer, client_writer):
+                writer.close()
+
+    # -------------------------------------------------------------- pump
+
+    async def _pump(self, reader, writer, link, server, *, into_server):
+        """Forward frames one way, applying the injector's decisions."""
+        lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except WireError:
+                    break
+                if frame is None:
+                    break
+                self.advance_clock()
+                if self.injector.unavailable(server):
+                    self.injector.count_window_drop(server)
+                    continue
+                decision = self.injector.on_send(link)
+                held = self._holds.pop(link, None)
+                kind = decision.kind if decision is not None else None
+                if kind == "drop":
+                    pass
+                elif kind == "duplicate":
+                    await self._forward(writer, lock, frame, server,
+                                        into_server)
+                    await self._forward(writer, lock, frame, server,
+                                        into_server)
+                elif kind == "delay":
+                    self._spawn(self._forward_later(
+                        writer, lock, frame, decision.ticks, server,
+                        into_server,
+                    ))
+                elif kind == "reorder":
+                    hold = _Hold(frame)
+                    self._holds[link] = hold
+                    self._spawn(self._release_hold_later(
+                        writer, lock, link, hold, decision.ticks, server,
+                        into_server,
+                    ))
+                else:
+                    await self._forward(writer, lock, frame, server,
+                                        into_server)
+                if held is not None and not held.released:
+                    held.released = True
+                    await self._forward(writer, lock, held.frame, server,
+                                        into_server)
+        except (ConnectionResetError, BrokenPipeError, OSError,
+                asyncio.CancelledError):
+            pass
+
+    async def _forward(self, writer, lock, frame, server, into_server):
+        if writer.is_closing():
+            return
+        if into_server:
+            slow = self.injector.slowdown_ticks(server)
+            if slow > 0:
+                await asyncio.sleep(slow * self.tick_s)
+        try:
+            async with lock:
+                if writer.is_closing():
+                    return
+                await write_frame(writer, frame)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            writer.close()
+
+    async def _forward_later(self, writer, lock, frame, ticks, server,
+                             into_server):
+        try:
+            await asyncio.sleep(ticks * self.tick_s)
+            if self.injector.unavailable(server):
+                self.injector.count_window_drop(server)
+                return
+            await self._forward(writer, lock, frame, server, into_server)
+        except asyncio.CancelledError:
+            pass
+
+    async def _release_hold_later(self, writer, lock, link, hold, ticks,
+                                  server, into_server):
+        """Tick fallback: a held frame nothing overtakes still arrives."""
+        try:
+            await asyncio.sleep(ticks * self.tick_s)
+            if hold.released:
+                return
+            hold.released = True
+            if self._holds.get(link) is hold:
+                del self._holds[link]
+            await self._forward(writer, lock, hold.frame, server,
+                                into_server)
+        except asyncio.CancelledError:
+            pass
+
+    def _spawn(self, coroutine) -> None:
+        if self._closing:
+            coroutine.close()
+            return
+        task = asyncio.ensure_future(coroutine)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+
+__all__ = ["FaultProxyCluster"]

@@ -64,7 +64,8 @@ class MsgABDSystem:
     """A complete message-passing ABD deployment (simulated transport)."""
 
     def __init__(self, f: int, data_size_bytes: int,
-                 initial_value: bytes | None = None) -> None:
+                 initial_value: bytes | None = None,
+                 network: Network | None = None) -> None:
         if f < 1:
             raise ParameterError("f must be >= 1")
         self.f = f
@@ -72,7 +73,7 @@ class MsgABDSystem:
         self.majority = f + 1
         self.scheme = ReplicationCode(data_size_bytes, n=self.n)
         self.v0 = initial_value or bytes(data_size_bytes)
-        self.network = Network()
+        self.network = network if network is not None else Network()
         self.clock = 0
         self.server_states: dict[str, ServerState] = {}
         self.ops: list[OpRecord] = []
@@ -80,6 +81,9 @@ class MsgABDSystem:
         self.decisions: list[tuple] = []
         #: Per-client reply deliveries, replayable through fresh machines.
         self.deliveries: dict[str, list[tuple[str, Payload]]] = {}
+        #: Unfinished operations by client name — the chaos runner's
+        #: resend hook (:func:`repro.faults.simnet.run_chaos`).
+        self.live_ops: dict[str, object] = {}
         self._next_op_uid = 0
         self.server_names = [f"s{i}" for i in range(self.n)]
         for index, name in enumerate(self.server_names):
@@ -113,11 +117,13 @@ class MsgABDSystem:
         record = OpRecord(name, kind, written, self.clock)
         self.ops.append(record)
         log = self.deliveries.setdefault(name, [])
+        self.live_ops[name] = operation
         process = self.network.add_process(name)
 
         def finish(op):
             record.return_time = self.clock
             record.result = op.result
+            self.live_ops.pop(name, None)
 
         process.start(operation_body(
             process, operation, on_done=finish,
@@ -132,9 +138,38 @@ class MsgABDSystem:
 
         def tick(network, action):
             self.clock += 1
+            network.advance(self.clock)
 
         return run_network(self.network, scheduler, max_steps=max_steps,
                            on_action=tick)
+
+    def resend_pending(self) -> int:
+        """Re-emit every blocked operation's unanswered requests.
+
+        The simulated analogue of the TCP client's retry timer: under
+        message loss the no-resend generator bodies block forever, so an
+        outer driver (:func:`repro.faults.simnet.run_chaos`) calls this
+        between scheduling rounds. Re-sent requests traverse the network
+        (and any installed fault layer) like first sends; the protocol
+        machines deduplicate the extra replies. Returns the number of
+        messages emitted.
+        """
+        emitted = 0
+        for name, operation in list(self.live_ops.items()):
+            process = self.network.processes[name]
+            if process.crashed or process.terminated:
+                continue
+            for recipient, payload in operation.resend():
+                self.network.send(name, recipient, payload)
+                emitted += 1
+        return emitted
+
+    @property
+    def pending_ops(self) -> int:
+        """Operations that have not yet returned."""
+        return sum(
+            1 for record in self.ops if record.return_time is None
+        )
 
     def crash_server(self, name: str) -> None:
         self.network.crash_process(name)

@@ -183,6 +183,16 @@ class Network:
         """Bits in code blocks riding the network right now."""
         return sum(message.payload_bits() for message in self.in_flight.values())
 
+    # -------------------------------------------------------------- clock
+
+    def advance(self, tick: int) -> None:
+        """Clock hook: the runner reports scheduler time after each action.
+
+        The base network is timeless; :class:`repro.faults.simnet.FaultyNetwork`
+        overrides this to release delayed messages and fire partition /
+        crash windows at their scheduled ticks.
+        """
+
 
 class MsgScheduler(ABC):
     """Chooses the next network action: deliver a message or step a process."""

@@ -235,6 +235,21 @@ class ClientOperation:
             if server not in answered
         ]
 
+    def unanswered(self) -> list[str]:
+        """Servers still silent in the current phase (diagnostics)."""
+        if self.done or self._round is None:
+            return []
+        return [
+            server for server, _payload in self._current
+            if server not in self._round.replies
+        ]
+
+    def answered(self) -> list[str]:
+        """Servers that already replied in the current phase."""
+        if self._round is None:
+            return []
+        return list(self._round.replies)
+
     def _decide(self, *entry: object) -> None:
         self.decisions.append(tuple(entry))
 

@@ -9,6 +9,12 @@ lives in :mod:`repro.service` (``AsyncConnectionTransport``). Swapping one
 for the other changes *where* messages travel, never *what* is decided —
 the parity suite (``tests/service/test_parity.py``) pins that.
 
+This seam is also where faults plug in: :mod:`repro.faults` wraps the
+simulated Network (:class:`~repro.faults.simnet.FaultyNetwork`) and
+fronts the TCP sockets (:class:`~repro.faults.tcp.FaultProxyCluster`)
+with the same seeded plan — the protocol machines above the seam never
+know, which is the point.
+
 The simulated network is pull-based (a process generator yields
 :class:`~repro.msgnet.network.Receive` to await delivery), so
 :class:`SimTransport` owns a tiny pump generator that converts pulls into

@@ -20,11 +20,14 @@ bits against the Theorem 1 floor.
 from repro.service.client import ServiceClient, merge_histories
 from repro.service.daemon import (
     EXIT_ALREADY_RUNNING,
+    EXIT_DEGRADED,
     EXIT_FAIL,
     EXIT_NOT_RUNNING,
     EXIT_OK,
     StateDir,
     cluster_status,
+    doctor_exit_code,
+    fault_plan_summary,
     restart_dead,
     run_doctor,
     start_cluster,
@@ -33,22 +36,29 @@ from repro.service.daemon import (
 from repro.service.journal import ReplicaJournal, replica_signature
 from repro.service.ledger import LiveStorageView, ReplicaStatus
 from repro.service.loopback import LoopbackCluster
+from repro.service.retry import BackoffPolicy, HealthTracker, RetryStats
 from repro.service.server import ReplicaServer, ServerConfig
 
 __all__ = [
+    "BackoffPolicy",
     "EXIT_ALREADY_RUNNING",
+    "EXIT_DEGRADED",
     "EXIT_FAIL",
     "EXIT_NOT_RUNNING",
     "EXIT_OK",
+    "HealthTracker",
     "LiveStorageView",
     "LoopbackCluster",
     "ReplicaJournal",
     "ReplicaServer",
     "ReplicaStatus",
+    "RetryStats",
     "ServerConfig",
     "ServiceClient",
     "StateDir",
     "cluster_status",
+    "doctor_exit_code",
+    "fault_plan_summary",
     "merge_histories",
     "replica_signature",
     "restart_dead",

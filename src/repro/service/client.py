@@ -6,15 +6,28 @@ A :class:`ServiceClient` drives the *same*
 deployment — this module adds only what a real network demands:
 
 * one TCP connection per server with a background reader task feeding a
-  single inbound queue;
-* a **per-request timeout**: if no reply arrives for ``timeout`` seconds
+  single inbound queue; *connects are themselves time-bounded*, so a
+  black-holed replica (SYN into the void) cannot eat an operation's
+  budget before the first byte moves;
+* a **per-request timeout**: if no reply arrives within the current wait
   the client re-sends the current phase's requests to the servers still
   silent (safe: replies are deduplicated by sender, server writes are
-  idempotent at equal timestamps);
-* **bounded retry**: after ``retries`` resends without quorum the
-  operation raises :class:`~repro.errors.QuorumTimeout` — the client
-  never blocks forever on a dead majority, unlike the model's
-  block-as-it-must semantics (a CLI must report, not hang).
+  idempotent at equal timestamps). With a
+  :class:`~repro.service.retry.BackoffPolicy` installed, successive
+  waits grow exponentially with seeded jitter — deterministic per seed;
+* an optional **per-operation deadline** (``op_deadline``): a wall-clock
+  budget for the whole operation, distinct from the per-request timeout.
+  Every wait and every reconnect is clamped to what remains of it;
+* **bounded retry**: once the budget is spent (``retries`` resends, or
+  the deadline) the operation raises
+  :class:`~repro.errors.QuorumTimeout` carrying structured diagnostics —
+  which servers answered, which stayed silent, attempts, elapsed — the
+  client never blocks forever on a dead majority, unlike the model's
+  block-as-it-must semantics (a CLI must report, not hang);
+* a :class:`~repro.service.retry.HealthTracker` demoting repeatedly
+  silent replicas from the *first-contact* set (fresh operations stop
+  paying for them; resends still reach them, so a healed replica
+  rejoins after its cooldown).
 
 Every completed operation is recorded with monotonic-clock invoke/return
 times, so :meth:`ServiceClient.history` (and :func:`merge_histories`
@@ -40,6 +53,7 @@ from repro.msgnet.protocol import (
     WriteOperation,
 )
 from repro.service.framing import read_frame, write_frame
+from repro.service.retry import BackoffPolicy, HealthTracker, RetryStats
 from repro.service.wire import decode_payload, encode_payload
 from repro.sim.trace import OpKind
 from repro.spec.histories import History, HOp
@@ -98,6 +112,9 @@ class ServiceClient:
         timeout: float = 2.0,
         retries: int = 2,
         v0: bytes | None = None,
+        op_deadline: float | None = None,
+        backoff: BackoffPolicy | None = None,
+        health: HealthTracker | None = None,
     ) -> None:
         if f < 1:
             raise ParameterError("f must be >= 1")
@@ -114,6 +131,13 @@ class ServiceClient:
         self.v0 = v0 or bytes(data_size_bytes)
         self.timeout = timeout
         self.retries = retries
+        if op_deadline is not None and op_deadline <= 0:
+            raise ParameterError("op_deadline must be positive")
+        self.op_deadline = op_deadline
+        self.backoff = backoff
+        self.health = health if health is not None \
+            else HealthTracker(list(endpoints))
+        self.stats = RetryStats()
         self.server_names = list(endpoints)
         self.ops: list[OpRecord] = []
         self.decisions: list[tuple] = []
@@ -128,18 +152,33 @@ class ServiceClient:
         for name in self.server_names:
             await self._ensure_connection(name)
 
-    async def _ensure_connection(self, name: str) -> bool:
+    async def _ensure_connection(
+        self, name: str, deadline: float | None = None
+    ) -> bool:
+        """Open (or reuse) the connection to ``name``, time-bounded.
+
+        The connect wait is capped by the per-request ``timeout`` *and*
+        by whatever remains of the operation deadline — a black-holed
+        replica (connection attempts that neither succeed nor fail) must
+        cost at most one request-timeout, never the whole budget.
+        """
         conn = self._conns[name]
         if conn.alive:
             return True
+        budget = self.timeout
+        if deadline is not None:
+            budget = min(budget, deadline - time.monotonic())
+            if budget <= 0:
+                return False
         host, port = self.endpoints[name]
         try:
-            conn.reader, conn.writer = await asyncio.open_connection(
-                host, port
+            conn.reader, conn.writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=budget
             )
-        except OSError:
+        except (OSError, asyncio.TimeoutError):
             conn.reader = conn.writer = None
             return False
+        self.stats.reconnects += 1
         conn.task = asyncio.ensure_future(self._read_loop(conn))
         return True
 
@@ -186,36 +225,97 @@ class ServiceClient:
     ) -> object:
         record = OpRecord(self.name, kind, written, monotonic_now())
         self.ops.append(record)
-        await self._send_all(operation.start())
+        started = time.monotonic()
+        deadline = (
+            started + self.op_deadline
+            if self.op_deadline is not None else None
+        )
+        scope = f"{self.name}:{operation.op_uid}"
+        # First contact goes to the replicas currently believed healthy
+        # (never fewer than a majority); everyone else is reached by the
+        # first resend, so demotion can never mask a live quorum.
+        targets = set(self.health.first_contact(
+            self.server_names, self.majority
+        ))
+        opening = operation.start()
+        await self._send_all(
+            [(s, p) for s, p in opening if s in targets], deadline
+        )
         attempts = 0
         while not operation.done:
+            wait = (
+                self.backoff.delay(attempts, scope=scope)
+                if self.backoff is not None else self.timeout
+            )
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise self._quorum_timeout(
+                        operation, attempts, started, "deadline exhausted"
+                    )
+                wait = min(wait, remaining)
             try:
                 sender, payload = await asyncio.wait_for(
-                    self._queue.get(), timeout=self.timeout
+                    self._queue.get(), timeout=wait
                 )
             except asyncio.TimeoutError:
                 attempts += 1
-                if attempts > self.retries:
-                    raise QuorumTimeout(
-                        f"{self.name}: {operation.kind} op "
-                        f"{operation.op_uid} found no quorum of "
-                        f"{self.majority} after {attempts} attempts"
+                self.stats.timeouts += 1
+                self.stats.delays.append(wait)
+                out_of_budget = (
+                    attempts > self.retries if deadline is None
+                    else time.monotonic() >= deadline
+                )
+                if out_of_budget:
+                    raise self._quorum_timeout(
+                        operation, attempts, started,
+                        f"no quorum of {self.majority}"
                     ) from None
+                for name in operation.unanswered():
+                    self.health.mark_silent(name)
                 for name in self.server_names:
-                    await self._ensure_connection(name)
-                await self._send_all(operation.resend())
+                    await self._ensure_connection(name, deadline)
+                resent = operation.resend()
+                self.stats.resent_messages += len(resent)
+                await self._send_all(resent, deadline)
                 continue
-            await self._send_all(operation.on_message(sender, payload))
+            self.health.mark_reply(sender)
+            await self._send_all(
+                operation.on_message(sender, payload), deadline
+            )
         record.return_time = monotonic_now()
         record.result = operation.result
         return operation.result
 
+    def _quorum_timeout(
+        self, operation: ClientOperation, attempts: int, started: float,
+        reason: str,
+    ) -> QuorumTimeout:
+        return QuorumTimeout(
+            f"{self.name}: {operation.kind} op {operation.op_uid} "
+            f"{reason} after {attempts} attempt(s); "
+            f"answered={operation.answered()} silent={operation.unanswered()}",
+            op_kind=operation.kind,
+            op_uid=operation.op_uid,
+            client=self.name,
+            needed=self.majority,
+            answered=tuple(operation.answered()),
+            silent=tuple(operation.unanswered()),
+            attempts=attempts,
+            elapsed_s=time.monotonic() - started,
+            deadline_s=self.op_deadline,
+        )
+
     async def _send_all(
-        self, outgoing: Iterable[tuple[str, Payload]]
+        self,
+        outgoing: Iterable[tuple[str, Payload]],
+        deadline: float | None = None,
     ) -> None:
         for recipient, payload in outgoing:
             conn = self._conns[recipient]
-            if not conn.alive and not await self._ensure_connection(recipient):
+            if not conn.alive and not await self._ensure_connection(
+                recipient, deadline
+            ):
                 continue  # down server: the quorum machinery absorbs it
             try:
                 await write_frame(conn.writer, encode_payload(payload))

@@ -51,6 +51,14 @@ EXIT_OK = 0
 EXIT_FAIL = 1
 EXIT_ALREADY_RUNNING = 3
 EXIT_NOT_RUNNING = 4
+#: Quorum still answers, but some replicas are down or unreachable —
+#: alive-but-wounded, distinct from both healthy (0) and broken (1) so
+#: scripts can page on real outages only.
+EXIT_DEGRADED = 5
+
+#: Status probes per replica before declaring it unreachable (the first
+#: try plus this many retries).
+PROBE_RETRIES = 1
 
 #: How long `repro serve` waits for every child to publish its port file.
 READY_TIMEOUT_S = 15.0
@@ -246,7 +254,8 @@ def stop_cluster(
 
 
 async def _collect_statuses(
-    state: StateDir, meta: dict, timeout: float
+    state: StateDir, meta: dict, timeout: float,
+    probe_retries: int = PROBE_RETRIES,
 ) -> list[ReplicaStatus]:
     statuses = []
     for server in meta["servers"]:
@@ -256,20 +265,47 @@ async def _collect_statuses(
         alive = state.server_alive(name)
         status = ReplicaStatus(name=name, alive=False, pid=pid, port=port)
         if alive and port is not None:
-            reply = await probe(
-                meta["host"], port,
-                (protocol.STATUS, _ADMIN_RID), protocol.REPLY_STATUS,
-                timeout=timeout,
-            )
-            if reply is not None:
-                _tag, _rid, ts, replica_bits, applied = reply
-                status = ReplicaStatus(
-                    name=name, alive=True, ts=ts,
-                    replica_bits=replica_bits, applied_count=applied,
-                    pid=pid, port=port,
+            attempts = 0
+            for attempt in range(1, probe_retries + 2):
+                attempts = attempt
+                reply = await probe(
+                    meta["host"], port,
+                    (protocol.STATUS, _ADMIN_RID), protocol.REPLY_STATUS,
+                    timeout=timeout,
                 )
+                if reply is not None:
+                    _tag, _rid, ts, replica_bits, applied = reply
+                    status = ReplicaStatus(
+                        name=name, alive=True, ts=ts,
+                        replica_bits=replica_bits, applied_count=applied,
+                        pid=pid, port=port, probe_attempts=attempt,
+                        last_seen=time.time(),
+                    )
+                    break
+            else:
+                status.probe_attempts = attempts
         statuses.append(status)
     return statuses
+
+
+def fault_plan_summary(state_dir: str | Path) -> str | None:
+    """One-line description of the installed fault plan, if any.
+
+    ``None`` when the state dir carries no ``faults.json`` (a clean
+    cluster); a ``corrupt: ...`` string when the file exists but does not
+    parse — status/doctor must report a half-written plan, not hide it.
+    """
+    state = StateDir(state_dir)
+    path = state.faults_path
+    if not path.exists():
+        return None
+    from repro.errors import FaultPlanError
+    from repro.faults.plan import FaultPlan
+
+    try:
+        return FaultPlan.load(path).describe()
+    except FaultPlanError as error:
+        return f"corrupt: {error}"
 
 
 def cluster_status(
@@ -320,17 +356,26 @@ def run_doctor(
     live = [s["name"] for s in meta["servers"]
             if state.server_alive(s["name"])]
     down = [s["name"] for s in meta["servers"] if s["name"] not in live]
-    check("processes", bool(live),
+    check("processes", not down,
           f"{len(live)}/{n} alive"
           + (f" (down: {', '.join(down)})" if down else ""))
 
     statuses = asyncio.run(_collect_statuses(state, meta, timeout))
     view = LiveStorageView(meta["f"], meta["data_size_bytes"], statuses)
     reachable = [s.name for s in statuses if s.alive]
+    retried = [
+        f"{s.name}:{s.probe_attempts}x" for s in statuses
+        if s.probe_attempts > 1
+    ]
     check("ports", len(reachable) == len(live),
-          f"{len(reachable)}/{len(live)} live servers answer status RPCs")
+          f"{len(reachable)}/{len(live)} live servers answer status RPCs"
+          + (f" (retried: {', '.join(retried)})" if retried else ""))
     check("quorum", view.quorum_available,
           f"{view.alive_count} alive, majority needs {view.majority}")
+
+    faults = fault_plan_summary(state_dir)
+    check("fault plan", faults is None or not faults.startswith("corrupt:"),
+          faults if faults is not None else "none installed")
 
     journal_problems = []
     for server in meta["servers"]:
@@ -356,3 +401,26 @@ def run_doctor(
         f"{view.thm1_floor_bits()} bits",
     )
     return checks
+
+
+#: Doctor checks whose failure means "wounded, not dead" while a quorum
+#: still answers — dead or unreachable minority replicas.
+_DEGRADED_CHECKS = {"processes", "ports"}
+
+
+def doctor_exit_code(checks: list[tuple[str, bool, str]]) -> int:
+    """Three-way doctor verdict: healthy / degraded-but-alive / broken.
+
+    :data:`EXIT_DEGRADED` when every failing check is a minority-replica
+    liveness problem and the quorum check passed — the cluster serves,
+    but with less than full redundancy.
+    """
+    failed = {name for name, ok, _detail in checks if not ok}
+    if not failed:
+        return EXIT_OK
+    quorum_ok = any(
+        name == "quorum" and ok for name, ok, _detail in checks
+    )
+    if quorum_ok and failed <= _DEGRADED_CHECKS:
+        return EXIT_DEGRADED
+    return EXIT_FAIL

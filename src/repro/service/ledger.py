@@ -37,6 +37,11 @@ class ReplicaStatus:
     applied_count: int = 0
     pid: int | None = None
     port: int | None = None
+    #: Status probes sent before this reply arrived (1 = first try;
+    #: 0 = never probed because the process was already dead).
+    probe_attempts: int = 0
+    #: Wall-clock time of the last successful probe reply.
+    last_seen: float | None = None
 
 
 class LiveStorageView:

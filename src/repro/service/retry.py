@@ -1,0 +1,188 @@
+"""Retry policy and replica health tracking for the TCP client.
+
+Two small, independently testable pieces the resilient
+:class:`~repro.service.client.ServiceClient` composes:
+
+* :class:`BackoffPolicy` — exponential backoff with **seeded** jitter.
+  The jitter draw reuses :func:`repro.sim.failures.derive_draw` under its
+  own ``"backoff"`` domain, so a given ``(seed, scope, attempt)`` always
+  yields the same delay — across processes and Python versions. That
+  determinism is load-bearing: the chaos suite replays runs by seed, and
+  identical backoff sequences are what make retry timing reproducible
+  (``tests/faults/test_client_resilience.py``).
+* :class:`HealthTracker` — per-replica reply/silence bookkeeping. A
+  replica that stays silent for ``demote_after`` consecutive attempts is
+  *demoted*: dropped from the first-contact set so fresh operations stop
+  burning their deadline budget on it. Demotion is never exile — resends
+  still reach demoted replicas, and after ``cooldown_s`` the replica is
+  re-probed (and instantly rehabilitated by its first reply), so a healed
+  replica rejoins without operator action.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ParameterError
+from repro.sim.failures import derive_draw
+
+#: Resolution of the jitter draw (fraction in ``[0, 1)`` with 1e-6 steps).
+_JITTER_SCALE = 1_000_000
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff, capped, with deterministic seeded jitter.
+
+    ``delay(attempt)`` is ``min(base * factor**attempt, cap)`` stretched
+    by up to ``jitter`` (relative), where the stretch comes from a
+    SHA-256 draw over ``(seed, scope, attempt)`` — not from a shared RNG,
+    so concurrent operations never perturb each other's sequences.
+    """
+
+    base: float = 0.1
+    factor: float = 2.0
+    cap: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.factor < 1 or self.cap < self.base:
+            raise ParameterError(
+                "backoff needs base > 0, factor >= 1, cap >= base"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ParameterError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, *, scope: str = "") -> float:
+        """Seconds to wait after ``attempt`` timeouts (attempt 0 first)."""
+        raw = min(self.base * self.factor ** attempt, self.cap)
+        if self.jitter == 0:
+            return raw
+        draw = derive_draw(
+            self.seed, f"{scope}:{attempt}", _JITTER_SCALE, domain="backoff"
+        )
+        return raw * (1.0 + self.jitter * draw / _JITTER_SCALE)
+
+    def sequence(self, attempts: int, *, scope: str = "") -> list[float]:
+        """The first ``attempts`` delays — the determinism test surface."""
+        return [self.delay(i, scope=scope) for i in range(attempts)]
+
+
+@dataclass
+class ReplicaHealth:
+    """One replica as the client currently sees it."""
+
+    name: str
+    consecutive_failures: int = 0
+    retries: int = 0
+    replies: int = 0
+    demoted_at: float | None = None
+    last_seen: float | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "consecutive_failures": self.consecutive_failures,
+            "retries": self.retries,
+            "replies": self.replies,
+            "demoted": self.demoted_at is not None,
+            "last_seen": self.last_seen,
+        }
+
+
+class HealthTracker:
+    """Demote silent replicas from first contact; re-probe after cooldown."""
+
+    def __init__(
+        self,
+        names: Iterable[str],
+        *,
+        demote_after: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if demote_after < 1:
+            raise ParameterError("demote_after must be >= 1")
+        if cooldown_s <= 0:
+            raise ParameterError("cooldown_s must be positive")
+        self.demote_after = demote_after
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.replicas = {name: ReplicaHealth(name) for name in names}
+        self.demotions = 0
+
+    # ----------------------------------------------------------- updates
+
+    def mark_reply(self, name: str) -> None:
+        """A reply arrived: reset failures, rehabilitate immediately."""
+        health = self.replicas.get(name)
+        if health is None:
+            return
+        health.consecutive_failures = 0
+        health.demoted_at = None
+        health.replies += 1
+        health.last_seen = self.clock()
+
+    def mark_silent(self, name: str) -> None:
+        """A retry fired with ``name`` still silent."""
+        health = self.replicas.get(name)
+        if health is None:
+            return
+        health.consecutive_failures += 1
+        health.retries += 1
+        if health.consecutive_failures >= self.demote_after:
+            if health.demoted_at is None:
+                self.demotions += 1
+            health.demoted_at = self.clock()
+
+    # ----------------------------------------------------------- queries
+
+    def demoted(self, name: str) -> bool:
+        """Out of first contact right now? (False once cooldown elapses —
+        the replica goes on probation and gets contacted again.)"""
+        health = self.replicas.get(name)
+        if health is None or health.demoted_at is None:
+            return False
+        return self.clock() - health.demoted_at < self.cooldown_s
+
+    def first_contact(
+        self, names: Sequence[str], majority: int
+    ) -> list[str]:
+        """Who a fresh operation should address first.
+
+        The healthy subset when it can still form a quorum; everyone
+        otherwise — a degraded client must never shrink below majority,
+        or it turns a slow replica into an outage.
+        """
+        healthy = [name for name in names if not self.demoted(name)]
+        if len(healthy) >= majority:
+            return healthy
+        return list(names)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-replica health for diagnostics (status/doctor, benches)."""
+        return {
+            name: health.as_dict()
+            for name, health in sorted(self.replicas.items())
+        }
+
+
+@dataclass
+class RetryStats:
+    """What one client's retry machinery did (bench + test surface)."""
+
+    timeouts: int = 0
+    resent_messages: int = 0
+    reconnects: int = 0
+    delays: list[float] = field(default_factory=list)
+
+
+__all__ = [
+    "BackoffPolicy",
+    "HealthTracker",
+    "ReplicaHealth",
+    "RetryStats",
+]

@@ -74,6 +74,15 @@ class StateDir:
     def meta_path(self) -> Path:
         return self.root / "meta.json"
 
+    @property
+    def faults_path(self) -> Path:
+        """The fault plan installed on this cluster (absent = clean).
+
+        Written by ``repro chaos``; read back by ``status``/``doctor`` so
+        an operator can always tell a chaos run from a real outage.
+        """
+        return self.root / "faults.json"
+
     def pid_path(self, name: str) -> Path:
         return self.root / f"{name}.pid"
 

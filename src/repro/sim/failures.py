@@ -113,15 +113,27 @@ class FailurePlan(Scheduler):
 # -------------------------------------------- seed-derived deterministic plans
 
 
-def _derive(seed: int, tag: str, modulus: int) -> int:
+def derive_draw(seed: int, tag: str, modulus: int, *,
+                domain: str = "crash") -> int:
     """Deterministic pseudo-random draw in ``[0, modulus)`` from (seed, tag).
 
     SHA-256 based (like :func:`~repro.workloads.generators.make_value`), so
     the draw is stable across Python versions and processes — a property
-    ``random.Random`` only promises for some of its methods.
+    ``random.Random`` only promises for some of its methods. ``domain``
+    namespaces independent consumers: crash schedules (``"crash"``, the
+    historical stream — unchanged bytes for any existing seed), fault
+    plans (``"fault"``, :mod:`repro.faults`), and client retry jitter
+    (``"backoff"``, :mod:`repro.service.retry`) draw from disjoint
+    streams even at equal ``(seed, tag)``.
     """
-    digest = hashlib.sha256(f"crash:{seed}:{tag}".encode()).digest()
+    if modulus < 1:
+        raise ParameterError("derive_draw needs a positive modulus")
+    digest = hashlib.sha256(f"{domain}:{seed}:{tag}".encode()).digest()
     return int.from_bytes(digest[:8], "big") % modulus
+
+
+def _derive(seed: int, tag: str, modulus: int) -> int:
+    return derive_draw(seed, tag, modulus, domain="crash")
 
 
 @dataclass(frozen=True)

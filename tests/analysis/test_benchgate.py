@@ -237,6 +237,7 @@ class TestCheckerScript:
             "BENCH_crossover.json",
             "BENCH_parallel_sweep.json",
             "BENCH_scenario_sweep.json",
+            "BENCH_service_faults.json",
             "BENCH_service_loopback.json",
             "BENCH_sim_throughput.json",
         }

@@ -1,0 +1,58 @@
+"""Shared fixtures for the chaos (seeded fault-injection) suite.
+
+Every test below this directory gets the ``chaos`` marker. Modules that
+open real sockets (the TCP proxy, parity, and client-resilience tests)
+additionally get the ``service`` marker and are skipped when the sandbox
+cannot bind a loopback socket, mirroring ``tests/service/conftest.py``.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+#: Modules in this directory that need real loopback sockets.
+_SOCKET_MODULES = {
+    "test_tcp_chaos", "test_transport_parity", "test_client_resilience",
+}
+
+
+def _loopback_available() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind(("127.0.0.1", 0))
+        finally:
+            probe.close()
+        return True
+    except OSError:
+        return False
+
+
+_LOOPBACK_OK = _loopback_available()
+
+
+def pytest_collection_modifyitems(config, items):
+    skip = pytest.mark.skip(reason="cannot bind loopback sockets here")
+    for item in items:
+        if item.path.parent.name == "faults" or "/faults/" in str(item.path):
+            item.add_marker(pytest.mark.chaos)
+            if item.path.stem in _SOCKET_MODULES:
+                item.add_marker(pytest.mark.service)
+                if not _LOOPBACK_OK:
+                    item.add_marker(skip)
+
+
+@pytest.fixture
+def run():
+    """Run a coroutine to completion on a fresh event loop."""
+    return asyncio.run
+
+
+REPLICAS = ("s0", "s1", "s2")
+
+
+@pytest.fixture
+def replicas():
+    """The standard f=1 deployment layout the fault plans target."""
+    return REPLICAS

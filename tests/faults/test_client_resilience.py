@@ -1,0 +1,212 @@
+"""The resilient TCP client: backoff, deadlines, health, diagnostics.
+
+Covers the satellite requirements directly: seeded-jitter backoff is
+deterministic per seed, the per-operation deadline bounds wall-clock
+time against a black-holed majority (distinct from the per-request
+timeout), replica health demotes repeat offenders out of first contact
+and rehabilitates them on reply, and :class:`~repro.errors.QuorumTimeout`
+carries structured diagnostics.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ParameterError, QuorumTimeout
+from repro.service import BackoffPolicy, HealthTracker, ServiceClient
+
+DATA_SIZE = 8
+
+
+class TestBackoffDeterminism:
+    def test_same_seed_same_sequence(self):
+        first = BackoffPolicy(seed=7).sequence(8, scope="w0:1")
+        second = BackoffPolicy(seed=7).sequence(8, scope="w0:1")
+        assert first == second
+
+    def test_different_seed_different_sequence(self):
+        assert (
+            BackoffPolicy(seed=7).sequence(8, scope="w0:1")
+            != BackoffPolicy(seed=8).sequence(8, scope="w0:1")
+        )
+
+    def test_different_scope_different_jitter(self):
+        policy = BackoffPolicy(seed=7)
+        assert policy.sequence(8, scope="w0:1") != policy.sequence(
+            8, scope="w0:2"
+        )
+
+    def test_no_jitter_is_pure_exponential(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=1.0, jitter=0.0)
+        assert policy.sequence(5) == [0.1, 0.2, 0.4, 0.8, 1.0]
+
+    def test_jitter_bounded_and_growing(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=10.0, jitter=0.25,
+                               seed=3)
+        for attempt in range(6):
+            raw = min(0.1 * 2.0 ** attempt, 10.0)
+            delay = policy.delay(attempt, scope="x")
+            assert raw <= delay <= raw * 1.25
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(ParameterError):
+            BackoffPolicy(cap=0.01)
+        with pytest.raises(ParameterError):
+            BackoffPolicy(jitter=1.5)
+
+
+class TestHealthTracker:
+    def make(self, **kwargs):
+        clock = {"now": 0.0}
+        kwargs.setdefault("demote_after", 3)
+        kwargs.setdefault("cooldown_s", 5.0)
+        tracker = HealthTracker(
+            ["s0", "s1", "s2"], clock=lambda: clock["now"], **kwargs
+        )
+        return tracker, clock
+
+    def test_demotion_after_consecutive_silences(self):
+        tracker, _clock = self.make()
+        for _ in range(2):
+            tracker.mark_silent("s0")
+        assert not tracker.demoted("s0")
+        tracker.mark_silent("s0")
+        assert tracker.demoted("s0")
+        assert tracker.demotions == 1
+
+    def test_repeat_silence_does_not_recount_demotion(self):
+        tracker, _clock = self.make()
+        for _ in range(6):
+            tracker.mark_silent("s0")
+        assert tracker.demotions == 1
+
+    def test_cooldown_puts_the_replica_on_probation(self):
+        tracker, clock = self.make(cooldown_s=5.0)
+        for _ in range(3):
+            tracker.mark_silent("s0")
+        assert tracker.demoted("s0")
+        clock["now"] = 6.0
+        assert not tracker.demoted("s0")  # probed again after cooldown
+
+    def test_reply_rehabilitates_immediately(self):
+        tracker, _clock = self.make()
+        for _ in range(3):
+            tracker.mark_silent("s0")
+        tracker.mark_reply("s0")
+        assert not tracker.demoted("s0")
+        assert tracker.replicas["s0"].consecutive_failures == 0
+
+    def test_first_contact_never_shrinks_below_majority(self):
+        tracker, _clock = self.make()
+        for name in ("s0", "s1"):
+            for _ in range(3):
+                tracker.mark_silent(name)
+        # One healthy replica < majority of 2: contact everyone.
+        assert tracker.first_contact(["s0", "s1", "s2"], 2) == [
+            "s0", "s1", "s2"
+        ]
+        tracker.mark_reply("s1")
+        # Two healthy >= majority: skip the demoted one.
+        assert tracker.first_contact(["s0", "s1", "s2"], 2) == ["s1", "s2"]
+
+    def test_snapshot_shape(self):
+        tracker, _clock = self.make()
+        tracker.mark_reply("s1")
+        snapshot = tracker.snapshot()
+        assert set(snapshot) == {"s0", "s1", "s2"}
+        assert snapshot["s1"]["replies"] == 1
+        assert snapshot["s1"]["demoted"] is False
+
+
+async def _black_hole_cluster():
+    """Three 'replicas' that accept, read, and never answer."""
+
+    async def swallow(reader, writer):
+        try:
+            await reader.read(-1)
+        finally:
+            writer.close()
+
+    servers = []
+    endpoints = {}
+    for name in ("s0", "s1", "s2"):
+        server = await asyncio.start_server(swallow, "127.0.0.1", 0)
+        servers.append(server)
+        endpoints[name] = ("127.0.0.1", server.sockets[0].getsockname()[1])
+    return servers, endpoints
+
+
+class TestDeadlineBudget:
+    def test_op_deadline_bounds_wall_clock(self, run):
+        """With every replica silent, the operation fails at the deadline
+        — not after ``timeout * retries`` of open-ended resend rounds."""
+
+        async def scenario():
+            servers, endpoints = await _black_hole_cluster()
+            client = ServiceClient(
+                "c0", endpoints, 1, DATA_SIZE,
+                timeout=0.05, retries=100, op_deadline=0.5,
+                backoff=BackoffPolicy(base=0.05, cap=0.2, seed=0),
+            )
+            started = time.monotonic()
+            try:
+                with pytest.raises(QuorumTimeout) as excinfo:
+                    await client.write(b"x" * DATA_SIZE)
+                return time.monotonic() - started, excinfo.value, client
+            finally:
+                await client.close()
+                for server in servers:
+                    server.close()
+                await asyncio.gather(*(
+                    server.wait_closed() for server in servers
+                ))
+
+        elapsed, error, client = run(scenario())
+        assert elapsed < 3.0  # nowhere near timeout * retries
+        assert error.deadline_s == 0.5
+        assert error.client == "c0"
+        assert error.op_kind == "write"
+        assert error.needed == 2
+        assert set(error.silent) == {"s0", "s1", "s2"}
+        assert error.answered == ()
+        assert error.attempts >= 1
+        assert error.elapsed_s >= 0.4
+        # The retry machinery kept books while failing.
+        assert client.stats.timeouts == error.attempts
+        assert client.stats.delays  # backoff waits were recorded
+
+    def test_deadline_validation(self):
+        with pytest.raises(ParameterError):
+            ServiceClient(
+                "c0",
+                {"s0": ("h", 1), "s1": ("h", 2), "s2": ("h", 3)},
+                1, DATA_SIZE, op_deadline=0.0,
+            )
+
+    def test_silent_replicas_get_demoted(self, run):
+        async def scenario():
+            servers, endpoints = await _black_hole_cluster()
+            client = ServiceClient(
+                "c0", endpoints, 1, DATA_SIZE,
+                timeout=0.03, retries=100, op_deadline=0.4,
+                backoff=BackoffPolicy(base=0.03, cap=0.1, seed=0),
+                health=HealthTracker(
+                    list(endpoints), demote_after=2, cooldown_s=30.0,
+                ),
+            )
+            try:
+                with pytest.raises(QuorumTimeout):
+                    await client.write(b"y" * DATA_SIZE)
+                return client
+            finally:
+                await client.close()
+                for server in servers:
+                    server.close()
+
+        client = run(scenario())
+        assert client.health.demotions == 3  # every replica stayed silent
+        for name in ("s0", "s1", "s2"):
+            assert client.health.replicas[name].retries >= 2

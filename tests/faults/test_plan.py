@@ -1,0 +1,187 @@
+"""Fault-plan derivation: deterministic, validated, JSON-portable."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (
+    FAULT_PROFILES,
+    LINK_FAULT_KINDS,
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+    clean_plan,
+    seeded_fault_plan,
+)
+
+REPLICAS = ("s0", "s1", "s2")
+
+
+def chaos_plan(seed: int = 1, **kwargs) -> FaultPlan:
+    kwargs.setdefault("rate", 0.4)
+    return seeded_fault_plan(seed, replicas=REPLICAS, f=1, **kwargs)
+
+
+class TestDeterminism:
+    def test_compile_is_a_pure_function_of_the_seed(self):
+        first = chaos_plan(seed=3).compile()
+        second = chaos_plan(seed=3).compile()
+        assert first == second
+
+    def test_different_seeds_give_different_schedules(self):
+        assert chaos_plan(seed=0).compile() != chaos_plan(seed=1).compile()
+
+    def test_injectors_share_the_plan_schedule(self):
+        plan = chaos_plan(seed=5)
+        assert FaultInjector(plan).schedules == FaultInjector(plan).schedules
+
+    def test_seeded_victims_are_stable(self):
+        first, second = chaos_plan(seed=9), chaos_plan(seed=9)
+        assert first.slowdowns == second.slowdowns
+        assert first.partitions == second.partitions
+        assert first.crashes == second.crashes
+
+    def test_planned_counts_match_the_compiled_schedule(self):
+        plan = chaos_plan(seed=2)
+        counts = plan.planned_counts()
+        assert set(counts) == set(LINK_FAULT_KINDS)
+        total = sum(
+            len(schedule) for schedule in plan.compile().values()
+        )
+        assert sum(counts.values()) == total > 0
+
+
+class TestValidation:
+    def test_rates_must_stay_in_unit_interval(self):
+        with pytest.raises(FaultPlanError):
+            LinkFaults(drop=1.5).validate()
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(FaultPlanError):
+            LinkFaults(drop=0.7, delay=0.5).validate()
+
+    def test_unknown_link_pattern_rejected(self):
+        with pytest.raises(FaultPlanError, match="match nothing"):
+            FaultPlan(
+                seed=0, replicas=REPLICAS, f=1,
+                links={"c->s9": LinkFaults(drop=0.5)},
+            )
+
+    def test_partition_cannot_exceed_the_budget(self):
+        with pytest.raises(FaultPlanError, match="budget"):
+            FaultPlan(
+                seed=0, replicas=REPLICAS, f=1,
+                partitions=(Partition(("s0", "s1"), 5, 10),),
+            )
+
+    def test_overlapping_windows_cannot_exceed_the_budget(self):
+        with pytest.raises(FaultPlanError, match="budget"):
+            FaultPlan(
+                seed=0, replicas=REPLICAS, f=1,
+                partitions=(Partition(("s0",), 5, 15),),
+                crashes=(CrashWindow("s1", 10, 20),),
+            )
+
+    def test_empty_partition_window_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(
+                seed=0, replicas=REPLICAS, f=1,
+                partitions=(Partition(("s0",), 10, 10),),
+            )
+
+    def test_revive_must_follow_crash(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(
+                seed=0, replicas=REPLICAS, f=1,
+                crashes=(CrashWindow("s0", 10, 5),),
+            )
+
+    def test_slowdown_names_must_exist(self):
+        with pytest.raises(FaultPlanError, match="unknown"):
+            FaultPlan(seed=0, replicas=REPLICAS, f=1, slowdowns={"s9": 3})
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault profile"):
+            seeded_fault_plan(0, replicas=REPLICAS, f=1, profile="gremlins")
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_the_plan(self):
+        plan = chaos_plan(seed=4)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load(self, tmp_path):
+        plan = chaos_plan(seed=6)
+        path = tmp_path / "faults.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text("{not json")
+        with pytest.raises(FaultPlanError, match="corrupt"):
+            FaultPlan.load(path)
+
+    def test_unsupported_version_raises(self):
+        with pytest.raises(FaultPlanError, match="version"):
+            FaultPlan.from_json({"version": 99})
+
+
+class TestProfiles:
+    def test_every_named_profile_builds(self):
+        for profile in FAULT_PROFILES:
+            plan = seeded_fault_plan(
+                1, replicas=REPLICAS, f=1, profile=profile
+            )
+            assert not plan.quiet
+
+    def test_message_profile_splits_the_rate(self):
+        plan = seeded_fault_plan(
+            1, replicas=REPLICAS, f=1, profile="drop+delay", rate=0.4
+        )
+        spec = plan.links["*"]
+        assert spec.drop == pytest.approx(0.2)
+        assert spec.delay == pytest.approx(0.2)
+        assert spec.duplicate == spec.reorder == 0.0
+
+    def test_windowed_profiles_respect_the_budget(self):
+        plan = seeded_fault_plan(
+            1, replicas=REPLICAS, f=1, profile="partition+crash"
+        )
+        (partition,) = plan.partitions
+        (crash,) = plan.crashes
+        assert len(partition.servers) <= plan.f
+        assert crash.crash >= partition.heal  # windows never overlap
+
+    def test_clean_plan_is_quiet(self):
+        plan = clean_plan(REPLICAS, 1)
+        assert plan.quiet
+        assert sum(plan.planned_counts().values()) == 0
+        assert "quiet" in plan.describe()
+
+
+class TestInjectorEvents:
+    def test_timed_events_fire_exactly_once(self):
+        plan = seeded_fault_plan(
+            1, replicas=REPLICAS, f=1, profile="partition+crash"
+        )
+        injector = FaultInjector(plan)
+        injector.advance_to(plan.heals_by() + 1)
+        injector.advance_to(plan.heals_by() + 50)  # idempotent
+        counts = injector.firing_counts()
+        for kind in ("partition", "heal", "crash", "revive"):
+            assert counts[f"event:{kind}"] == 1
+
+    def test_unavailable_tracks_the_window(self):
+        plan = FaultPlan(
+            seed=0, replicas=REPLICAS, f=1,
+            crashes=(CrashWindow("s1", 5, 9),),
+        )
+        injector = FaultInjector(plan)
+        assert not injector.unavailable("s1")
+        injector.advance_to(5)
+        assert injector.unavailable("s1")
+        assert not injector.unavailable("s0")
+        injector.advance_to(9)
+        assert not injector.unavailable("s1")

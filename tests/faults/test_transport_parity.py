@@ -1,0 +1,85 @@
+"""The tentpole claim: one seeded plan, identical firing on both worlds.
+
+For the same :class:`~repro.faults.plan.FaultPlan`, the simulated
+network and the TCP fault proxy must fire the *identical* fault
+schedule — same drops, same delays, same duplicates, same reorders,
+same window events — summarised by
+:meth:`~repro.faults.plan.FaultInjector.firing_counts` and compared
+exactly. Window drops are traffic-dependent and excluded by design.
+"""
+
+import pytest
+
+from repro.faults import (
+    FAULT_PROFILES,
+    run_chaos_experiment,
+    run_tcp_chaos,
+    seeded_fault_plan,
+)
+
+REPLICAS = ("s0", "s1", "s2")
+DATA_SIZE = 8
+TICK_S = 0.02
+
+
+def plan_for(profile: str, seed: int):
+    return seeded_fault_plan(
+        seed, replicas=REPLICAS, f=1, profile=profile,
+        rate=0.4, start=4, window=10,
+    )
+
+
+def expected_counts(plan):
+    counts = dict(plan.planned_counts())
+    for kind in ("partition", "heal", "crash", "revive"):
+        counts[f"event:{kind}"] = 0
+    for _tick, kind, _subject in plan.timed_events():
+        counts[f"event:{kind}"] += 1
+    return counts
+
+
+@pytest.mark.parametrize("profile", FAULT_PROFILES)
+def test_sim_and_tcp_fire_the_same_schedule(profile, tmp_path):
+    plan = plan_for(profile, seed=1)
+    report = run_chaos_experiment(
+        plan, DATA_SIZE, tmp_path, transport="both", tick_s=TICK_S,
+    )
+    assert report.sim.firing_counts == report.tcp.firing_counts
+    # Not merely equal to each other — equal to the compiled plan: the
+    # workload saturates every link horizon and outlives every window.
+    assert report.sim.firing_counts == expected_counts(plan)
+    assert report.parity_ok
+    assert report.ok, report.to_json()
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_parity_holds_across_seeds(seed, tmp_path):
+    plan = plan_for("chaos", seed=seed)
+    report = run_chaos_experiment(
+        plan, DATA_SIZE, tmp_path, transport="both", tick_s=TICK_S,
+    )
+    assert report.sim.firing_counts == report.tcp.firing_counts
+    assert report.ok, report.to_json()
+
+
+def test_tcp_firing_schedule_is_seed_stable(run, tmp_path):
+    """Two socket runs of the same plan fire identical counts."""
+    plan = plan_for("chaos", seed=1)
+    first = run(run_tcp_chaos(
+        plan, DATA_SIZE, tmp_path / "a", tick_s=TICK_S,
+    ))
+    second = run(run_tcp_chaos(
+        plan, DATA_SIZE, tmp_path / "b", tick_s=TICK_S,
+    ))
+    assert first.firing_counts == second.firing_counts
+    assert first.firing_counts == expected_counts(plan)
+
+
+def test_single_transport_reports_have_no_parity_claim(tmp_path):
+    plan = plan_for("drop", seed=1)
+    report = run_chaos_experiment(
+        plan, DATA_SIZE, tmp_path, transport="sim",
+    )
+    assert report.tcp is None
+    assert report.parity_ok  # nothing to compare
+    assert report.ok

@@ -28,6 +28,8 @@ def normalize(text: str, state_dir, tokens: dict[str, str]) -> str:
         text = text.replace(value, placeholder)
     text = text.replace(str(state_dir), "STATEDIR")
     text = re.sub(r"[ \t]+", " ", text)  # table padding varies with pids
+    text = re.sub(r"-{2,}", "--", text)  # ruler width varies with pids
+    text = re.sub(r"\b\d+s ago\b", "AGE ago", text)  # last-seen ages
     return "\n".join(line.rstrip() for line in text.splitlines()) + "\n"
 
 
