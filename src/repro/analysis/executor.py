@@ -46,12 +46,15 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.analysis.sweeps import (
+    KeyspaceRecord,
+    KeyspaceSweepResult,
     Scenario,
     SweepGrid,
     SweepPoint,
     SweepRecord,
     SweepResult,
     execute_cell,
+    execute_keyspace_cell,
     normalize_scenarios,
     sweep_cells,
 )
@@ -387,3 +390,77 @@ def run_sweep(
             journal.close()
 
     return SweepResult([done[index] for index in range(len(cells))])
+
+
+# ------------------------------------------------------- keyspace sweeps
+
+
+def _run_keyspace_chunk(
+    payload: tuple[list[int], list, dict],
+) -> list[tuple[int, KeyspaceRecord]]:
+    """Pool entrypoint: run one contiguous chunk of keyspace cells.
+
+    The keyspace twin of :func:`_run_chunk` — same spawn semantics, same
+    module-level pickling requirement.
+    """
+    indices, chunk_cells, kwargs = payload
+    worker = _worker_number()
+    return [
+        (index, execute_keyspace_cell(spec, worker=worker, **kwargs))
+        for index, spec in zip(indices, chunk_cells)
+    ]
+
+
+def run_keyspace_sweep(
+    cells: Sequence,
+    *,
+    max_steps: int = 400_000,
+    audit_storage_every: int = 0,
+    progress: Callable[[int, int], None] | None = None,
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> KeyspaceSweepResult:
+    """Execute keyspace cells, optionally across a spawn pool.
+
+    A drop-in superset of
+    :func:`repro.analysis.sweeps.run_keyspace_sweep`: keyspace cells are
+    pure functions of their spec (sampling is SHA-256-derived, the ring
+    is deterministic), so the pooled merge is byte-identical to the
+    serial run under ``to_json(include_timing=False)`` for any worker
+    count — the same contract as the register-sweep executor. Keyspace
+    grids are small (a handful of heavy cells), so there is no
+    checkpoint journal; an interrupted sweep just reruns.
+    """
+    if workers < 1:
+        raise ParameterError("workers must be >= 1")
+    cells = list(cells)
+    kwargs = dict(
+        max_steps=max_steps, audit_storage_every=audit_storage_every
+    )
+    done: dict[int, KeyspaceRecord] = {}
+    completed = 0
+
+    def finish(index: int, record: KeyspaceRecord) -> None:
+        nonlocal completed
+        done[index] = record
+        completed += 1
+        if progress is not None:
+            progress(completed, len(cells))
+
+    if workers == 1 or len(cells) <= 1:
+        for index, spec in enumerate(cells):
+            finish(index, execute_keyspace_cell(spec, **kwargs))
+    else:
+        size = chunk_size or default_chunk_size(len(cells), workers)
+        chunks = _chunked(list(range(len(cells))), size)
+        payloads = [
+            (chunk, [cells[index] for index in chunk], kwargs)
+            for chunk in chunks
+        ]
+        context = multiprocessing.get_context("spawn")
+        pool_size = min(workers, len(payloads))
+        with context.Pool(processes=pool_size) as pool:
+            for batch in pool.imap_unordered(_run_keyspace_chunk, payloads):
+                for index, record in batch:
+                    finish(index, record)
+    return KeyspaceSweepResult([done[index] for index in range(len(cells))])

@@ -923,3 +923,327 @@ def run_sweep(
         if progress is not None:
             progress(position, len(cells), point)
     return SweepResult(records)
+
+
+# ------------------------------------------------------- keyspace sweeps
+#
+# The keyspace axis: cells are whole sharded-keyspace runs
+# (:func:`repro.keyspace.run_keyspace`) instead of single-register
+# workloads, gridded over (skew, register, keys, shards). Cells stay
+# pure functions of their spec + engine knobs — the property the
+# parallel executor's byte-identical merge (and these records' JSON
+# determinism tests) rely on — so the same serial/pooled split applies:
+# :func:`run_keyspace_sweep` here is the serial engine and
+# :func:`repro.analysis.executor.run_keyspace_sweep` the pool superset.
+
+#: Default columns of :meth:`KeyspaceSweepResult.table`.
+KEYSPACE_TABLE_COLUMNS = (
+    "skew", "register", "keys", "shards", "max_shard_c",
+    "aggregate_peak_bo_state_bits", "aggregate_peak_storage_bits",
+    "aggregate_thm1_floor_bits", "floor_violations", "distinct_keys",
+)
+
+#: JSON document version of :meth:`KeyspaceSweepResult.to_json`.
+KEYSPACE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class KeyspaceRecord:
+    """One executed keyspace cell: the spec axes plus aggregate measures.
+
+    ``aggregate_peak_storage_bits`` sums per-shard Definition 2 peaks
+    (each shard at its own worst action); ``aggregate_thm1_floor_bits``
+    sums each shard's Theorem 1 floor evaluated at that shard's realized
+    write concurrency, and ``floor_violations`` counts shards whose peak
+    fell below their own floor (0 everywhere or the sweep fails).
+    ``wall_clock_s``/``worker`` are execution metadata exactly as on
+    :class:`SweepRecord` (stripped by ``to_json(include_timing=False)``).
+    """
+
+    skew: str
+    register: str
+    f: int
+    k: int
+    n: int
+    keys: int
+    shards: int
+    vnodes: int
+    waves: int
+    wave_size: int
+    reads_per_wave: int
+    data_bits: int
+    seed: int
+    zipf_s: float
+    hot_keys: int
+    hot_weight: float
+    distinct_keys: int
+    active_shards: int
+    max_shard_c: int
+    aggregate_peak_storage_bits: int
+    aggregate_peak_bo_state_bits: int
+    aggregate_final_bits: int
+    aggregate_thm1_floor_bits: int
+    floor_violations: int
+    completed_writes: int
+    completed_reads: int
+    steps: int
+    wall_clock_s: float = 0.0
+    worker: int = 0
+
+
+def keyspace_grid(
+    *,
+    skews: Sequence[str],
+    registers: Sequence[str],
+    keys: Sequence[int],
+    shards: Sequence[int],
+    f: int = 1,
+    k: int = 2,
+    data_size_bytes: int = 16,
+    waves: int = 4,
+    wave_size: int = 64,
+    reads_per_wave: int = 0,
+    zipf_s: float = 1.1,
+    hot_keys: int = 8,
+    hot_weight: float = 0.9,
+    vnodes: int = 64,
+    seed: int = 0,
+) -> tuple["KeyspaceSpec", ...]:
+    """Cartesian keyspace cell list over (skew, register, keys, shards).
+
+    Each cell is a :class:`~repro.keyspace.KeyspaceSpec` (frozen, so the
+    tuple is deduplicatable and pool-picklable); spec validation runs at
+    grid-build time, mirroring :meth:`SweepGrid.explicit`.
+    """
+    from repro.keyspace import KeyspaceSpec
+
+    specs = [
+        KeyspaceSpec(
+            keys=key_count, shards=shard_count, register=register, f=f,
+            k=k, data_size_bytes=data_size_bytes, skew=skew,
+            zipf_s=zipf_s, hot_keys=hot_keys, hot_weight=hot_weight,
+            waves=waves, wave_size=wave_size,
+            reads_per_wave=reads_per_wave, vnodes=vnodes, seed=seed,
+        )
+        for skew in skews
+        for register in registers
+        for key_count in keys
+        for shard_count in shards
+    ]
+    return tuple(dict.fromkeys(specs))
+
+
+def execute_keyspace_cell(
+    spec: "KeyspaceSpec",
+    *,
+    max_steps: int = 400_000,
+    audit_storage_every: int = 0,
+    worker: int = 0,
+) -> KeyspaceRecord:
+    """Run one keyspace cell and flatten it into its sweep record.
+
+    Like :func:`execute_cell`, every field except the execution metadata
+    is a pure function of ``(spec, knobs)`` — the pooled keyspace sweep
+    is byte-identical to the serial one because of this.
+    """
+    from repro.keyspace import run_keyspace
+
+    started = time.perf_counter()
+    outcome = run_keyspace(
+        spec, max_steps=max_steps,
+        audit_storage_every=audit_storage_every,
+    )
+    wall_clock_s = round(time.perf_counter() - started, 6)
+    return KeyspaceRecord(
+        skew=spec.skew,
+        register=spec.register,
+        f=spec.f,
+        k=spec.k,
+        n=spec.n,
+        keys=spec.keys,
+        shards=spec.shards,
+        vnodes=spec.vnodes,
+        waves=spec.waves,
+        wave_size=spec.wave_size,
+        reads_per_wave=spec.reads_per_wave,
+        data_bits=spec.data_size_bits,
+        seed=spec.seed,
+        zipf_s=spec.zipf_s,
+        hot_keys=spec.hot_keys,
+        hot_weight=spec.hot_weight,
+        distinct_keys=outcome.distinct_keys,
+        active_shards=outcome.active_shards,
+        max_shard_c=outcome.max_shard_c,
+        aggregate_peak_storage_bits=outcome.aggregate_peak_storage_bits,
+        aggregate_peak_bo_state_bits=outcome.aggregate_peak_bo_state_bits,
+        aggregate_final_bits=outcome.aggregate_final_bits,
+        aggregate_thm1_floor_bits=sum(
+            stats.thm1_floor_bits for stats in outcome.shard_stats
+        ),
+        floor_violations=len(outcome.floor_violations),
+        completed_writes=outcome.completed_writes,
+        completed_reads=outcome.completed_reads,
+        steps=outcome.total_actions,
+        wall_clock_s=wall_clock_s,
+        worker=worker,
+    )
+
+
+@dataclass
+class KeyspaceSweepResult:
+    """The measured keyspace sweep: records + rendering/IO, like
+    :class:`SweepResult` (same timing-stripped determinism contract)."""
+
+    records: list[KeyspaceRecord]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def select(self, **filters: object) -> list[KeyspaceRecord]:
+        """Records whose fields equal every ``filters`` entry, in order."""
+        return [
+            record
+            for record in self.records
+            if all(getattr(record, key) == value
+                   for key, value in filters.items())
+        ]
+
+    def skews(self) -> list[str]:
+        return list(dict.fromkeys(record.skew for record in self.records))
+
+    def table(self, columns: Sequence[str] = KEYSPACE_TABLE_COLUMNS) -> str:
+        rows = [
+            [getattr(record, column) for column in columns]
+            for record in self.records
+        ]
+        return format_table(list(columns), rows)
+
+    def to_json(self, include_timing: bool = True) -> str:
+        """Stable versioned JSON; ``include_timing=False`` strips the
+        :data:`RECORD_METADATA_FIELDS` for byte-identity comparisons."""
+        records = [asdict(record) for record in self.records]
+        record_fields = [field.name for field in fields(KeyspaceRecord)]
+        if not include_timing:
+            for metadata_field in RECORD_METADATA_FIELDS:
+                record_fields.remove(metadata_field)
+                for record in records:
+                    del record[metadata_field]
+        return json.dumps(
+            {
+                "version": KEYSPACE_SCHEMA_VERSION,
+                "record_fields": record_fields,
+                "records": records,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "KeyspaceSweepResult":
+        document = json.loads(text)
+        if document.get("version") != KEYSPACE_SCHEMA_VERSION:
+            raise ParameterError(
+                f"unsupported keyspace sweep version "
+                f"{document.get('version')!r}"
+            )
+        return cls([
+            KeyspaceRecord(**record) for record in document["records"]
+        ])
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "KeyspaceSweepResult":
+        return cls.from_json(Path(path).read_text())
+
+
+def run_keyspace_sweep(
+    cells: Sequence["KeyspaceSpec"],
+    *,
+    max_steps: int = 400_000,
+    audit_storage_every: int = 0,
+    progress: Callable[[int, int], None] | None = None,
+) -> KeyspaceSweepResult:
+    """Execute every keyspace cell serially, in cell order.
+
+    The serial engine; :func:`repro.analysis.executor.run_keyspace_sweep`
+    fans the same cell list across a spawn pool with a deterministic
+    merge. ``progress`` is called as ``progress(done, total)``.
+    """
+    records = []
+    for position, spec in enumerate(cells, start=1):
+        records.append(execute_keyspace_cell(
+            spec, max_steps=max_steps,
+            audit_storage_every=audit_storage_every,
+        ))
+        if progress is not None:
+            progress(position, len(cells))
+    return KeyspaceSweepResult(records)
+
+
+def keyspace_advantage_ratios(
+    result: KeyspaceSweepResult,
+    *,
+    baseline: str = "coded-only",
+    contender: str = "adaptive",
+) -> dict[str, float]:
+    """Per-skew storage-advantage ratio ``baseline / contender``.
+
+    The crossover headline number: how many times more aggregate peak
+    base-object storage the baseline register needs than the contender
+    under each skew, at otherwise identical cells. Skews missing either
+    register (or measured at mismatched shapes) are skipped.
+    """
+    ratios: dict[str, float] = {}
+    for skew in result.skews():
+        base = result.select(skew=skew, register=baseline)
+        cont = result.select(skew=skew, register=contender)
+        if len(base) != 1 or len(cont) != 1:
+            continue
+        if cont[0].aggregate_peak_bo_state_bits == 0:
+            continue
+        ratios[skew] = (
+            base[0].aggregate_peak_bo_state_bits
+            / cont[0].aggregate_peak_bo_state_bits
+        )
+    return ratios
+
+
+def keyspace_shape_violations(result: KeyspaceSweepResult) -> list[str]:
+    """Check the keyspace sweep's two required shapes; return violations.
+
+    * **Floors** — every cell's shards all met their own Theorem 1 floor
+      (``floor_violations == 0``).
+    * **Crossover** — concentrating concurrency must widen the adaptive
+      register's storage advantage: the coded-only/adaptive aggregate
+      peak ratio under ``hotspot`` skew must strictly exceed the same
+      ratio under ``uniform`` skew (checked when both skews carry both
+      registers). This is the headline question the keyspace answers —
+      spread thin, coded-only and adaptive track each other; on hot
+      shards, coded-only pays ~``c`` codewords where adaptive caps at
+      ``min(f, c) + 1``.
+
+    An empty list means the shapes hold — the shared criterion of the
+    keyspace benchmark, its tests, and ``repro keyspace``.
+    """
+    violations: list[str] = []
+    for record in result.records:
+        if record.floor_violations:
+            violations.append(
+                f"{record.skew}/{record.register}: "
+                f"{record.floor_violations} shard(s) below their "
+                f"Theorem 1 floor"
+            )
+    ratios = keyspace_advantage_ratios(result)
+    if "uniform" in ratios and "hotspot" in ratios:
+        if ratios["hotspot"] <= ratios["uniform"]:
+            violations.append(
+                "hot-key skew did not widen the adaptive advantage: "
+                f"coded-only/adaptive ratio {ratios['hotspot']:.2f} "
+                f"(hotspot) <= {ratios['uniform']:.2f} (uniform)"
+            )
+    return violations

@@ -30,6 +30,14 @@ the cluster is degraded-but-alive (quorum answers, redundancy reduced) —
 distinct codes so scripts can tell "already in the state I wanted" and
 "wounded" from real failures.
 
+``keyspace`` drives the sharded multi-register keyspace (consistent-hash
+ring, skewed per-key waves — see ``docs/KEYSPACE.md``) across skews and
+registers, printing aggregate storage against the per-shard Theorem 1
+floors and the per-skew coded-only/adaptive advantage ratios::
+
+    python -m repro keyspace --keys 100000 --shards 64 \\
+        --skews uniform,hotspot --registers coded-only,adaptive
+
 ``chaos`` runs a seeded fault plan (drops, delays, duplicates, reorders,
 slowdowns, partitions, crash windows — see ``docs/FAULTS.md``) against
 the simulated network and/or a real loopback cluster behind the TCP
@@ -249,6 +257,48 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         path = result.save(args.output)
         print(f"JSON result: {path}")
     violations = crossover_shape_violations(result)
+    for violation in violations:
+        print(f"SHAPE VIOLATION: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+def cmd_keyspace(args: argparse.Namespace) -> int:
+    """Run a sharded-keyspace sweep across skews (and check its shapes)."""
+    from repro.analysis import (
+        keyspace_advantage_ratios,
+        keyspace_grid,
+        keyspace_shape_violations,
+        run_keyspace_sweep,
+    )
+
+    def ints(text: str) -> tuple[int, ...]:
+        return tuple(int(part) for part in text.split(","))
+
+    cells = keyspace_grid(
+        skews=tuple(args.skews.split(",")),
+        registers=tuple(args.registers.split(",")),
+        keys=ints(args.keys),
+        shards=ints(args.shards),
+        f=args.f,
+        k=args.k,
+        data_size_bytes=args.data_size,
+        waves=args.waves,
+        wave_size=args.wave_size,
+        reads_per_wave=args.reads_per_wave,
+        zipf_s=args.zipf_s,
+        hot_keys=args.hot_keys,
+        hot_weight=args.hot_weight,
+        vnodes=args.vnodes,
+        seed=args.seed,
+    )
+    result = run_keyspace_sweep(cells, workers=args.workers)
+    print(result.table())
+    for skew, ratio in keyspace_advantage_ratios(result).items():
+        print(f"advantage ({skew}): coded-only/adaptive = {ratio:.2f}x")
+    if args.output:
+        path = result.save(args.output)
+        print(f"JSON result: {path}")
+    violations = keyspace_shape_violations(result)
     for violation in violations:
         print(f"SHAPE VIOLATION: {violation}", file=sys.stderr)
     return 1 if violations else 0
@@ -567,6 +617,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--output", type=str, default=None,
                          help="write the sweep-result JSON to this path")
     p_sweep.set_defaults(handler=cmd_sweep)
+
+    p_keyspace = sub.add_parser("keyspace", help=cmd_keyspace.__doc__)
+    p_keyspace.add_argument("--keys", type=str, default="100000",
+                            help="comma-separated keyspace sizes")
+    p_keyspace.add_argument("--shards", type=str, default="64",
+                            help="comma-separated shard (register) counts")
+    p_keyspace.add_argument("--skews", type=str, default="uniform,hotspot",
+                            help="comma-separated key skews: uniform, "
+                                 "zipfian, hotspot")
+    p_keyspace.add_argument("--registers", type=str,
+                            default="coded-only,adaptive",
+                            help="comma-separated register names")
+    p_keyspace.add_argument("--f", type=int, default=1,
+                            help="crash tolerance per shard")
+    p_keyspace.add_argument("--k", type=int, default=2,
+                            help="code dimension per shard")
+    p_keyspace.add_argument("--data-size", type=int, default=16,
+                            help="value size in bytes (D/8)")
+    p_keyspace.add_argument("--waves", type=int, default=4,
+                            help="synchronous operation waves")
+    p_keyspace.add_argument("--wave-size", type=int, default=128,
+                            help="concurrent write clients per wave")
+    p_keyspace.add_argument("--reads-per-wave", type=int, default=16,
+                            help="concurrent reader clients per wave")
+    p_keyspace.add_argument("--zipf-s", type=float, default=1.1,
+                            help="zipfian exponent (skew=zipfian)")
+    p_keyspace.add_argument("--hot-keys", type=int, default=8,
+                            help="hot-set size (skew=hotspot)")
+    p_keyspace.add_argument("--hot-weight", type=float, default=0.9,
+                            help="traffic share of the hot set")
+    p_keyspace.add_argument("--vnodes", type=int, default=64,
+                            help="virtual nodes per shard on the hash ring")
+    p_keyspace.add_argument("--seed", type=int, default=0)
+    p_keyspace.add_argument("--workers", type=int, default=1,
+                            help="process-pool size (results byte-identical)")
+    p_keyspace.add_argument("--output", type=str, default=None,
+                            help="write the keyspace-sweep JSON here")
+    p_keyspace.set_defaults(handler=cmd_keyspace)
 
     p_report = sub.add_parser("report", help=cmd_report.__doc__)
     p_report.add_argument("--output", type=str, default=None,

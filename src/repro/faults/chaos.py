@@ -32,6 +32,12 @@ DEFAULT_WRITERS = 2
 DEFAULT_READERS = 2
 DEFAULT_OPS = 3
 
+#: Upper bound on post-workload saturation probe rounds: each round a
+#: reachable link's sequence number advances unless its probe frame was
+#: itself scheduled-dropped, so ``horizon`` rounds always suffice for a
+#: healed plan; the slack covers probe frames lost to scheduled drops.
+SATURATE_ROUNDS_PER_HORIZON = 3
+
 
 def _padded(tag: str, size: int) -> bytes:
     return tag.encode().ljust(size, b"_")[:size]
@@ -148,6 +154,46 @@ def run_sim_chaos(
 # -------------------------------------------------------------------- TCP
 
 
+async def _saturate_scheduled_faults(
+    proxies: FaultProxyCluster,
+    injector: FaultInjector,
+    *,
+    tick_s: float,
+    request_timeout: float,
+) -> bool:
+    """Drive probe traffic through the proxies until the plan saturates.
+
+    One framed PING round-trip per reachable replica per round consumes
+    one ``c->sN`` and one ``sN->c`` sequence number, so every scheduled
+    link fault still pending inside the horizon fires within a bounded
+    number of rounds. Probe frames past the horizon are clean forwards —
+    extra rounds can never overshoot the planned counts. Replicas inside
+    a still-active (never-healing) window are skipped: their pending
+    faults are unreachable on any transport. Returns whether the plan
+    saturated.
+    """
+    from repro.msgnet import protocol
+    from repro.service.client import probe
+
+    probe_timeout = max(8 * tick_s, request_timeout)
+    max_rounds = SATURATE_ROUNDS_PER_HORIZON * injector.plan.horizon
+    for round_number in range(max_rounds):
+        proxies.advance_clock()
+        if injector.saturated():
+            return True
+        for name, (host, port) in sorted(proxies.endpoints.items()):
+            if injector.unavailable(name):
+                continue
+            await probe(
+                host, port,
+                (protocol.PING, ("chaos-saturate", round_number, name)),
+                protocol.REPLY_PONG,
+                timeout=probe_timeout,
+            )
+    proxies.advance_clock()
+    return injector.saturated()
+
+
 async def run_tcp_chaos(
     plan: FaultPlan,
     data_size_bytes: int,
@@ -225,6 +271,20 @@ async def run_tcp_chaos(
                 while proxies.current_tick() <= last_tick:
                     await asyncio.sleep(tick_s)
                 proxies.advance_clock()
+            # Saturate the scheduled link faults. Window drops consume no
+            # link sequence numbers, and over wall-clock ticks a window
+            # can swallow enough of the workload's traffic that a reply
+            # link ends short of its horizon — leaving scheduled faults
+            # at the unreached tail unfired (the seed-7 parity break:
+            # s1's partition left s1->c at seq 7, one short of the delay
+            # scheduled at seq 8). The simulated runner keeps driving
+            # traffic until every operation returns; the TCP twin of
+            # that guarantee is to keep probing until every scheduled
+            # fault has fired.
+            await _saturate_scheduled_faults(
+                proxies, injector, tick_s=tick_s,
+                request_timeout=request_timeout,
+            )
             clients = writer_clients + reader_clients
             history = merge_histories(clients)
             report.health = {

@@ -1,0 +1,28 @@
+"""Sharded multi-register keyspaces: million-key skewed workloads.
+
+See :mod:`repro.keyspace.runner` for the model (shard = register,
+per-shard concurrency = wave routing) and :mod:`repro.keyspace.hashing`
+for the consistent-hash ring. The sweep axis over (skew, shards, keys)
+lives in :mod:`repro.analysis.sweeps` (``KeyspacePoint`` /
+``run_keyspace_sweep``), parallel-executor compatible via
+:mod:`repro.analysis.executor`.
+"""
+
+from repro.keyspace.hashing import HashRing, hash_point
+from repro.keyspace.runner import (
+    KEYSPACE_REGISTERS,
+    KeyspaceResult,
+    KeyspaceSpec,
+    ShardStats,
+    run_keyspace,
+)
+
+__all__ = [
+    "HashRing",
+    "KEYSPACE_REGISTERS",
+    "KeyspaceResult",
+    "KeyspaceSpec",
+    "ShardStats",
+    "hash_point",
+    "run_keyspace",
+]

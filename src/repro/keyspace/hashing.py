@@ -1,0 +1,78 @@
+"""Consistent hashing: the deterministic key -> shard ring.
+
+The keyspace places each shard on a hash ring at ``vnodes`` pseudo-random
+points (SHA-256 of ``(salt, shard, vnode)``); a key belongs to the shard
+owning the first ring point clockwise of the key's own hash. Two
+properties matter here:
+
+* **Determinism** — ring points and key hashes are pure SHA-256, so the
+  same ``(shards, vnodes, salt)`` always yields the same mapping, on any
+  host and in any pool worker. Sharded sweeps inherit byte-identical
+  reproducibility from this.
+* **Minimal disruption** — removing a shard reassigns only the keys that
+  shard owned (each to the next point clockwise); every other key keeps
+  its shard. ``tests/keyspace/test_hashing.py`` pins both.
+
+Virtual nodes smooth the load: with ``vnodes`` points per shard the
+largest arc shrinks like ``O(log(shards) / vnodes)`` of the ring, so the
+uniform-skew waves of ``repro.keyspace`` spread evenly instead of
+following one unlucky arc.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable
+
+from repro.errors import ParameterError
+
+
+def hash_point(tag: str) -> int:
+    """A ring position: the first 8 bytes of SHA-256 over ``tag``."""
+    return int.from_bytes(hashlib.sha256(tag.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over ``shards`` shards.
+
+    ``salt`` namespaces the ring (two rings with different salts place
+    the same shards at independent points — useful for re-hashing tests);
+    key ids are plain integers, hashed as ``"<salt>:key<id>"``.
+    """
+
+    def __init__(self, shards: int, vnodes: int = 64, salt: str = "ring"):
+        if shards < 1:
+            raise ParameterError("shards must be >= 1")
+        if vnodes < 1:
+            raise ParameterError("vnodes must be >= 1")
+        self.shards = shards
+        self.vnodes = vnodes
+        self.salt = salt
+        placed = sorted(
+            (hash_point(f"{salt}:shard{shard}:v{vnode}"), shard)
+            for shard in range(shards)
+            for vnode in range(vnodes)
+        )
+        self._points = [point for point, _shard in placed]
+        self._owners = [shard for _point, shard in placed]
+
+    def shard_of(self, key: int) -> int:
+        """The shard owning ``key``: first ring point clockwise of it."""
+        position = hash_point(f"{self.salt}:key{key}")
+        index = bisect_right(self._points, position) % len(self._points)
+        return self._owners[index]
+
+    def assign(self, keys: Iterable[int]) -> dict[int, list[int]]:
+        """Group ``keys`` by owning shard (insertion order preserved)."""
+        grouped: dict[int, list[int]] = {}
+        for key in keys:
+            grouped.setdefault(self.shard_of(key), []).append(key)
+        return grouped
+
+    def load_counts(self, keys: Iterable[int]) -> dict[int, int]:
+        """How many of ``keys`` each shard owns (shards absent: zero)."""
+        counts = dict.fromkeys(range(self.shards), 0)
+        for key in keys:
+            counts[self.shard_of(key)] += 1
+        return counts

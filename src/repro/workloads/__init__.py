@@ -1,10 +1,18 @@
 """Workload generation and the experiment runner."""
 
 from repro.workloads.generators import (
+    KEY_SKEWS,
     WorkloadSpec,
+    cumulative_weights,
+    hotspot_weights,
     make_value,
     reader_name,
+    sample_keys,
+    skew_weights,
+    uniform_weights,
+    unit_interval,
     writer_name,
+    zipf_weights,
 )
 from repro.workloads.fuzz import FuzzFailure, FuzzResult, fuzz_register
 from repro.workloads.patterns import (
@@ -22,16 +30,24 @@ from repro.workloads.runner import (
 __all__ = [
     "FuzzFailure",
     "FuzzResult",
+    "KEY_SKEWS",
     "PatternRun",
     "WorkloadResult",
     "WorkloadSpec",
     "build_encode_plan",
     "churn",
+    "cumulative_weights",
     "fuzz_register",
+    "hotspot_weights",
     "make_value",
     "read_heavy",
     "reader_name",
     "run_register_workload",
+    "sample_keys",
+    "skew_weights",
     "staggered_writers",
+    "uniform_weights",
+    "unit_interval",
     "writer_name",
+    "zipf_weights",
 ]

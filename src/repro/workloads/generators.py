@@ -9,8 +9,11 @@ must be stable). Values are therefore derived by expanding SHA-256 over a
 from __future__ import annotations
 
 import hashlib
+from bisect import bisect_right
 from dataclasses import dataclass
+from itertools import accumulate
 
+from repro.errors import ParameterError
 from repro.registers.base import RegisterSetup
 
 
@@ -74,3 +77,121 @@ def writer_name(index: int) -> str:
 
 def reader_name(index: int) -> str:
     return f"r{index}"
+
+
+# ------------------------------------------------------- key-skew streams
+#
+# The keyspace layer (``repro.keyspace``) draws per-wave key streams from
+# a popularity distribution over key ids ``0 .. keys-1``. Like the values
+# above, every draw is derived by expanding SHA-256 over ``(seed, tag)``
+# — no stateful RNG — so a wave's key set is a pure function of the spec,
+# which is what makes sharded sweeps byte-reproducible and pool-safe.
+
+#: Key-popularity shapes the keyspace workloads understand.
+KEY_SKEWS = ("uniform", "zipfian", "hotspot")
+
+
+def unit_interval(seed: int, tag: str) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from a ``(seed, tag)`` pair."""
+    digest = hashlib.sha256(f"{seed}:{tag}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def uniform_weights(keys: int) -> list[float]:
+    """Every key equally popular: concurrency spread as thin as possible."""
+    if keys < 1:
+        raise ParameterError("keys must be >= 1")
+    return [1.0 / keys] * keys
+
+
+def zipf_weights(keys: int, s: float = 1.1) -> list[float]:
+    """Normalized zipfian popularity: key of rank ``r`` gets ``1/r^s`` mass.
+
+    Rank order is key-id order (key 0 is the hottest), so distribution
+    tests and plots need no separate rank permutation; the hash ring
+    scatters ids across shards regardless.
+    """
+    if keys < 1:
+        raise ParameterError("keys must be >= 1")
+    if s <= 0:
+        raise ParameterError("zipf exponent s must be > 0")
+    raw = [1.0 / (rank ** s) for rank in range(1, keys + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def hotspot_weights(
+    keys: int, hot_keys: int, hot_weight: float = 0.9
+) -> list[float]:
+    """Hot-key skew: ``hot_keys`` keys split ``hot_weight`` of all traffic.
+
+    The first ``hot_keys`` ids are the hot set (sharing ``hot_weight``
+    evenly); the rest split the remaining mass evenly. With fewer hot
+    keys than shards this concentrates write concurrency on the few
+    shards owning them — the regime that separates the coded-only and
+    adaptive storage curves.
+    """
+    if keys < 1:
+        raise ParameterError("keys must be >= 1")
+    if not 1 <= hot_keys <= keys:
+        raise ParameterError("hot_keys must be in [1, keys]")
+    if not 0 < hot_weight < 1:
+        raise ParameterError("hot_weight must be in (0, 1)")
+    if hot_keys == keys:  # degenerate: everything "hot" means uniform
+        return uniform_weights(keys)
+    hot = hot_weight / hot_keys
+    cold = (1.0 - hot_weight) / (keys - hot_keys)
+    return [hot] * hot_keys + [cold] * (keys - hot_keys)
+
+
+def skew_weights(
+    skew: str,
+    keys: int,
+    *,
+    zipf_s: float = 1.1,
+    hot_keys: int = 8,
+    hot_weight: float = 0.9,
+) -> list[float]:
+    """Build the popularity vector for one of :data:`KEY_SKEWS`."""
+    if skew == "uniform":
+        return uniform_weights(keys)
+    if skew == "zipfian":
+        return zipf_weights(keys, zipf_s)
+    if skew == "hotspot":
+        return hotspot_weights(keys, hot_keys, hot_weight)
+    raise ParameterError(f"unknown key skew {skew!r}; known: {KEY_SKEWS}")
+
+
+def cumulative_weights(weights: list[float]) -> list[float]:
+    """Prefix sums of a popularity vector, rescaled to end exactly at 1.
+
+    The sampling table :func:`sample_keys` bisects: rescaling kills the
+    float drift that would otherwise leave the final interval slightly
+    short (or long) of the unit draw's range.
+    """
+    if not weights:
+        raise ParameterError("weights must be non-empty")
+    sums = list(accumulate(weights))
+    total = sums[-1]
+    if total <= 0:
+        raise ParameterError("weights must have positive mass")
+    return [value / total for value in sums]
+
+
+def sample_keys(
+    cum_weights: list[float], count: int, seed: int, tag: str
+) -> list[int]:
+    """Draw ``count`` key ids (with replacement) from a cumulative table.
+
+    Draw ``i`` inverts the CDF at ``unit_interval(seed, f"{tag}.{i}")``,
+    so the stream is fully determined by ``(seed, tag)`` and draws can
+    repeat hot keys — repeated draws model *distinct clients* writing the
+    same key concurrently, which is exactly the paper's concurrency ``c``
+    once keys are mapped onto shared registers.
+    """
+    if count < 0:
+        raise ParameterError("count must be >= 0")
+    return [
+        bisect_right(cum_weights, unit_interval(seed, f"{tag}.{draw}"))
+        for draw in range(count)
+    ]

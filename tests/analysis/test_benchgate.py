@@ -239,6 +239,7 @@ class TestCheckerScript:
             "BENCH_scenario_sweep.json",
             "BENCH_service_faults.json",
             "BENCH_service_loopback.json",
+            "BENCH_keyspace.json",
             "BENCH_sim_throughput.json",
         }
         for name in committed:

@@ -14,6 +14,7 @@ import pytest
 #: Modules in this directory that need real loopback sockets.
 _SOCKET_MODULES = {
     "test_tcp_chaos", "test_transport_parity", "test_client_resilience",
+    "test_schedule_realization",
 }
 
 

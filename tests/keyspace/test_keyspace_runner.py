@@ -1,0 +1,139 @@
+"""Tests for the sharded keyspace runner: floors, parity, determinism."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.keyspace import KeyspaceSpec, run_keyspace
+
+#: Small enough for CI, skewed enough to concentrate real concurrency:
+#: 2 hot keys over 8 shards puts most of each 32-op wave on <= 2 shards.
+HOT = KeyspaceSpec(
+    keys=256, shards=8, register="adaptive", skew="hotspot",
+    hot_keys=2, hot_weight=0.95, waves=2, wave_size=32,
+    reads_per_wave=4, vnodes=16, seed=3,
+)
+UNIFORM = KeyspaceSpec(
+    keys=256, shards=8, register="coded-only", skew="uniform",
+    waves=2, wave_size=32, reads_per_wave=4, vnodes=16, seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def hot_result():
+    return run_keyspace(HOT)
+
+
+@pytest.fixture(scope="module")
+def uniform_result():
+    return run_keyspace(UNIFORM)
+
+
+class TestAccounting:
+    def test_every_operation_completes(self, hot_result):
+        assert hot_result.completed_writes == HOT.waves * HOT.wave_size
+        assert hot_result.completed_reads == HOT.waves * HOT.reads_per_wave
+
+    def test_wave_concurrency_partitions_each_wave(self, hot_result):
+        for wave in range(HOT.waves):
+            routed = sum(
+                c for (w, _shard), c in hot_result.wave_concurrency.items()
+                if w == wave
+            )
+            assert routed == HOT.wave_size
+
+    def test_distinct_keys_bounded_by_draws(self, hot_result):
+        assert 1 <= hot_result.distinct_keys <= HOT.total_ops
+        assert hot_result.distinct_keys <= HOT.keys
+
+    def test_hotspot_concentrates_concurrency(self, hot_result,
+                                              uniform_result):
+        """The headline physics: hotspot's per-shard c far exceeds
+        uniform's, on identical wave sizes."""
+        assert hot_result.max_shard_c > uniform_result.max_shard_c
+        assert hot_result.active_shards <= uniform_result.active_shards
+
+
+class TestTheorem1Floors:
+    @pytest.mark.parametrize("register", ["abd", "coded-only", "adaptive"])
+    def test_every_active_shard_meets_its_floor(self, register):
+        spec = KeyspaceSpec(
+            keys=128, shards=4, register=register, skew="hotspot",
+            hot_keys=2, hot_weight=0.9, waves=2, wave_size=16,
+            vnodes=16, seed=1,
+        )
+        outcome = run_keyspace(spec)
+        assert outcome.floor_violations == []
+        active = [s for s in outcome.shard_stats if s.waves_active]
+        assert active, "hotspot wave must load at least one shard"
+        assert all(s.thm1_floor_bits > 0 for s in active)
+
+    def test_idle_shards_have_zero_floor(self, hot_result):
+        idle = [s for s in hot_result.shard_stats if not s.waves_active]
+        assert idle, "2 hot keys over 8 shards must leave idle shards"
+        assert all(s.thm1_floor_bits == 0 for s in idle)
+        assert all(s.peak_storage_bits == 0 for s in idle)
+
+
+class TestLedgerParity:
+    @pytest.mark.parametrize("register", ["coded-only", "adaptive"])
+    def test_incremental_ledger_matches_reference_walk(self, register):
+        """audit_storage_every=1 cross-checks the O(1) ledger against the
+        full-walk ReferenceStorageMeter at every action of every shard
+        simulation; a divergence raises from inside the tracker."""
+        spec = KeyspaceSpec(
+            keys=128, shards=4, register=register, skew="hotspot",
+            hot_keys=2, hot_weight=0.9, waves=2, wave_size=16,
+            reads_per_wave=2, vnodes=16, seed=2,
+        )
+        audited = run_keyspace(spec, audit_storage_every=1)
+        unaudited = run_keyspace(spec)
+        assert audited.aggregate_peak_storage_bits == \
+            unaudited.aggregate_peak_storage_bits
+        assert audited.aggregate_final_bits == unaudited.aggregate_final_bits
+
+
+class TestDeterminism:
+    def test_same_spec_same_measurements(self, hot_result):
+        again = run_keyspace(HOT)
+        assert again.wave_concurrency == hot_result.wave_concurrency
+        assert again.distinct_keys == hot_result.distinct_keys
+        for a, b in zip(again.shard_stats, hot_result.shard_stats):
+            assert (a.max_c, a.peak_storage_bits, a.peak_bo_state_bits,
+                    a.final_bo_state_bits, a.thm1_floor_bits, a.steps) == \
+                   (b.max_c, b.peak_storage_bits, b.peak_bo_state_bits,
+                    b.final_bo_state_bits, b.thm1_floor_bits, b.steps)
+
+    def test_seed_changes_the_draw(self):
+        other = run_keyspace(
+            KeyspaceSpec(
+                keys=256, shards=8, register="adaptive", skew="hotspot",
+                hot_keys=2, hot_weight=0.95, waves=2, wave_size=32,
+                reads_per_wave=4, vnodes=16, seed=4,
+            )
+        )
+        baseline = run_keyspace(HOT)
+        assert other.wave_concurrency != baseline.wave_concurrency
+
+
+class TestValidation:
+    def test_unknown_register(self):
+        with pytest.raises(ParameterError):
+            KeyspaceSpec(keys=8, shards=2, register="paxos")
+
+    def test_unknown_skew(self):
+        with pytest.raises(ParameterError):
+            KeyspaceSpec(keys=8, shards=2, skew="pareto")
+
+    def test_coded_width_must_divide(self):
+        with pytest.raises(ParameterError):
+            KeyspaceSpec(keys=8, shards=2, k=3, data_size_bytes=16)
+
+    def test_counts_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            KeyspaceSpec(keys=0, shards=2)
+        with pytest.raises(ParameterError):
+            KeyspaceSpec(keys=8, shards=2, reads_per_wave=-1)
+
+    def test_pool_sizes(self):
+        assert KeyspaceSpec(keys=8, shards=2, register="abd", f=2).n == 5
+        assert KeyspaceSpec(keys=8, shards=2, f=2, k=2).n == 6

@@ -116,6 +116,35 @@ class TestSweep:
         assert "churn+crash" in out
 
 
+class TestKeyspace:
+    ARGS = ["keyspace", "--keys", "256", "--shards", "8",
+            "--waves", "2", "--wave-size", "32", "--hot-keys", "2",
+            "--hot-weight", "0.95", "--vnodes", "16",
+            "--reads-per-wave", "2"]
+
+    def test_prints_table_advantages_and_passes_shapes(self, capsys):
+        code = main(self.ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aggregate_peak_bo_state_bits" in out
+        assert "hotspot" in out and "uniform" in out
+        assert "coded-only/adaptive" in out
+
+    def test_writes_json(self, capsys, tmp_path):
+        output = tmp_path / "keyspace.json"
+        assert main(self.ARGS + ["--output", str(output)]) == 0
+        from repro.analysis import KeyspaceSweepResult
+
+        loaded = KeyspaceSweepResult.load(output)
+        assert len(loaded) == 4
+
+    def test_unknown_skew_rejected(self, capsys):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(self.ARGS + ["--skews", "pareto"])
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,108 @@
+"""Tests for the key-skew streams feeding the sharded keyspace."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.workloads import (
+    KEY_SKEWS,
+    cumulative_weights,
+    hotspot_weights,
+    sample_keys,
+    skew_weights,
+    uniform_weights,
+    unit_interval,
+    zipf_weights,
+)
+
+
+class TestWeightVectors:
+    @pytest.mark.parametrize("skew", KEY_SKEWS)
+    def test_every_skew_is_a_normalized_distribution(self, skew):
+        weights = skew_weights(skew, 100, hot_keys=5)
+        assert len(weights) == 100
+        assert all(w > 0 for w in weights)
+        assert math.isclose(sum(weights), 1.0, rel_tol=1e-12)
+
+    def test_uniform_is_flat(self):
+        assert uniform_weights(4) == [0.25] * 4
+
+    def test_zipf_is_strictly_decreasing_in_rank(self):
+        weights = zipf_weights(50, s=1.1)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_zipf_follows_the_power_law(self):
+        weights = zipf_weights(100, s=2.0)
+        # w_r / w_2r = (2r)^s / r^s = 2^s for every rank r.
+        for rank in (1, 5, 10):
+            ratio = weights[rank - 1] / weights[2 * rank - 1]
+            assert math.isclose(ratio, 2.0 ** 2.0, rel_tol=1e-12)
+
+    def test_hotspot_mass_split(self):
+        weights = hotspot_weights(100, hot_keys=4, hot_weight=0.9)
+        assert math.isclose(sum(weights[:4]), 0.9, rel_tol=1e-12)
+        assert math.isclose(sum(weights[4:]), 0.1, rel_tol=1e-12)
+        assert len(set(weights[:4])) == 1
+        assert len(set(weights[4:])) == 1
+
+    def test_hotspot_all_hot_degenerates_to_uniform(self):
+        assert hotspot_weights(8, hot_keys=8) == uniform_weights(8)
+
+    def test_rejections(self):
+        with pytest.raises(ParameterError):
+            uniform_weights(0)
+        with pytest.raises(ParameterError):
+            zipf_weights(10, s=0)
+        with pytest.raises(ParameterError):
+            hotspot_weights(10, hot_keys=0)
+        with pytest.raises(ParameterError):
+            hotspot_weights(10, hot_keys=4, hot_weight=1.0)
+        with pytest.raises(ParameterError):
+            skew_weights("pareto", 10)
+        with pytest.raises(ParameterError):
+            cumulative_weights([])
+
+
+class TestSampling:
+    def test_unit_interval_is_deterministic_and_in_range(self):
+        draws = [unit_interval(7, f"t.{i}") for i in range(200)]
+        assert draws == [unit_interval(7, f"t.{i}") for i in range(200)]
+        assert all(0 <= d < 1 for d in draws)
+        assert len(set(draws)) == 200
+
+    def test_sample_keys_is_a_pure_function_of_seed_and_tag(self):
+        cum = cumulative_weights(zipf_weights(64))
+        assert sample_keys(cum, 50, 3, "w") == sample_keys(cum, 50, 3, "w")
+        assert sample_keys(cum, 50, 3, "w") != sample_keys(cum, 50, 4, "w")
+        assert sample_keys(cum, 50, 3, "w") != sample_keys(cum, 50, 3, "r")
+
+    def test_cumulative_table_ends_at_exactly_one(self):
+        cum = cumulative_weights(zipf_weights(1000, s=1.1))
+        assert cum[-1] == 1.0
+        assert all(a < b for a, b in zip(cum, cum[1:]))
+
+    def test_samples_stay_in_key_range(self):
+        cum = cumulative_weights(uniform_weights(32))
+        keys = sample_keys(cum, 500, 0, "range")
+        assert all(0 <= k < 32 for k in keys)
+
+    def test_hotspot_empirical_frequencies(self):
+        """~90% of draws land in the hot set when hot_weight = 0.9."""
+        cum = cumulative_weights(hotspot_weights(256, hot_keys=4,
+                                                 hot_weight=0.9))
+        keys = sample_keys(cum, 2000, 11, "freq")
+        hot_fraction = sum(1 for k in keys if k < 4) / len(keys)
+        assert 0.85 < hot_fraction < 0.95
+
+    def test_zipf_empirical_head_dominates_tail(self):
+        cum = cumulative_weights(zipf_weights(1000, s=1.2))
+        keys = sample_keys(cum, 2000, 5, "zipf")
+        head = sum(1 for k in keys if k < 10)
+        tail = sum(1 for k in keys if k >= 500)
+        assert head > tail
+
+    def test_negative_count_rejected(self):
+        cum = cumulative_weights(uniform_weights(4))
+        with pytest.raises(ParameterError):
+            sample_keys(cum, -1, 0, "x")
