@@ -16,7 +16,7 @@ an ideal process-pool workload. This module is the multi-core superset:
   them into the serial cell order — so the resulting
   :class:`~repro.analysis.sweeps.SweepResult` is **byte-identical to the
   serial run for any worker count** once the per-record execution metadata
-  (``wall_clock_s``, ``worker``) is stripped:
+  (``wall_clock_s``, ``worker``, ``coding_backend``) is stripped:
   ``to_json(include_timing=False)`` compares equal across ``workers`` ∈
   {1, 2, 4, ...}, crash firing records and overlay curves included.
 
@@ -58,6 +58,7 @@ from repro.analysis.sweeps import (
     normalize_scenarios,
     sweep_cells,
 )
+from repro.coding import backends as coding_backends
 from repro.errors import CheckpointError, ParameterError
 
 #: Journal file format version (independent of the sweep JSON schema).
@@ -307,6 +308,7 @@ def run_sweep(
     checkpoint: str | Path | None = None,
     resume: bool = False,
     chunk_size: int | None = None,
+    coding_backend: str | None = None,
 ) -> SweepResult:
     """Execute every ``scenario x grid-point`` cell, optionally in parallel.
 
@@ -326,6 +328,13 @@ def run_sweep(
       is never silently overwritten.
     * ``chunk_size`` — cells per pool task (default:
       :func:`default_chunk_size`).
+    * ``coding_backend`` — GF kernel name for every cell (defaults to the
+      process's active backend). Spawn workers re-import ``repro`` and
+      would otherwise fall back to the default backend, so the resolved
+      *name* travels in the pickled chunk payload and each worker
+      re-resolves it via ``use_backend``. Backends are byte-identical, so
+      this is an execution knob like ``workers`` — deliberately excluded
+      from the checkpoint signature.
 
     ``progress`` is called as ``progress(done, total, point)`` after each
     cell completes — in completion order, which under a pool is not the
@@ -336,12 +345,18 @@ def run_sweep(
     scenario_tuple = normalize_scenarios(scenarios, writes_per_writer,
                                          readers)
     cells = sweep_cells(grid, scenario_tuple)
-    kwargs = dict(
+    backend_name = (
+        coding_backends.use_backend(coding_backend).name
+        if coding_backend is not None
+        else coding_backends.get_backend().name
+    )
+    knobs = dict(
         max_steps=max_steps,
         lrc_locality=lrc_locality,
         audit_storage_every=audit_storage_every,
     )
-    signature = sweep_signature(cells, **kwargs)
+    signature = sweep_signature(cells, **knobs)
+    kwargs = dict(knobs, coding_backend=backend_name)
 
     journal = None
     done: dict[int, SweepRecord] = {}
@@ -419,6 +434,7 @@ def run_keyspace_sweep(
     progress: Callable[[int, int], None] | None = None,
     workers: int = 1,
     chunk_size: int | None = None,
+    coding_backend: str | None = None,
 ) -> KeyspaceSweepResult:
     """Execute keyspace cells, optionally across a spawn pool.
 
@@ -430,12 +446,22 @@ def run_keyspace_sweep(
     count — the same contract as the register-sweep executor. Keyspace
     grids are small (a handful of heavy cells), so there is no
     checkpoint journal; an interrupted sweep just reruns.
+
+    ``coding_backend`` works exactly as on :func:`run_sweep`: the
+    resolved name rides the pickled payload so spawn workers re-activate
+    the parent's kernel choice.
     """
     if workers < 1:
         raise ParameterError("workers must be >= 1")
     cells = list(cells)
+    backend_name = (
+        coding_backends.use_backend(coding_backend).name
+        if coding_backend is not None
+        else coding_backends.get_backend().name
+    )
     kwargs = dict(
-        max_steps=max_steps, audit_storage_every=audit_storage_every
+        max_steps=max_steps, audit_storage_every=audit_storage_every,
+        coding_backend=backend_name,
     )
     done: dict[int, KeyspaceRecord] = {}
     completed = 0

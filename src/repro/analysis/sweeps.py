@@ -59,6 +59,7 @@ from repro.analysis.tables import (
     format_table,
     monotone_nondecreasing,
 )
+from repro.coding import backends as coding_backends
 from repro.coding.padding import PaddedScheme
 from repro.coding.reed_solomon import ReedSolomonCode
 from repro.errors import ParameterError, SchedulerExhausted
@@ -463,6 +464,7 @@ class SweepRecord:
     client_crashes: int = 0
     wall_clock_s: float = 0.0
     worker: int = 0
+    coding_backend: str = ""
 
 
 #: Default columns of :meth:`SweepResult.table`.
@@ -477,14 +479,19 @@ TABLE_COLUMNS = (
 #: no padding, and zero crash counts — exactly what those sweeps ran.
 #: Version 2 predates the parallel executor; its records load with
 #: ``worker = 0`` — every v2 sweep ran in-process.
-SCHEMA_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, SCHEMA_VERSION)
+#: Version 3 predates the coding-backend seam; its records load with an
+#: empty ``coding_backend`` (the kernel those sweeps ran is today's
+#: ``numpy-table`` reference — results are byte-identical either way).
+SCHEMA_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, SCHEMA_VERSION)
 
 #: Per-record execution metadata: fields that describe *how* a cell ran
-#: (how long, on which pool worker), never *what* it measured. These are
-#: exactly the fields ``to_json(include_timing=False)`` strips so
-#: determinism checks compare pure measurement payloads.
-RECORD_METADATA_FIELDS = ("wall_clock_s", "worker")
+#: (how long, on which pool worker, under which GF kernel), never *what*
+#: it measured. These are exactly the fields
+#: ``to_json(include_timing=False)`` strips so determinism checks compare
+#: pure measurement payloads — backends are byte-identical, so the active
+#: kernel is as immaterial to the measurement as the worker number.
+RECORD_METADATA_FIELDS = ("wall_clock_s", "worker", "coding_backend")
 
 
 @dataclass
@@ -818,6 +825,7 @@ def execute_cell(
     lrc_locality: int = 2,
     audit_storage_every: int = 0,
     worker: int = 0,
+    coding_backend: str = "",
 ) -> SweepRecord:
     """Run one ``scenario x point`` cell and build its :class:`SweepRecord`.
 
@@ -826,8 +834,14 @@ def execute_cell(
     pool workers of :mod:`repro.analysis.executor` call it in their own
     processes — every field except the :data:`RECORD_METADATA_FIELDS` is
     a pure function of ``(scenario, point)`` and the keyword knobs, which
-    is what makes pooled sweeps byte-identical to serial ones.
+    is what makes pooled sweeps byte-identical to serial ones. A non-empty
+    ``coding_backend`` activates that GF kernel first (the executor passes
+    it so spawn-pool workers re-resolve the parent's choice); the record
+    always carries the name that actually ran. Backends are byte-identical,
+    so this is execution metadata, not a measurement knob.
     """
+    if coding_backend:
+        coding_backends.use_backend(coding_backend)
     started = time.perf_counter()
     outcome, setup, steps, fired_bo, fired_client = _run_cell(
         scenario, point, max_steps=max_steps,
@@ -865,6 +879,7 @@ def execute_cell(
         client_crashes=fired_client,
         wall_clock_s=wall_clock_s,
         worker=worker,
+        coding_backend=coding_backends.get_backend().name,
     )
 
 
@@ -943,8 +958,11 @@ KEYSPACE_TABLE_COLUMNS = (
     "aggregate_thm1_floor_bits", "floor_violations", "distinct_keys",
 )
 
-#: JSON document version of :meth:`KeyspaceSweepResult.to_json`.
-KEYSPACE_SCHEMA_VERSION = 1
+#: JSON document version of :meth:`KeyspaceSweepResult.to_json`. Version 1
+#: predates the coding-backend seam; its records load with an empty
+#: ``coding_backend`` (results are byte-identical across backends).
+KEYSPACE_SCHEMA_VERSION = 2
+_KEYSPACE_SUPPORTED_VERSIONS = (1, KEYSPACE_SCHEMA_VERSION)
 
 
 @dataclass(frozen=True)
@@ -956,8 +974,9 @@ class KeyspaceRecord:
     sums each shard's Theorem 1 floor evaluated at that shard's realized
     write concurrency, and ``floor_violations`` counts shards whose peak
     fell below their own floor (0 everywhere or the sweep fails).
-    ``wall_clock_s``/``worker`` are execution metadata exactly as on
-    :class:`SweepRecord` (stripped by ``to_json(include_timing=False)``).
+    ``wall_clock_s``/``worker``/``coding_backend`` are execution metadata
+    exactly as on :class:`SweepRecord` (stripped by
+    ``to_json(include_timing=False)``).
     """
 
     skew: str
@@ -989,6 +1008,7 @@ class KeyspaceRecord:
     steps: int
     wall_clock_s: float = 0.0
     worker: int = 0
+    coding_backend: str = ""
 
 
 def keyspace_grid(
@@ -1039,15 +1059,20 @@ def execute_keyspace_cell(
     max_steps: int = 400_000,
     audit_storage_every: int = 0,
     worker: int = 0,
+    coding_backend: str = "",
 ) -> KeyspaceRecord:
     """Run one keyspace cell and flatten it into its sweep record.
 
     Like :func:`execute_cell`, every field except the execution metadata
     is a pure function of ``(spec, knobs)`` — the pooled keyspace sweep
-    is byte-identical to the serial one because of this.
+    is byte-identical to the serial one because of this (a non-empty
+    ``coding_backend`` selects the GF kernel, which is byte-identical
+    across backends).
     """
     from repro.keyspace import run_keyspace
 
+    if coding_backend:
+        coding_backends.use_backend(coding_backend)
     started = time.perf_counter()
     outcome = run_keyspace(
         spec, max_steps=max_steps,
@@ -1086,6 +1111,7 @@ def execute_keyspace_cell(
         steps=outcome.total_actions,
         wall_clock_s=wall_clock_s,
         worker=worker,
+        coding_backend=coding_backends.get_backend().name,
     )
 
 
@@ -1141,7 +1167,7 @@ class KeyspaceSweepResult:
     @classmethod
     def from_json(cls, text: str) -> "KeyspaceSweepResult":
         document = json.loads(text)
-        if document.get("version") != KEYSPACE_SCHEMA_VERSION:
+        if document.get("version") not in _KEYSPACE_SUPPORTED_VERSIONS:
             raise ParameterError(
                 f"unsupported keyspace sweep version "
                 f"{document.get('version')!r}"

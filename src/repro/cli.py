@@ -389,6 +389,10 @@ def cmd_status(args: argparse.Namespace) -> int:
     print(f"storage (Definition 2, at rest): {view.server_storage_bits} bits"
           f" | thm1 floor (c=1): {floor} bits | "
           + ("OK" if view.meets_thm1_floor else "BELOW FLOOR"))
+    from repro.coding import backends as coding_backends
+
+    print(f"coding backend: {coding_backends.get_backend().name} "
+          f"(available: {', '.join(coding_backends.available_backends())})")
     faults = daemon.fault_plan_summary(args.state_dir)
     if faults is not None:
         print(f"fault plan: {faults}")

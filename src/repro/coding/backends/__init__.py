@@ -1,0 +1,147 @@
+"""Pluggable GF(2^8) matrix kernels behind one registry.
+
+:func:`repro.coding.gf256.gf_matmul` validates its operands once and then
+dispatches to whichever :class:`CodingBackend` is active; everything above
+the seam (schemes, oracles, sweeps, the service) is backend-agnostic, and
+every backend is CI-asserted byte-identical (``tests/coding/test_backends``).
+
+Three implementations register here:
+
+* ``numpy-table`` — the PR-2 reference kernel: per-group 8-lane packed
+  ``uint64`` LUTs, one bounds-checked 256-entry gather per data byte.
+* ``numpy-nibble`` — the default: 16-lane ``complex128`` LUTs composed
+  from high/low *nibble* product tables (the ISA-L/vpshufb decomposition,
+  ``c*x == c*(x & 0xF0) ^ c*(x & 0x0F)``), gathered with ``mode="clip"``
+  and pre-cast ``intp`` indices so numpy skips per-element bounds checks.
+  Roughly 2x the reference on the RS(16,32) bench; see docs/CODING.md.
+* ``numba`` — optional, registered only when :mod:`numba` is importable
+  (it is not a repo dependency; CI's optional-deps job installs it). A
+  JIT-compiled scalar triple loop that clears 1 GB/s.
+
+Selection: :func:`use_backend` switches process-wide; the first
+:func:`get_backend` call with no prior selection reads the
+``REPRO_CODING_BACKEND`` environment variable, falling back to
+:data:`DEFAULT_BACKEND`. The choice is execution metadata only — results
+are byte-identical across backends, which is why sweep signatures and
+``to_json(include_timing=False)`` exclude it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Environment variable consulted by the first :func:`get_backend` call.
+ENV_VAR = "REPRO_CODING_BACKEND"
+
+#: Backend used when neither :func:`use_backend` nor the environment chose.
+DEFAULT_BACKEND = "numpy-nibble"
+
+
+@dataclass(frozen=True)
+class CodingBackend:
+    """A named GF(2^8) matrix kernel.
+
+    ``matmul(a, b, tile_columns)`` receives operands already validated by
+    :func:`~repro.coding.gf256.gf_matmul` — 2-D ``uint8`` arrays with
+    matching inner dimension, ``b.shape[1] >= 1``, ``a.shape[0] >= 1``,
+    and a positive tile width — so kernels run no redundant checks in the
+    hot loop.
+    """
+
+    name: str
+    description: str
+    matmul: Callable[[np.ndarray, np.ndarray, int], np.ndarray] = field(
+        repr=False
+    )
+
+
+_REGISTRY: dict[str, CodingBackend] = {}
+_ACTIVE: CodingBackend | None = None
+
+
+def register_backend(backend: CodingBackend) -> CodingBackend:
+    """Add ``backend`` to the registry (idempotent per name)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered backend, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def use_backend(name: str) -> CodingBackend:
+    """Make ``name`` the active backend process-wide and return it.
+
+    Unknown names raise :class:`ParameterError` naming the alternatives
+    (the ``numba`` backend only registers when numba is importable).
+    """
+    global _ACTIVE
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ParameterError(
+            f"unknown coding backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    _ACTIVE = backend
+    return backend
+
+
+def get_backend() -> CodingBackend:
+    """Return the active backend, resolving lazily on first use.
+
+    Resolution order: an explicit :func:`use_backend` call, then the
+    ``REPRO_CODING_BACKEND`` environment variable, then
+    :data:`DEFAULT_BACKEND`. A bad environment value raises
+    :class:`ParameterError` (``repro doctor`` surfaces this as a failed
+    check before any encode would hit it).
+    """
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = use_backend(os.environ.get(ENV_VAR, DEFAULT_BACKEND))
+    return _ACTIVE
+
+
+def reset_backend() -> None:
+    """Forget the active selection; the next :func:`get_backend` call
+    re-reads the environment. Used by tests and spawn-pool worker init."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+from repro.coding.backends import numpy_nibble, numpy_table  # noqa: E402
+
+register_backend(
+    CodingBackend(
+        name="numpy-table",
+        description="reference kernel: 8-lane uint64 LUTs, checked gathers",
+        matmul=numpy_table.matmul,
+    )
+)
+register_backend(
+    CodingBackend(
+        name="numpy-nibble",
+        description=(
+            "default kernel: nibble-composed 16-lane LUTs, clip-mode gathers"
+        ),
+        matmul=numpy_nibble.matmul,
+    )
+)
+
+if importlib.util.find_spec("numba") is not None:  # pragma: no cover
+    from repro.coding.backends import numba_kernel
+
+    register_backend(
+        CodingBackend(
+            name="numba",
+            description="optional JIT scalar kernel (requires numba)",
+            matmul=numba_kernel.matmul,
+        )
+    )

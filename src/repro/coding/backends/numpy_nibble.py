@@ -1,0 +1,174 @@
+"""The ``numpy-nibble`` backend: the default GF(2^8) kernel.
+
+The ISA-L / vpshufb nibble decomposition, translated to numpy. Every
+byte splits as ``x == (x & 0xF0) ^ (x & 0x0F)``, and GF(2^8)
+multiplication is GF(2)-linear, so for any coefficient ``c``::
+
+    c * x == c * (x & 0xF0)  ^  c * (x & 0x0F)
+
+SIMD code (ISA-L's ``vpshufb`` kernels) exploits this at gather time —
+two 16-entry shuffles per byte instead of one 256-entry lookup, because
+16 entries fit a vector register. numpy's gather (``np.take``) has no
+such register-resident mode; measured on this kernel, a 16-entry table
+gathers *no faster* than a 256-entry one (both are load-per-element), so
+doing two gathers per byte halves throughput. The decomposition still
+pays, just one level up: it builds the *packed* LUTs. Each output-row
+group of up to 16 needs a 256-entry table of 16-byte lanes; rather than
+packing 256 columns of the product table, we pack two 16-entry nibble
+tables (high: ``c * (h << 4)``, low: ``c * l``) and compose all 256
+entries as their outer XOR — 32 packed entries built per inner index, 256
+derived by one vectorized XOR.
+
+The gather loop itself wins on three measured effects (each ~1.5-5x on
+the dev container; see docs/CODING.md for the numbers):
+
+* ``mode="clip"`` — a ``uint8`` index can never exceed 255, so clipping
+  against a 256-entry axis is a no-op, and numpy's clip path skips the
+  per-element bounds check that dominates ``mode="raise"`` gathers;
+* pre-cast ``intp`` indices — ``np.copyto(..., casting="unsafe")`` into a
+  reused ``intp`` buffer moves the index widening out of the gather;
+* 16-byte lanes — LUT entries are viewed as ``complex128`` (the only
+  16-byte numpy itemsize), halving gathers per output byte vs the 8-byte
+  ``uint64`` packing of the reference kernel. XOR accumulation runs on
+  ``uint64`` views of the same buffers, so lane packing stays
+  endian-agnostic exactly like the reference.
+
+Packed LUTs depend only on the coefficient matrix, which encoders reuse
+across every value (RS generators, rateless selections), so whole plans
+are memoised in an :class:`~repro.coding.lru.LRUCache` keyed by the
+matrix bytes.
+
+Operands arrive pre-validated from :func:`repro.coding.gf256.gf_matmul`
+(see the backend contract in :mod:`repro.coding.backends`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.gf256 import _MUL_TABLE
+from repro.coding.lru import LRUCache
+
+#: Output rows packed per LUT entry (the complex128 itemsize).
+LANES = 16
+
+#: Memoised per-matrix plans: (shape, bytes) -> [(start, end, active, luts)].
+#: RS(16,32) generators, decode inverses, and rateless selections recur
+#: constantly; 64 plans bound worst-case residency near 8 MB.
+PLAN_CACHE_LIMIT = 64
+
+_PLAN_CACHE = LRUCache()
+
+
+def _group_luts(coefficients: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """Pack one row-group's LUTs: ``(len(active), 256)`` ``complex128``.
+
+    Entry ``[i, x]`` holds, per lane ``g``, the product
+    ``coefficients[g, active[i]] * x`` — composed from the two 16-entry
+    nibble tables as described in the module docstring.
+    """
+    group_size = coefficients.shape[0]
+    # (group_size, len(active), 256) products for the active columns only.
+    products = _MUL_TABLE[coefficients[:, active]]
+    low = np.zeros((active.size, 16, LANES), dtype=np.uint8)
+    high = np.zeros((active.size, 16, LANES), dtype=np.uint8)
+    low[:, :, :group_size] = products[:, :, :16].transpose(1, 2, 0)
+    high[:, :, :group_size] = products[:, :, ::16].transpose(1, 2, 0)
+    low_words = low.view(np.uint64)    # (active, 16, 2)
+    high_words = high.view(np.uint64)
+    # Outer XOR composes entry x = (h << 4) ^ l at flat position 16h + l.
+    packed = np.bitwise_xor(
+        high_words[:, :, None, :], low_words[:, None, :, :]
+    )
+    return packed.reshape(active.size, 512).view(np.complex128)
+
+
+def _plan(a: np.ndarray) -> list:
+    """Return (memoised) per-group packed LUTs for coefficient matrix ``a``."""
+    key = (a.shape, a.tobytes())
+    plan = _PLAN_CACHE.lookup(key)
+    if plan is not None:
+        return plan
+    rows = a.shape[0]
+    plan = []
+    for group_start in range(0, rows, LANES):
+        group_end = min(group_start + LANES, rows)
+        coefficients = a[group_start:group_end, :]
+        active = np.flatnonzero(coefficients.any(axis=0))
+        luts = _group_luts(coefficients, active) if active.size else None
+        plan.append((group_start, group_end, active, luts))
+    _PLAN_CACHE.store(key, plan, PLAN_CACHE_LIMIT)
+    return plan
+
+
+def _single_row(a: np.ndarray, b: np.ndarray, tile: int) -> np.ndarray:
+    """One output row: no packing — clip-mode gathers from table rows."""
+    width = b.shape[1]
+    result = np.zeros((1, width), dtype=np.uint8)
+    out_row = result[0]
+    coefficients = a[0].tolist()
+    if not any(coefficients):
+        return result
+    index_buffer = np.empty(tile, dtype=np.intp)
+    scratch = np.empty(tile, dtype=np.uint8)
+    for start in range(0, width, tile):
+        stop = min(start + tile, width)
+        span = stop - start
+        out_tile = out_row[start:stop]
+        index = index_buffer[:span]
+        scratch_tile = scratch[:span]
+        for i, coefficient in enumerate(coefficients):
+            if coefficient == 0:
+                continue
+            source = b[i, start:stop]
+            if coefficient == 1:
+                np.bitwise_xor(out_tile, source, out=out_tile)
+                continue
+            np.copyto(index, source, casting="unsafe")
+            np.take(
+                _MUL_TABLE[coefficient], index, out=scratch_tile, mode="clip"
+            )
+            np.bitwise_xor(out_tile, scratch_tile, out=out_tile)
+    return result
+
+
+def matmul(a: np.ndarray, b: np.ndarray, tile_columns: int) -> np.ndarray:
+    """Return ``a @ b`` over GF(2^8); see the module docstring."""
+    rows = a.shape[0]
+    width = b.shape[1]
+    tile = min(tile_columns, width)
+    if rows == 1:
+        return _single_row(a, b, tile)
+    result = np.empty((rows, width), dtype=np.uint8)
+    index_buffer = np.empty(tile, dtype=np.intp)
+    scratch_buffer = np.empty(tile * LANES, dtype=np.uint8)
+    acc_buffer = np.empty(tile * LANES, dtype=np.uint8)
+    for group_start, group_end, active, luts in _plan(a):
+        if luts is None:
+            result[group_start:group_end] = 0
+            continue
+        group_size = group_end - group_start
+        for start in range(0, width, tile):
+            stop = min(start + tile, width)
+            span = stop - start
+            packed = acc_buffer[: span * LANES]
+            acc_complex = packed.view(np.complex128)
+            acc_words = packed.view(np.uint64)
+            scratch_complex = scratch_buffer[: span * LANES].view(
+                np.complex128
+            )
+            scratch_words = scratch_buffer[: span * LANES].view(np.uint64)
+            index = index_buffer[:span]
+            for position, i in enumerate(active):
+                np.copyto(index, b[i, start:stop], casting="unsafe")
+                if position == 0:
+                    # First term gathers straight into the accumulator.
+                    np.take(luts[0], index, out=acc_complex, mode="clip")
+                    continue
+                np.take(
+                    luts[position], index, out=scratch_complex, mode="clip"
+                )
+                np.bitwise_xor(acc_words, scratch_words, out=acc_words)
+            lanes = packed.reshape(span, LANES)
+            result[group_start:group_end, start:stop] = lanes[:, :group_size].T
+    return result

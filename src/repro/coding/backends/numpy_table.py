@@ -1,0 +1,82 @@
+"""The ``numpy-table`` backend: the PR-2 reference kernel, unchanged.
+
+Output rows are processed in groups of up to 8: for each group and each
+active inner index the 8 relevant product-table rows are packed side by
+side into a 256-entry ``uint64`` LUT, so a single gather per data byte
+multiplies it by all 8 group coefficients at once. Accumulation is
+XOR-only, so the pack/unpack byte views are endian-agnostic. A single-row
+product skips the packing and gathers straight from 256-entry table rows.
+
+This is the correctness reference the other backends are asserted
+byte-identical against; it stays deliberately close to the shape every
+prior perf number was measured on. Operands arrive pre-validated from
+:func:`repro.coding.gf256.gf_matmul` (see the backend contract in
+:mod:`repro.coding.backends`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.gf256 import _MUL_TABLE
+
+
+def matmul(a: np.ndarray, b: np.ndarray, tile_columns: int) -> np.ndarray:
+    """Return ``a @ b`` over GF(2^8); see the module docstring."""
+    rows, inner = a.shape
+    width = b.shape[1]
+    tile = tile_columns
+    b_rows = list(b)
+    if rows == 1:
+        result = np.zeros((1, width), dtype=np.uint8)
+        out_row = result[0]
+        scratch = np.empty(min(tile, width), dtype=np.uint8)
+        coefficients = a[0].tolist()
+        for start in range(0, width, tile):
+            stop = min(start + tile, width)
+            out_tile = out_row[start:stop]
+            scratch_tile = scratch[: stop - start]
+            for i, coefficient in enumerate(coefficients):
+                if coefficient == 0:
+                    continue
+                if coefficient == 1:
+                    np.bitwise_xor(out_tile, b_rows[i][start:stop], out=out_tile)
+                    continue
+                np.take(
+                    _MUL_TABLE[coefficient], b_rows[i][start:stop],
+                    out=scratch_tile,
+                )
+                np.bitwise_xor(out_tile, scratch_tile, out=out_tile)
+        return result
+    result = np.empty((rows, width), dtype=np.uint8)
+    tile = min(tile, width)
+    packed_acc = np.zeros(tile, dtype=np.uint64)
+    scratch64 = np.empty(tile, dtype=np.uint64)
+    for group_start in range(0, rows, 8):
+        group_end = min(group_start + 8, rows)
+        group_size = group_end - group_start
+        coefficients = a[group_start:group_end, :]
+        active = [i for i in range(inner) if coefficients[:, i].any()]
+        if not active:
+            result[group_start:group_end] = 0
+            continue
+        # Pack the group's table rows once — (active, 256) uint64 LUTs reused
+        # for every column tile below.
+        lut_bytes = np.zeros((len(active), 256, 8), dtype=np.uint8)
+        for position, i in enumerate(active):
+            lut_bytes[position, :, :group_size] = _MUL_TABLE[
+                coefficients[:, i]
+            ].T
+        luts = lut_bytes.reshape(len(active), -1).view(np.uint64)
+        for start in range(0, width, tile):
+            stop = min(start + tile, width)
+            span = stop - start
+            acc = packed_acc[:span]
+            acc[:] = 0
+            scratch = scratch64[:span]
+            for position, i in enumerate(active):
+                np.take(luts[position], b_rows[i][start:stop], out=scratch)
+                np.bitwise_xor(acc, scratch, out=acc)
+            lanes = acc.view(np.uint8).reshape(span, 8)
+            result[group_start:group_end, start:stop] = lanes[:, :group_size].T
+    return result

@@ -14,7 +14,10 @@ Three interfaces are provided:
 * the batch engine (:func:`gf_matmul`), a full GF(2^8) matrix product
   backed by a precomputed 256 x 256 multiplication table (64 KB), which
   turns whole-codeword and batched encodes/decodes into a handful of
-  table gathers. This is the hot path under every coding scheme.
+  table gathers. This is the hot path under every coding scheme; the
+  actual kernel is pluggable via :mod:`repro.coding.backends`
+  (``numpy-nibble`` default, ``numpy-table`` reference, optional
+  ``numba``), all byte-identical.
 
 Addition in GF(2^8) is XOR; no helper is needed beyond ``^`` /
 ``np.bitwise_xor``.
@@ -207,24 +210,24 @@ def gf_matmul(
     ``w`` = shard bytes (times the batch size), one call encodes a whole
     codeword (or a whole batch of codewords).
 
-    Output rows are processed in groups of up to 8: for each group and each
-    inner index the 8 relevant table rows are packed side by side into a
-    256-entry ``uint64`` lookup table, so a *single* gather per data byte
-    multiplies it by all 8 group coefficients at once. Accumulation is
-    XOR-only, so the pack/unpack byte views are endian-agnostic. A
-    single-row product skips the packing and gathers straight from the
-    256-entry table row.
+    This is a validated dispatch boundary, not the kernel: dtype, shape,
+    and tile checks happen exactly once here, then the product is computed
+    by the active :mod:`repro.coding.backends` kernel (``numpy-nibble`` by
+    default; ``numpy-table`` is the reference; ``numba`` registers when
+    importable — all CI-asserted byte-identical, so the choice is purely
+    an execution knob). Kernels therefore run no per-tile revalidation.
 
     Wide products are processed in column tiles of ``tile_columns``
-    (default :data:`TILE_COLUMNS`) so the packed accumulator and gather
-    scratch stay resident in L2 even when ``w`` is a whole batch of stacked
-    codewords; the per-group LUTs are packed once and reused across every
-    tile. Any positive ``tile_columns`` produces identical output — the
-    parameter exists for tests and tuning.
+    (default :data:`TILE_COLUMNS`) so each kernel's packed accumulator and
+    gather scratch stay resident in L2 even when ``w`` is a whole batch of
+    stacked codewords. Any positive ``tile_columns`` produces identical
+    output — the parameter exists for tests and tuning.
 
     Inputs may be read-only or non-contiguous. Shape or dtype mismatches
     (or a non-positive ``tile_columns``) raise :class:`ParameterError`.
     """
+    from repro.coding import backends
+
     a = _require_uint8(a, "a")
     b = _require_uint8(b, "b")
     if a.ndim != 2 or b.ndim != 2:
@@ -239,64 +242,11 @@ def gf_matmul(
     tile = TILE_COLUMNS if tile_columns is None else tile_columns
     if tile < 1:
         raise ParameterError(f"tile_columns must be positive, got {tile}")
-    rows, inner = a.shape
+    rows = a.shape[0]
     width = b.shape[1]
-    if width == 0:
-        return np.zeros((rows, 0), dtype=np.uint8)
-    b_rows = list(b)
-    if rows == 1:
-        result = np.zeros((1, width), dtype=np.uint8)
-        out_row = result[0]
-        scratch = np.empty(min(tile, width), dtype=np.uint8)
-        coefficients = a[0].tolist()
-        for start in range(0, width, tile):
-            stop = min(start + tile, width)
-            out_tile = out_row[start:stop]
-            scratch_tile = scratch[: stop - start]
-            for i, coefficient in enumerate(coefficients):
-                if coefficient == 0:
-                    continue
-                if coefficient == 1:
-                    np.bitwise_xor(out_tile, b_rows[i][start:stop], out=out_tile)
-                    continue
-                np.take(
-                    _MUL_TABLE[coefficient], b_rows[i][start:stop],
-                    out=scratch_tile,
-                )
-                np.bitwise_xor(out_tile, scratch_tile, out=out_tile)
-        return result
-    result = np.empty((rows, width), dtype=np.uint8)
-    tile = min(tile, width)
-    packed_acc = np.zeros(tile, dtype=np.uint64)
-    scratch64 = np.empty(tile, dtype=np.uint64)
-    for group_start in range(0, rows, 8):
-        group_end = min(group_start + 8, rows)
-        group_size = group_end - group_start
-        coefficients = a[group_start:group_end, :]
-        active = [i for i in range(inner) if coefficients[:, i].any()]
-        if not active:
-            result[group_start:group_end] = 0
-            continue
-        # Pack the group's table rows once — (active, 256) uint64 LUTs reused
-        # for every column tile below.
-        lut_bytes = np.zeros((len(active), 256, 8), dtype=np.uint8)
-        for position, i in enumerate(active):
-            lut_bytes[position, :, :group_size] = _MUL_TABLE[
-                coefficients[:, i]
-            ].T
-        luts = lut_bytes.reshape(len(active), -1).view(np.uint64)
-        for start in range(0, width, tile):
-            stop = min(start + tile, width)
-            span = stop - start
-            acc = packed_acc[:span]
-            acc[:] = 0
-            scratch = scratch64[:span]
-            for position, i in enumerate(active):
-                np.take(luts[position], b_rows[i][start:stop], out=scratch)
-                np.bitwise_xor(acc, scratch, out=acc)
-            lanes = acc.view(np.uint8).reshape(span, 8)
-            result[group_start:group_end, start:stop] = lanes[:, :group_size].T
-    return result
+    if width == 0 or rows == 0:
+        return np.zeros((rows, width), dtype=np.uint8)
+    return backends.get_backend().matmul(a, b, tile)
 
 
 def gf_poly_eval(coefficients: list[int], x: int) -> int:

@@ -72,23 +72,15 @@ class PaddedScheme(CodingScheme):
     # --------------------------------------------------------------- codec
 
     def encode_block(self, value: bytes, index: int) -> bytes:
+        # Direct path: pad once and ride the inner scheme's own fast path
+        # (e.g. the RS systematic shard copy) instead of a batch-of-one.
         return self.inner.encode_block(self._pad(value), index)
-
-    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
-        """Pad once, then ride the inner scheme's whole-codeword pass."""
-        return self.inner.encode_many(self._pad(value), indices)
 
     def block_size_bits(self, index: int) -> int:
         return self.inner.block_size_bits(index)
 
     def min_blocks_to_decode(self) -> int:
         return self.inner.min_blocks_to_decode()
-
-    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
-        padded = self.inner.decode(blocks)
-        if padded is None:
-            return None
-        return self._unpad(padded)
 
     def encode_batch(
         self, values: Sequence[bytes], indices: Iterable[int]

@@ -87,26 +87,6 @@ class RatelessXorCode(CodingScheme):
                     rows[pos, shard_index] = 1
         return rows
 
-    def _shard_matrix(self, value: bytes) -> np.ndarray:
-        self.check_value(value)
-        return np.frombuffer(value, dtype=np.uint8).reshape(
-            self.k, self.shard_bytes
-        )
-
-    def encode_block(self, value: bytes, index: int) -> bytes:
-        rows = self.coefficient_rows([index])
-        return gf_matmul(rows, self._shard_matrix(value)).tobytes()
-
-    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
-        """Emit every requested block of one value in a single pass."""
-        index_list = list(dict.fromkeys(indices))
-        rows = self.coefficient_rows(index_list)
-        product = gf_matmul(rows, self._shard_matrix(value))
-        return {
-            index: product[pos].tobytes()
-            for pos, index in enumerate(index_list)
-        }
-
     def encode_batch(
         self, values: Sequence[bytes], indices: Iterable[int]
     ) -> list[dict[int, bytes]]:
@@ -178,18 +158,6 @@ class RatelessXorCode(CodingScheme):
                     f"block {index} is {len(payload)} bytes, "
                     f"expected {self.shard_bytes}"
                 )
-
-    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
-        self._check_payloads(blocks)
-        order = sorted(blocks)
-        selection = self._selection_matrix(order)
-        if selection is None:
-            return None
-        payload = np.stack(
-            [np.frombuffer(blocks[index], dtype=np.uint8) for index in order]
-        )
-        # Row i of the product is shard i; tobytes() is the value.
-        return gf_matmul(selection, payload).tobytes()
 
     def decode_batch(
         self, blocks_batch: Sequence[Mapping[int, bytes]]

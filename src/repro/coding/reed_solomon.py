@@ -14,15 +14,16 @@ plain shard copy.
 All codec paths are expressed as :func:`~repro.coding.gf256.gf_matmul`
 products against a cached ``uint8`` generator:
 
-* :meth:`ReedSolomonCode.encode_many` emits every requested parity row of a
-  codeword in one matrix pass;
 * :meth:`ReedSolomonCode.encode_batch` stacks many values column-wise
   (:meth:`~repro.coding.scheme.MDSCodingScheme.shard_stack`) and encodes the
-  whole batch in one pass;
-* :meth:`ReedSolomonCode.decode` multiplies the cached inverse against the
-  received payload matrix, with an all-systematic fast path;
+  whole batch — every requested parity row of every codeword — in one pass;
 * :meth:`ReedSolomonCode.decode_batch` groups entries by erasure pattern and
-  runs one inverse multiplication per distinct pattern.
+  runs one cached-inverse multiplication per distinct pattern, with an
+  all-systematic fast path.
+
+The scalar ``encode_many``/``decode`` forms are the base-class batch-of-one
+shims; only :meth:`ReedSolomonCode.encode_block` keeps a direct override
+(the systematic shard copy).
 """
 
 from __future__ import annotations
@@ -83,10 +84,6 @@ class ReedSolomonCode(MDSCodingScheme):
         )
         return product.tobytes()
 
-    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
-        """Encode one whole codeword's worth of blocks in a single pass."""
-        return self.encode_batch([value], indices)[0]
-
     def encode_batch(
         self, values: Sequence[bytes], indices: Iterable[int]
     ) -> list[dict[int, bytes]]:
@@ -132,19 +129,6 @@ class ReedSolomonCode(MDSCodingScheme):
         inverse = gfmat.to_array(gfmat.mat_inv(submatrix))
         self._decode_cache.store(chosen, inverse, self.DECODE_CACHE_LIMIT)
         return inverse
-
-    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
-        self.check_blocks(blocks)
-        if len(blocks) < self.k:
-            return None
-        chosen = tuple(sorted(blocks)[: self.k])
-        if chosen == tuple(range(self.k)):  # all-systematic fast path
-            return b"".join(blocks[index] for index in chosen)
-        payload = np.stack(
-            [np.frombuffer(blocks[index], dtype=np.uint8) for index in chosen]
-        )
-        # Rows of the product are the shards in order; tobytes() is the value.
-        return gf_matmul(self._decode_inverse(chosen), payload).tobytes()
 
     def decode_batch(
         self, blocks_batch: Sequence[Mapping[int, bytes]]

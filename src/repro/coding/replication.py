@@ -39,9 +39,6 @@ class ReplicationCode(CodingScheme):
         self._check_index(index)
         return value
 
-    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
-        return self.encode_batch([value], indices)[0]
-
     def encode_batch(
         self, values: Sequence[bytes], indices: Iterable[int]
     ) -> list[dict[int, bytes]]:
@@ -60,7 +57,12 @@ class ReplicationCode(CodingScheme):
     def min_blocks_to_decode(self) -> int:
         return 1
 
-    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
+    def decode_batch(
+        self, blocks_batch: Sequence[Mapping[int, bytes]]
+    ) -> list[bytes | None]:
+        return [self._decode_one(blocks) for blocks in blocks_batch]
+
+    def _decode_one(self, blocks: Mapping[int, bytes]) -> bytes | None:
         if not blocks:
             return None
         payloads = set(blocks.values())

@@ -16,13 +16,22 @@ value-difference ``delta`` such that ``E(v, i) == E(v ^ delta, i)`` for every
 ``i`` in the set. Two values differing by ``delta`` are *I-colliding* in the
 paper's terminology.
 
-Besides the per-block ``E``/``D`` pair, every scheme offers a **batch API**:
+The implementable surface is the **batch pair**:
 :meth:`CodingScheme.encode_batch` encodes many values into one index set and
-:meth:`CodingScheme.decode_batch` decodes many block maps, in one call. The
-base-class implementations just loop, so the batch API is always available;
-the concrete codes override them with single :func:`~repro.coding.gf256.
-gf_matmul` passes so that sweeps over many concurrent writes pay one table
-gather per generator coefficient instead of one Python call per block.
+:meth:`CodingScheme.decode_batch` decodes many block maps, in one call —
+concrete codes implement exactly these two (as single
+:func:`~repro.coding.gf256.gf_matmul` passes, so sweeps over many concurrent
+writes pay one table gather per generator coefficient instead of one Python
+call per block). The scalar forms — :meth:`CodingScheme.encode_block`,
+:meth:`CodingScheme.encode_many`, :meth:`CodingScheme.decode` — are
+compatibility shims delegating to the batch pair with batch size 1; schemes
+may still override them where a cheaper direct path exists (for example the
+systematic shard copy in Reed-Solomon). New schemes (LRC, regenerating
+codes) therefore implement one pair, not three methods plus two loops.
+Scheme implementations should route all GF work through
+:func:`~repro.coding.gf256.gf_matmul` (the backend dispatch boundary) —
+per-byte :func:`~repro.coding.gf256.gf_mul_bytes` scalar paths in schemes
+are deprecated; the helper remains for tests and table construction.
 """
 
 from __future__ import annotations
@@ -102,26 +111,69 @@ class CodingScheme(ABC):
         return self.data_size_bytes * 8
 
     # ------------------------------------------------------------------ API
+    #
+    # The abstract surface is the batch pair plus the two size/shape
+    # queries; the scalar encode/decode forms below are derived.
 
     @abstractmethod
-    def encode_block(self, value: bytes, index: int) -> bytes:
-        """Return ``E(value, index)`` as raw bytes."""
+    def encode_batch(
+        self, values: Sequence[bytes], indices: Iterable[int]
+    ) -> list[dict[int, bytes]]:
+        """Encode every value in ``values`` into every index in ``indices``.
+
+        The batched form of the paper's encoder ``E : V x N -> E``
+        (Section 3.1): entry ``j`` of the result is ``{i: E(values[j], i)
+        for i in indices}`` — batching is an execution strategy, never a
+        semantic change. Linear schemes implement it as a single stacked
+        matrix multiplication so a batch of concurrent writes (a sweep's
+        writer wave, a :class:`~repro.coding.oracles.BatchEncodePlan`)
+        shares one vectorised encode pass.
+        """
+
+    @abstractmethod
+    def decode_batch(
+        self, blocks_batch: Sequence[Mapping[int, bytes]]
+    ) -> list[bytes | None]:
+        """Decode every block map in ``blocks_batch``.
+
+        The batched form of the paper's decoder ``D : 2^E -> V u {bottom}``
+        (Section 3.1): returns one value (or ``None``, the paper's bottom,
+        when the blocks are insufficient) per entry, in order. Raises
+        :class:`DecodingError` on malformed payloads. Vectorised schemes
+        group entries by erasure pattern and run one matrix pass per
+        distinct pattern, so a read storm pays one inverse multiplication
+        per pattern instead of one per read.
+        """
 
     @abstractmethod
     def block_size_bits(self, index: int) -> int:
         """Return ``size(index)`` — the bit length of any block ``index``."""
 
     @abstractmethod
+    def min_blocks_to_decode(self) -> int:
+        """Return the minimum number of distinct blocks that can decode."""
+
+    # Scalar compatibility shims — the historical per-block API, derived
+    # from the batch pair with batch size 1. Schemes override these only
+    # when a strictly cheaper direct path exists.
+
+    def encode_block(self, value: bytes, index: int) -> bytes:
+        """Return ``E(value, index)`` as raw bytes (batch-of-one shim)."""
+        return self.encode_batch([value], [index])[0][index]
+
+    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
+        """Encode ``value`` into every index in ``indices``
+        (batch-of-one shim over :meth:`encode_batch`)."""
+        return self.encode_batch([value], indices)[0]
+
     def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
         """Return the value reconstructed from ``{index: payload}``.
 
         Returns ``None`` when the blocks are insufficient (the paper's
         ``bottom``). Raises :class:`DecodingError` on malformed payloads.
+        Batch-of-one shim over :meth:`decode_batch`.
         """
-
-    @abstractmethod
-    def min_blocks_to_decode(self) -> int:
-        """Return the minimum number of distinct blocks that can decode."""
+        return self.decode_batch([blocks])[0]
 
     def collision_delta(self, indices: Iterable[int]) -> bytes | None:
         """Return a nonzero delta with ``E(v, i) == E(v ^ delta, i)`` on ``indices``.
@@ -141,47 +193,6 @@ class CodingScheme(ABC):
                 f"{self.name}: value is {len(value)} bytes, "
                 f"expected {self.data_size_bytes}"
             )
-
-    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
-        """Encode ``value`` into every index in ``indices``.
-
-        Equivalent to per-index :meth:`encode_block` calls; vectorised
-        schemes override this to emit the whole codeword in one matrix pass.
-        """
-        return {index: self.encode_block(value, index) for index in indices}
-
-    def encode_batch(
-        self, values: Sequence[bytes], indices: Iterable[int]
-    ) -> list[dict[int, bytes]]:
-        """Encode every value in ``values`` into every index in ``indices``.
-
-        The batched form of the paper's encoder ``E : V x N -> E``
-        (Section 3.1): entry ``j`` of the result is ``{i: E(values[j], i)
-        for i in indices}``, exactly what per-value :meth:`encode_many`
-        calls would produce — batching is an execution strategy, never a
-        semantic change. This base implementation loops; linear schemes
-        override it with a single stacked matrix multiplication so a batch
-        of concurrent writes (a sweep's writer wave, a
-        :class:`~repro.coding.oracles.BatchEncodePlan`) shares one
-        vectorised encode pass.
-        """
-        index_list = list(indices)
-        return [self.encode_many(value, index_list) for value in values]
-
-    def decode_batch(
-        self, blocks_batch: Sequence[Mapping[int, bytes]]
-    ) -> list[bytes | None]:
-        """Decode every block map in ``blocks_batch``.
-
-        The batched form of the paper's decoder ``D : 2^E -> V u {bottom}``
-        (Section 3.1): returns one value (or ``None``, the paper's bottom,
-        when the blocks are insufficient) per entry, in order — identical
-        to per-entry :meth:`decode` calls. The base implementation loops;
-        vectorised schemes group entries by erasure pattern and run one
-        matrix pass per distinct pattern, so a read storm pays one
-        inverse multiplication per pattern instead of one per read.
-        """
-        return [self.decode(blocks) for blocks in blocks_batch]
 
     def total_bits(self, indices: Iterable[int]) -> int:
         """Return the summed block size of a set of *distinct* indices."""

@@ -36,10 +36,6 @@ class XorParityCode(MDSCodingScheme):
             return shards[index]
         return _xor_payloads(shards)
 
-    def encode_many(self, value: bytes, indices: Iterable[int]) -> dict[int, bytes]:
-        """One-value batch: the codeword falls out of one XOR reduction."""
-        return self.encode_batch([value], list(indices))[0]
-
     def encode_batch(
         self, values: Sequence[bytes], indices: Iterable[int]
     ) -> list[dict[int, bytes]]:
@@ -68,25 +64,6 @@ class XorParityCode(MDSCodingScheme):
                     blocks[index] = parities[j].tobytes()
             results.append(blocks)
         return results
-
-    def decode(self, blocks: Mapping[int, bytes]) -> bytes | None:
-        self.check_blocks(blocks)
-        if len(blocks) < self.k:
-            return None
-        if all(index < self.k for index in blocks):
-            return b"".join(blocks[index] for index in range(self.k))
-        # At most one data shard is missing; rebuild it from the parity.
-        present = [index for index in range(self.k) if index in blocks]
-        missing = [index for index in range(self.k) if index not in blocks]
-        if not missing:  # parity present but redundant: all data on hand
-            return b"".join(blocks[index] for index in range(self.k))
-        if len(missing) != 1 or self.k not in blocks:
-            return None
-        rebuilt = _xor_payloads([blocks[self.k]] + [blocks[i] for i in present])
-        shards = [
-            blocks[index] if index in blocks else rebuilt for index in range(self.k)
-        ]
-        return b"".join(shards)
 
     def decode_batch(
         self, blocks_batch: Sequence[Mapping[int, bytes]]

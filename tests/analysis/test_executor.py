@@ -120,6 +120,40 @@ class TestMetadataStripping:
         assert '"worker"' in serial_reference.to_json()
 
 
+class TestBackendThreading:
+    """``coding_backend`` pins the GF kernel everywhere — parent, pool
+    workers, and the record metadata — without changing the results."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self):
+        from repro.coding import get_backend, use_backend
+
+        original = get_backend().name
+        yield
+        use_backend(original)
+
+    def test_records_carry_the_active_backend(self, serial_reference):
+        from repro.coding import get_backend
+
+        assert {r.coding_backend for r in serial_reference.records} == \
+            {get_backend().name}
+
+    def test_pinned_backend_reaches_pool_workers(self, serial_reference):
+        pooled = run_sweep(GRID, scenarios=SCENARIOS, workers=2,
+                           coding_backend="numpy-table")
+        assert {r.coding_backend for r in pooled.records} == \
+            {"numpy-table"}
+        # Backend choice is execution metadata: measured fields match the
+        # default-backend serial reference byte for byte.
+        assert pooled.to_json(include_timing=False) == \
+            serial_reference.to_json(include_timing=False)
+
+    def test_unknown_backend_rejected_before_any_work(self):
+        with pytest.raises(ParameterError, match="coding backend"):
+            run_sweep(GRID, scenarios=SCENARIOS,
+                      coding_backend="no-such-kernel")
+
+
 class TestChunking:
     def test_default_chunk_size_bounds(self):
         assert default_chunk_size(0, 4) == 1

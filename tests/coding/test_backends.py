@@ -1,0 +1,257 @@
+"""Cross-backend contract tests for the GF(2^8) kernel registry.
+
+Every registered backend must produce byte-identical ``gf_matmul``
+results — the backends differ only in how fast they multiply. The suite
+runs the full shape zoo (1-row, non-tile-aligned, wider than a tile,
+degenerate coefficients) against the ``numpy-table`` reference and
+round-trips every coding scheme under every backend, so installing an
+optional kernel (numba) extends coverage automatically.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    PaddedScheme,
+    RatelessXorCode,
+    ReedSolomonCode,
+    ReplicationCode,
+    XorParityCode,
+    available_backends,
+    get_backend,
+    use_backend,
+)
+from repro.coding.backends import DEFAULT_BACKEND, ENV_VAR, reset_backend
+from repro.coding.gf256 import TILE_COLUMNS, gf_matmul, gf_mul
+from repro.errors import ParameterError
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    """Leave the process on whatever backend it entered the test with."""
+    original = get_backend().name
+    yield
+    use_backend(original)
+
+
+# ------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_both_numpy_backends_always_registered(self):
+        names = available_backends()
+        assert "numpy-table" in names
+        assert "numpy-nibble" in names
+        assert names == tuple(sorted(names))
+
+    def test_default_backend_is_nibble(self):
+        assert DEFAULT_BACKEND == "numpy-nibble"
+
+    def test_use_backend_switches_and_returns(self):
+        backend = use_backend("numpy-table")
+        assert backend.name == "numpy-table"
+        assert get_backend() is backend
+        assert use_backend("numpy-nibble").name == "numpy-nibble"
+
+    def test_unknown_backend_lists_the_alternatives(self):
+        with pytest.raises(ParameterError, match="numpy-nibble"):
+            use_backend("simd-of-the-gaps")
+
+    def test_env_override_resolved_lazily(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy-table")
+        reset_backend()
+        assert get_backend().name == "numpy-table"
+
+    def test_bad_env_value_raises_on_first_use(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "not-a-kernel")
+        reset_backend()
+        with pytest.raises(ParameterError, match="not-a-kernel"):
+            get_backend()
+        # use_backend() recovers the process from the bad env value.
+        assert use_backend("numpy-nibble").name == "numpy-nibble"
+
+    def test_backend_descriptions_are_nonempty(self):
+        for name in available_backends():
+            assert use_backend(name).description
+
+
+# ------------------------------------------------ gf_matmul byte parity
+
+
+def reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """O(rows * inner * width) scalar reference, independent of every
+    backend's vector tricks."""
+    rows, inner = a.shape
+    width = b.shape[1]
+    out = np.zeros((rows, width), dtype=np.uint8)
+    for r in range(rows):
+        for i in range(inner):
+            coefficient = int(a[r, i])
+            if coefficient == 0:
+                continue
+            out[r] ^= np.frombuffer(
+                bytes(gf_mul(coefficient, int(x)) for x in b[i]),
+                dtype=np.uint8,
+            )
+    return out
+
+
+def random_operands(rng, rows, inner, width):
+    a = rng.integers(0, 256, size=(rows, inner), dtype=np.uint8)
+    b = rng.integers(0, 256, size=(inner, width), dtype=np.uint8)
+    return a, b
+
+
+SHAPES = (
+    (1, 1, 1),          # minimal
+    (1, 16, 1000),      # single row (dedicated kernel path)
+    (3, 5, 97),         # nothing aligned to anything
+    (16, 16, 4096),     # exactly one 16-row group
+    (17, 16, 1000),     # one full group + a 1-row tail group
+    (32, 16, 4096),     # RS(16, 32) encode shape
+    (8, 4, TILE_COLUMNS + 5),  # wider than one tile
+)
+
+
+class TestCrossBackendParity:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_all_backends_match_scalar_reference(self, shape):
+        rng = np.random.default_rng(sum(shape))
+        a, b = random_operands(rng, *shape)
+        expected = reference_matmul(a, b)
+        for name in available_backends():
+            use_backend(name)
+            assert gf_matmul(a, b).tobytes() == expected.tobytes(), name
+
+    @pytest.mark.parametrize("tile", (1, 7, 97, 4096))
+    def test_tile_size_never_changes_bytes(self, tile):
+        rng = np.random.default_rng(tile)
+        a, b = random_operands(rng, 20, 8, 1000)
+        expected = reference_matmul(a, b)
+        for name in available_backends():
+            use_backend(name)
+            assert gf_matmul(a, b, tile_columns=tile).tobytes() == \
+                expected.tobytes(), name
+
+    def test_degenerate_coefficients(self):
+        """All-zero rows, identity rows, and repeated rows hit every
+        kernel's skip/copy fast paths."""
+        rng = np.random.default_rng(5)
+        b = rng.integers(0, 256, size=(4, 333), dtype=np.uint8)
+        a = np.zeros((6, 4), dtype=np.uint8)
+        a[1] = (1, 0, 0, 0)          # pure copy
+        a[2] = (1, 1, 1, 1)          # pure XOR
+        a[3] = (0, 7, 0, 0)          # single multiply
+        a[4] = a[3]                  # repeated row
+        expected = reference_matmul(a, b)
+        for name in available_backends():
+            use_backend(name)
+            assert gf_matmul(a, b).tobytes() == expected.tobytes(), name
+
+    def test_empty_operands_short_circuit(self):
+        for name in available_backends():
+            use_backend(name)
+            assert gf_matmul(
+                np.zeros((3, 4), dtype=np.uint8),
+                np.zeros((4, 0), dtype=np.uint8),
+            ).shape == (3, 0)
+            assert gf_matmul(
+                np.zeros((0, 4), dtype=np.uint8),
+                np.zeros((4, 9), dtype=np.uint8),
+            ).shape == (0, 9)
+
+    def test_readonly_and_noncontiguous_operands(self):
+        rng = np.random.default_rng(11)
+        a, b = random_operands(rng, 8, 8, 600)
+        a.setflags(write=False)
+        b_strided = np.ascontiguousarray(b.T).T  # non-C-contiguous view
+        expected = reference_matmul(a, b)
+        for name in available_backends():
+            use_backend(name)
+            assert gf_matmul(a, b_strided).tobytes() == \
+                expected.tobytes(), name
+
+    def test_validation_happens_before_dispatch(self):
+        """The wrapper owns validation; backends assume clean operands,
+        so the same errors fire whichever kernel is active."""
+        good = np.zeros((2, 2), dtype=np.uint8)
+        for name in available_backends():
+            use_backend(name)
+            with pytest.raises(ParameterError, match="uint8"):
+                gf_matmul(good.astype(np.uint16), good)
+            with pytest.raises(ParameterError, match="2-D"):
+                gf_matmul(good, np.zeros(4, dtype=np.uint8))
+            with pytest.raises(ParameterError, match="shape"):
+                gf_matmul(good, np.zeros((3, 5), dtype=np.uint8))
+            with pytest.raises(ParameterError, match="tile_columns"):
+                gf_matmul(good, good, tile_columns=0)
+
+
+# ------------------------------------------------- scheme round-trips
+
+
+SIZE = 64
+
+
+def five_schemes():
+    """(scheme, encode indices, decode subset) for all five families.
+
+    Rateless has no ``n`` and decodes from whatever masks happen to be
+    independent, so it keeps every block; the MDS schemes decode from
+    the last ``min_blocks_to_decode`` indices (all-parity for RS).
+    """
+    rs = ReedSolomonCode(k=4, n=8, data_size_bytes=SIZE)
+    xor = XorParityCode(k=4, data_size_bytes=SIZE)
+    rateless = RatelessXorCode(k=4, data_size_bytes=SIZE, seed=1)
+    replication = ReplicationCode(data_size_bytes=SIZE, n=3)
+    padded = PaddedScheme(
+        SIZE - 3, k=4,
+        inner_factory=lambda padded_bytes: ReedSolomonCode(
+            k=4, n=8, data_size_bytes=padded_bytes
+        ),
+    )
+    return (
+        (rs, range(8), (4, 5, 6, 7)),
+        (xor, range(5), (1, 2, 3, 4)),
+        (rateless, range(8), tuple(range(8))),
+        (replication, range(3), (2,)),
+        (padded, range(8), (4, 5, 6, 7)),
+    )
+
+
+class TestSchemesUnderEveryBackend:
+    def test_round_trip_under_each_backend(self):
+        for name in available_backends():
+            use_backend(name)
+            for scheme, indices, subset in five_schemes():
+                value = os.urandom(scheme.data_size_bytes)
+                blocks = scheme.encode_many(value, indices)
+                decoded = scheme.decode({i: blocks[i] for i in subset})
+                assert decoded == value, (name, scheme.name)
+
+    def test_codewords_identical_across_backends(self):
+        """The backend is invisible in the bytes: every scheme emits the
+        same codeword whichever kernel computed it."""
+        values = {scheme.name: os.urandom(scheme.data_size_bytes)
+                  for scheme, _, _ in five_schemes()}
+        codewords = {}
+        for name in available_backends():
+            use_backend(name)
+            for scheme, indices, _ in five_schemes():
+                blocks = scheme.encode_many(values[scheme.name], indices)
+                codewords.setdefault(scheme.name, []).append(blocks)
+        for scheme_name, per_backend in codewords.items():
+            first = per_backend[0]
+            for other in per_backend[1:]:
+                assert other == first, scheme_name
+
+    def test_batch_equals_scalar_shims_under_each_backend(self):
+        rs = ReedSolomonCode(k=4, n=8, data_size_bytes=SIZE)
+        values = [os.urandom(SIZE) for _ in range(3)]
+        for name in available_backends():
+            use_backend(name)
+            batch = rs.encode_batch(values, range(rs.n))
+            for value, codeword in zip(values, batch):
+                assert rs.encode_many(value, range(rs.n)) == codeword

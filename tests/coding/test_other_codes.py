@@ -3,6 +3,7 @@
 import itertools
 import os
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -152,7 +153,9 @@ class TestRateless:
 
     def test_block_is_xor_of_masked_shards(self, code):
         value = os.urandom(32)
-        shards = code._shard_matrix(value)
+        shards = np.frombuffer(value, dtype=np.uint8).reshape(
+            code.k, code.shard_bytes
+        )
         for index in range(20):
             mask = code.mask(index)
             expected = bytearray(code.shard_bytes)

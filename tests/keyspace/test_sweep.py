@@ -63,7 +63,8 @@ class TestByteIdentity:
         assert loaded.to_json(include_timing=False) == \
             serial_reference.to_json(include_timing=False)
         document = json.loads(path.read_text())
-        assert document["version"] == 1
+        # v2 added the coding_backend execution-metadata field.
+        assert document["version"] == 2
 
 
 class TestShapes:
